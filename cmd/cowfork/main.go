@@ -1,0 +1,90 @@
+// Command cowfork explores the copy-on-write fork substrate (§IV and
+// the paper's stated future work): it measures the COW overhead φ as a
+// function of the upload duration θ for each upload ordering, fits the
+// overlap factor α of the paper's linear model, and reports the δ
+// reduction a fork-based local checkpoint would give the double
+// protocols.
+//
+// Usage:
+//
+//	cowfork [-pages 131072] [-pagebytes 4096] [-writerate 20000]
+//	        [-zipf 1.2] [-copyus 50] [-episodes 200] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/memory"
+	"repro/internal/rng"
+)
+
+func main() {
+	pages := flag.Int("pages", 131072, "resident pages (131072 x 4KiB = 512MB, the Base image)")
+	pageBytes := flag.Int64("pagebytes", 4096, "page size in bytes")
+	writeRate := flag.Float64("writerate", 20000, "application page-dirtying writes per second")
+	zipf := flag.Float64("zipf", 1.2, "Zipf skew of the write distribution (0 = uniform)")
+	copyus := flag.Float64("copyus", 50, "cost of one COW page duplication in microseconds")
+	episodes := flag.Int("episodes", 200, "fork episodes averaged per (theta, order) point")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	proc := &memory.Process{
+		Pages:     *pages,
+		PageBytes: *pageBytes,
+		WriteRate: *writeRate,
+	}
+	if *zipf > 0 {
+		// Scatter the Zipf weights across the address space so that
+		// AddressOrder differs from HotFirst the way it would for a
+		// real application, whose hot pages are not laid out
+		// contiguously at low addresses.
+		zw := memory.ZipfWeights(*pages, *zipf)
+		perm := make([]int, *pages)
+		rng.New(*seed ^ 0x5ca77e2).Perm(perm)
+		proc.Weights = make([]float64, *pages)
+		for i, wt := range zw {
+			proc.Weights[perm[i]] = wt
+		}
+	}
+	copyTime := *copyus * 1e-6
+
+	// θ grid from the Base scenario: R = 4s up to (1+α)R = 44s.
+	thetas := []float64{4, 8, 12, 16, 24, 32, 44}
+	stream := rng.New(*seed)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "image %.0f MB, write rate %.0f pages/s, copy cost %.0f us\n\n",
+		float64(proc.Bytes())/(1<<20), *writeRate, *copyus)
+	fmt.Fprintln(w, "order\ttheta (s)\tE[dups]\tmeasured phi (s)\tphi/theta_min")
+	for _, order := range []memory.UploadOrder{memory.HotFirst, memory.AddressOrder, memory.ColdFirst} {
+		curve, err := memory.PhiCurve(proc, thetas, copyTime, order, *episodes, stream)
+		if err != nil {
+			fail(err)
+		}
+		for i, pt := range curve {
+			exp, err := memory.ExpectedDuplications(proc, thetas[i], order)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.4f\t%.4f\n",
+				order, pt.Theta, exp, pt.Phi, pt.Phi/thetas[0])
+		}
+		if alpha, err := memory.FitAlpha(curve, thetas[0]); err == nil {
+			fmt.Fprintf(w, "%s\tfitted alpha = %.2f\t\t\t\n", order, alpha)
+		}
+		fmt.Fprintln(w, "\t\t\t\t")
+	}
+	w.Flush()
+
+	fmt.Printf("\nfork-based local checkpoint: delta %.2fs -> %.2fs (setup only)\n",
+		memory.EffectiveDelta(proc, 256<<20, 0.05, false),
+		memory.EffectiveDelta(proc, 256<<20, 0.05, true))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cowfork:", err)
+	os.Exit(1)
+}

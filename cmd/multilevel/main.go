@@ -1,0 +1,63 @@
+// Command multilevel plans a two-level deployment (buddy in-memory
+// checkpointing + low-rate global stable-storage dumps), the
+// hierarchical combination the paper's conclusion proposes as future
+// work: it prints, per protocol, the optimized inner period, the
+// global-dump interval, the waste premium paid for the global level,
+// and the expected loss an unprotected deployment would suffer.
+//
+// Usage:
+//
+//	multilevel [-scenario Base|Exa] [-mtbf 300] [-phi 0]
+//	           [-g 200] [-rg 200] [-life 2592000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/multilevel"
+	"repro/internal/scenario"
+)
+
+func main() {
+	scName := flag.String("scenario", "Base", "scenario from Table I (Base or Exa)")
+	mtbf := flag.Float64("mtbf", 300, "platform MTBF in seconds")
+	phiFrac := flag.Float64("phi", 0, "overhead fraction of R")
+	g := flag.Float64("g", 200, "global (whole-application) checkpoint duration in seconds")
+	rg := flag.Float64("rg", 200, "global recovery duration in seconds")
+	life := flag.Float64("life", 30*scenario.Day, "platform exploitation length in seconds")
+	flag.Parse()
+
+	sc, err := scenario.ByName(*scName)
+	if err != nil {
+		fail(err)
+	}
+	p := sc.Params.WithMTBF(*mtbf)
+
+	fmt.Printf("scenario %s, M = %.0fs, G = %.0fs, life = %.0fs\n\n", sc.Name, *mtbf, *g, *life)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "protocol\tinner P\tglobal every\tk\twaste\tpremium\tMTTI\tunprotected loss")
+	for _, pr := range core.Protocols {
+		phi := *phiFrac * p.R
+		plan, err := multilevel.Optimize(multilevel.Config{
+			Protocol: pr, Params: p, Phi: phi, G: *g, Rg: *rg,
+		})
+		if err != nil {
+			fmt.Fprintf(w, "%s\tinfeasible (%v)\t\t\t\t\t\t\n", pr, err)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.0fs\t%.0fs\t%d\t%.4f\t%.4f\t%.2gs\t%.4f\n",
+			pr, plan.Period, plan.GlobalPeriod, plan.K, plan.Waste,
+			plan.Waste-plan.InnerWaste, plan.MTTI,
+			multilevel.LossIfUnprotected(pr, p, phi, *life))
+	}
+	w.Flush()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "multilevel:", err)
+	os.Exit(1)
+}

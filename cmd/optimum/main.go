@@ -1,0 +1,54 @@
+// Command optimum compares the optimal checkpointing periods of the
+// distributed protocols (Eq. 9, 10, 15) against the Young and Daly
+// centralized formulas over a range of MTBFs, illustrating §III.B: the
+// distributed protocols' waste is dominated by the (small) single-node
+// checkpoint rather than a whole-application dump.
+//
+// Usage:
+//
+//	optimum [-scenario Base|Exa] [-phi 0.25] [-dumpx 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func main() {
+	scName := flag.String("scenario", "Base", "scenario from Table I (Base or Exa)")
+	phiFrac := flag.Float64("phi", 0.25, "overhead fraction of R")
+	dumpx := flag.Float64("dumpx", 100, "centralized dump cost as a multiple of delta")
+	flag.Parse()
+
+	sc, err := scenario.ByName(*scName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optimum:", err)
+		os.Exit(1)
+	}
+
+	mtbfs := []float64{10 * scenario.Minute, scenario.Hour, 7 * scenario.Hour, scenario.Day}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "scenario %s, phi/R = %.2f, centralized dump = %.0fx delta\n",
+		sc.Name, *phiFrac, *dumpx)
+	fmt.Fprintln(w, "M\tYoung P\tDaly P\tcentral waste\tNBL P\tNBL waste\tBoF P\tBoF waste\tTriple P\tTriple waste")
+	for _, m := range mtbfs {
+		p := sc.Params.WithMTBF(m)
+		phi := *phiFrac * p.R
+		dump := *dumpx * p.Delta
+		young := core.YoungPeriod(m, dump)
+		daly := core.DalyPeriod(m, p.D, p.R, dump)
+		central := core.CentralizedOptimalWaste(m, p.D, p.R, dump)
+		row := fmt.Sprintf("%.0fs\t%.0f\t%.0f\t%.4f", m, young, daly, central)
+		for _, pr := range []core.Protocol{core.DoubleNBL, core.DoubleBoF, core.TripleNBL} {
+			ev := core.Evaluate(pr, p, phi)
+			row += fmt.Sprintf("\t%.0f\t%.4f", ev.Period, ev.Waste)
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+}

@@ -1,0 +1,45 @@
+// Command repro regenerates every table and figure of the paper into
+// an output directory: Table I, the waste surfaces of Figures 4/7
+// (gnuplot .dat), the waste-ratio slices of Figures 5/8, the
+// success-probability ratio surfaces of Figures 6/9, the headline
+// summary, and (with -ablations) the ablation curves of DESIGN.md.
+//
+// Usage:
+//
+//	repro [-out out] [-points 30] [-ablations] [-preview]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "out", "output directory for the .dat/.txt artifacts")
+	points := flag.Int("points", 30, "grid resolution per axis")
+	ablations := flag.Bool("ablations", false, "also write the ablation curves")
+	preview := flag.Bool("preview", false, "print ASCII previews of the waste surfaces")
+	flag.Parse()
+
+	if err := experiments.WriteAll(*out, *points, *ablations, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Println("Table I:")
+	fmt.Println(experiments.TableI())
+	fmt.Println("Headline summary (paper §VI):")
+	fmt.Println(experiments.Summarize())
+
+	if *preview {
+		for _, s := range experiments.Figure4(40, 20) {
+			fmt.Println(s.RenderASCII())
+		}
+		for _, s := range experiments.Figure7(40, 20) {
+			fmt.Println(s.RenderASCII())
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Command risk evaluates the success-probability model (Eq. 11, 12,
+// 16): for a scenario, MTBF and platform-life it prints each
+// protocol's risk window, success probability, and expected number of
+// runs tolerated before a fatal failure, plus the no-checkpoint
+// baseline.
+//
+// Usage:
+//
+//	risk [-scenario Base|Exa] [-mtbf 60] [-life 86400] [-phi 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func main() {
+	scName := flag.String("scenario", "Base", "scenario from Table I (Base or Exa)")
+	mtbf := flag.Float64("mtbf", scenario.Minute, "platform MTBF in seconds")
+	life := flag.Float64("life", scenario.Day, "platform exploitation length in seconds")
+	phiFrac := flag.Float64("phi", 0, "overhead fraction of R; 0 gives theta=(alpha+1)R, the largest risk window")
+	flag.Parse()
+
+	sc, err := scenario.ByName(*scName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "risk:", err)
+		os.Exit(1)
+	}
+	p := sc.Params.WithMTBF(*mtbf)
+
+	fmt.Printf("scenario %s, M = %.0fs, life = %.0fs, n = %d, lambda = %.3g\n\n",
+		sc.Name, *mtbf, *life, p.N, p.Lambda())
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "protocol\trisk window (s)\tP[success]\tP[fatal]\truns tolerated")
+	for _, pr := range core.Protocols {
+		phi := *phiFrac * p.R
+		success := core.SuccessProbability(pr, p, phi, *life)
+		fmt.Fprintf(w, "%s\t%.1f\t%.9f\t%.3e\t%.3g\n",
+			pr, core.RiskWindow(pr, p, phi), success,
+			core.FatalFailureProbability(pr, p, phi, *life),
+			core.RunsTolerated(pr, p, phi, *life))
+	}
+	w.Flush()
+	fmt.Printf("\nno checkpointing (Eq. 12): P[success] = %.3e\n",
+		core.BaseSuccessProbability(p, *life))
+}

@@ -1,0 +1,131 @@
+// Command simulate validates the analytic model by Monte-Carlo
+// simulation: it runs every protocol on the chosen scenario and prints
+// model-vs-simulated waste and per-failure loss. It can also record
+// and replay failure traces, and run the substrate-backed detailed
+// simulator with its structural fatality cross-check.
+//
+// Usage:
+//
+//	simulate [-scenario Base|Exa] [-mtbf 1800] [-phi 0.25]
+//	         [-tbase 2e5] [-runs 16] [-seed 42]
+//	         [-record trace.json | -replay trace.json]
+//	         [-detailed] [-weibull 0.7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	scName := flag.String("scenario", "Base", "scenario from Table I (Base or Exa)")
+	mtbf := flag.Float64("mtbf", 1800, "platform MTBF in seconds")
+	phiFrac := flag.Float64("phi", 0.25, "overhead fraction of R")
+	tbase := flag.Float64("tbase", 2e5, "failure-free application duration (s)")
+	runs := flag.Int("runs", 16, "Monte-Carlo runs per protocol")
+	seed := flag.Uint64("seed", 42, "base RNG seed")
+	record := flag.String("record", "", "record a failure trace to this file and exit")
+	replay := flag.String("replay", "", "replay a failure trace (single DoubleNBL run)")
+	detailed := flag.Bool("detailed", false, "run the substrate-backed detailed simulator instead")
+	weibull := flag.Float64("weibull", 0, "use a Weibull failure law with this shape (0 = exponential)")
+	flag.Parse()
+
+	sc, err := scenario.ByName(*scName)
+	if err != nil {
+		fail(err)
+	}
+	p := sc.Params.WithMTBF(*mtbf)
+
+	switch {
+	case *record != "":
+		src := failure.NewMerged(p.N, p.M, rng.New(*seed))
+		tr := failure.Collect(src, p.N, p.M, "exponential", *tbase*2)
+		f, err := os.Create(*record)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := tr.Write(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("recorded %d failures over %.0fs to %s\n", len(tr.Events), *tbase*2, *record)
+		return
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fail(err)
+		}
+		tr, err := failure.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		q := p.WithNodes(tr.Nodes)
+		res, err := sim.Run(sim.Config{
+			Protocol: core.DoubleNBL,
+			Params:   q,
+			Phi:      *phiFrac * q.R,
+			Tbase:    *tbase,
+			Source:   failure.NewReplay(tr.Events),
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("replayed %d failures: %+v\n", len(tr.Events), res)
+		return
+
+	case *detailed:
+		// The detailed simulator needs a platform divisible by both
+		// group sizes; shrink the rank count accordingly.
+		n := p.N
+		if n > 600 {
+			n = 600
+		}
+		n -= n % 6
+		q := p.WithNodes(n)
+		fmt.Printf("detailed run: %d ranks, M = %.0fs\n", n, q.M)
+		for _, pr := range core.Protocols {
+			var law failure.Law
+			if *weibull > 0 {
+				law = failure.Weibull{Shape: *weibull, MTBF: failure.IndividualMTBF(q.M, q.N)}
+			}
+			res, err := sim.RunDetailed(sim.DetailedConfig{
+				Protocol: pr,
+				Params:   q,
+				Phi:      *phiFrac * q.R,
+				Tbase:    *tbase,
+				Seed:     *seed,
+				Law:      law,
+			})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-15s waste=%.5f failures=%d fatal=%v waves=%d maxImages=%d spareExhaustion=%d\n",
+				pr, res.Waste, res.Failures, res.Fatal, res.CommittedWaves,
+				res.MaxImagesPerRank, res.SpareExhaustion)
+		}
+		return
+	}
+
+	rows, err := experiments.Validate(sc, *mtbf, *phiFrac, *tbase, *runs, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("scenario %s, M = %.0fs, Tbase = %.0fs, %d runs/protocol\n\n",
+		sc.Name, *mtbf, *tbase, *runs)
+	fmt.Print(experiments.FormatValidation(rows))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "simulate:", err)
+	os.Exit(1)
+}

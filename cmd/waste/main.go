@@ -1,0 +1,58 @@
+// Command waste evaluates the analytic waste model at a point or over
+// a φ/R sweep: optimal period, period phases, fault-free and
+// failure-induced waste for each protocol.
+//
+// Usage:
+//
+//	waste [-scenario Base|Exa] [-mtbf 25200] [-phi 0.25] [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func main() {
+	scName := flag.String("scenario", "Base", "scenario from Table I (Base or Exa)")
+	mtbf := flag.Float64("mtbf", 7*scenario.Hour, "platform MTBF in seconds")
+	phiFrac := flag.Float64("phi", 0.25, "overhead as a fraction of R (0..1)")
+	sweep := flag.Bool("sweep", false, "sweep phi/R from 0 to 1 instead of a single point")
+	flag.Parse()
+
+	sc, err := scenario.ByName(*scName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waste:", err)
+		os.Exit(1)
+	}
+	p := sc.Params.WithMTBF(*mtbf)
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "waste:", err)
+		os.Exit(1)
+	}
+
+	fracs := []float64{*phiFrac}
+	if *sweep {
+		fracs = nil
+		for i := 0; i <= 10; i++ {
+			fracs = append(fracs, float64(i)/10)
+		}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "scenario %s, M = %.0fs\n", sc.Name, *mtbf)
+	fmt.Fprintln(w, "protocol\tphi/R\tphi\ttheta\tP_opt\tsigma\twaste_ff\twaste_fail\twaste\tF\trisk")
+	for _, frac := range fracs {
+		for _, pr := range core.Protocols {
+			ev := core.Evaluate(pr, p, frac*p.R)
+			fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.1f\t%.1f\t%.1f\t%.5f\t%.5f\t%.5f\t%.1f\t%.1f\n",
+				pr, frac, ev.Phi, ev.Theta, ev.Period, ev.Sigma,
+				ev.WasteFF, ev.WasteRE, ev.Waste, ev.Loss, ev.Risk)
+		}
+	}
+	w.Flush()
+}

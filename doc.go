@@ -1,0 +1,14 @@
+// Package repro reproduces "Revisiting the double checkpointing
+// algorithm" (Dongarra, Hérault, Robert, APDCM 2013): the unified
+// performance/risk model of buddy-based in-memory checkpointing, the
+// DoubleNBL / DoubleBoF / Triple protocols, a Monte-Carlo simulator
+// with structural fatality verification, and the harness regenerating
+// every table and figure of the paper's evaluation.
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); the executables under cmd/ and the runnable examples
+// under examples/ are the public surface. The benchmarks in
+// bench_test.go regenerate each figure and report its headline metric:
+//
+//	go test -bench=. -benchmem
+package repro

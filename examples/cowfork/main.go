@@ -1,0 +1,76 @@
+// COW-derived model parameters: the paper's stated future work is to
+// replace the assumed overhead φ and overlap factor α with values
+// measured from real application write behaviour. This example does
+// exactly that with the memory substrate: simulate fork/COW
+// checkpointing of a 512 MB process with a skewed write pattern,
+// measure φ(θ), fit α, and feed both back into the analytic model to
+// choose a protocol.
+//
+//	go run ./examples/cowfork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+)
+
+func main() {
+	// A 512 MB process whose writes follow a Zipf(1.2) working set,
+	// dirtying 20k pages/s; a COW duplication costs ~50 µs.
+	const pages = 131072
+	proc := &memory.Process{
+		Pages:     pages,
+		PageBytes: 4096,
+		WriteRate: 20000,
+		Weights:   memory.ZipfWeights(pages, 1.2),
+	}
+	const copyTime = 50e-6
+
+	base := scenario.Base().Params.WithMTBF(scenario.Hour)
+	thetas := []float64{base.R, 2 * base.R, 4 * base.R, 8 * base.R, (1 + base.Alpha) * base.R}
+
+	curve, err := memory.PhiCurve(proc, thetas, copyTime, memory.HotFirst, 100, rng.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("measured COW overhead (hot-first upload):")
+	for _, pt := range curve {
+		fmt.Printf("  theta = %4.0f s   phi = %.3f s\n", pt.Theta, pt.Phi)
+	}
+
+	alpha, err := memory.FitAlpha(curve, base.R)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfitted overlap factor alpha = %.2f (the paper assumes 10)\n", alpha)
+
+	// Feed the measured parameters back into the model. Take the
+	// longest upload (θmax for the measured α) and its measured φ.
+	measured := base
+	measured.Alpha = alpha
+	phi := curve[len(curve)-1].Phi
+	if phi > measured.R {
+		phi = measured.R
+	}
+	fmt.Printf("using measured phi = %.3f s at theta = %.0f s:\n\n", phi, curve[len(curve)-1].Theta)
+	for _, pr := range []core.Protocol{core.DoubleNBL, core.TripleNBL} {
+		ev := core.Evaluate(pr, measured, phi)
+		fmt.Printf("  %-10s period %6.1f s, waste %.4f\n", pr, ev.Period, ev.Waste)
+	}
+
+	// The fork trick also shrinks the double protocols' local
+	// checkpoint from a full dump to a setup pause.
+	fmt.Printf("\nfork-based local checkpoint: delta %.1f s -> %.2f s\n",
+		memory.EffectiveDelta(proc, 256<<20, 0.05, false),
+		memory.EffectiveDelta(proc, 256<<20, 0.05, true))
+	small := measured
+	small.Delta = memory.EffectiveDelta(proc, 256<<20, 0.05, true)
+	fmt.Printf("DoubleNBL waste with fork-delta: %.4f (was %.4f)\n",
+		core.OptimalWaste(core.DoubleNBL, small, phi),
+		core.OptimalWaste(core.DoubleNBL, measured, phi))
+}

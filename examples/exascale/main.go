@@ -1,0 +1,51 @@
+// Exascale capacity planning: the workload the paper's introduction
+// motivates. Given the IESP "slim" exascale machine (10⁶ nodes), sweep
+// the individual-node MTBF from 5 years to 100 years and answer the
+// operator's questions: how much of the machine do we lose to
+// checkpointing, and how often would we lose a whole application run?
+//
+//	go run ./examples/exascale
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func main() {
+	exa := scenario.Exa()
+	year := 365 * scenario.Day
+	phi := 0.1 * exa.Params.R // 90% of the exchange hidden by overlap
+
+	fmt.Println("Exascale machine (Table I, Exa): 1e6 nodes, 60s transfers, alpha=10")
+	fmt.Printf("assumed overhead: phi/R = %.2f\n\n", phi/exa.Params.R)
+	fmt.Println("node MTBF   platform MTBF   DoubleNBL waste   Triple waste   Triple P[success, 1 month]")
+
+	for _, nodeYears := range []float64{5, 10, 25, 50, 100} {
+		individual := nodeYears * year
+		p := exa.Params.WithMTBF(individual / float64(exa.Params.N))
+		double := core.OptimalWaste(core.DoubleNBL, p, phi)
+		triple := core.OptimalWaste(core.TripleNBL, p, phi)
+		success := core.SuccessProbability(core.TripleNBL, p, phi, 30*scenario.Day)
+		fmt.Printf("%5.0f yr    %10.0f s   %15.4f   %12.4f   %.9f\n",
+			nodeYears, p.M, double, triple, success)
+	}
+
+	// The paper's §I arithmetic: with 50-year nodes, what fraction of
+	// million-node platforms sees a failure within an hour?
+	p := exa.Params.WithMTBF(50 * year / 1e6)
+	noCkpt := core.BaseSuccessProbability(p, scenario.Hour)
+	fmt.Printf("\nwith 50-year nodes, P[some node fails within 1h] = %.2f (paper: > 0.86)\n",
+		1-noCkpt)
+
+	// And the planning answer: the smallest platform MTBF at which the
+	// Triple protocol keeps the machine 90%% useful.
+	for m := 60.0; m <= scenario.Day; m *= 1.3 {
+		if core.OptimalWaste(core.TripleNBL, exa.Params.WithMTBF(m), phi) <= 0.10 {
+			fmt.Printf("Triple keeps waste <= 10%% from platform MTBF ~%.0f s upward\n", m)
+			break
+		}
+	}
+}

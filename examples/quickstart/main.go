@@ -1,0 +1,40 @@
+// Quickstart: evaluate the unified checkpointing model on the paper's
+// Base platform and decide which protocol to run.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func main() {
+	// The Base platform of Table I: 324×32 nodes, 512 MB images,
+	// local checkpoint in 2 s, blocking buddy transfer in 4 s,
+	// overlap factor 10. Take a platform MTBF of one hour.
+	platform := scenario.Base().Params.WithMTBF(scenario.Hour)
+
+	// Suppose measurements say our application can hide 90% of the
+	// exchange behind computation: φ = 0.1·R.
+	phi := 0.1 * platform.R
+
+	fmt.Println("protocol      period(s)  waste    risk-window(s)  P[success, 1 week]")
+	for _, pr := range []core.Protocol{core.DoubleNBL, core.DoubleBoF, core.TripleNBL} {
+		ev := core.Evaluate(pr, platform, phi)
+		success := core.SuccessProbability(pr, platform, phi, scenario.Week)
+		fmt.Printf("%-12s  %8.1f   %.4f   %13.1f   %.9f\n",
+			pr, ev.Period, ev.Waste, ev.Risk, success)
+	}
+
+	// The decision in one line: Triple wastes least whenever the
+	// overhead φ is below the local-checkpoint time δ...
+	best := core.TripleNBL
+	if phi >= platform.Delta {
+		best = core.DoubleNBL
+	}
+	fmt.Printf("\nchoose %s: checkpoint every %.0f s\n",
+		best, core.Evaluate(best, platform, phi).Period)
+}

@@ -1,0 +1,68 @@
+// Simulation: validate the analytic model against Monte-Carlo runs,
+// record the failure trace of an interesting run, and replay it under
+// every protocol — the workflow for studying a specific failure
+// pattern (e.g. from a production log) across protocols.
+//
+//	go run ./examples/simulation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func main() {
+	p := scenario.Base().Params.WithMTBF(20 * scenario.Minute)
+	phi := 0.25 * p.R
+
+	// 1. Model vs simulation for DoubleNBL.
+	model := core.OptimalWaste(core.DoubleNBL, p, phi)
+	agg, err := sim.RunMany(sim.Config{
+		Protocol: core.DoubleNBL,
+		Params:   p,
+		Phi:      phi,
+		Tbase:    2 * scenario.Day,
+		Seed:     7,
+	}, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DoubleNBL waste: model %.4f, simulated %s\n", model, agg.Waste.String())
+
+	// 2. Record one run's failure sample...
+	recorder := &failure.Recorder{Inner: failure.NewMerged(p.N, p.M, rng.New(2024))}
+	res, err := sim.Run(sim.Config{
+		Protocol: core.DoubleNBL,
+		Params:   p,
+		Phi:      phi,
+		Tbase:    scenario.Day,
+		Source:   recorder,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded run: %d failures, waste %.4f\n", res.Failures, res.Waste)
+
+	// 3. ...and replay the exact same failures under each protocol.
+	fmt.Println("\nsame failure sample, every protocol:")
+	for _, pr := range core.Protocols {
+		res, err := sim.Run(sim.Config{
+			Protocol: pr,
+			Params:   p,
+			Phi:      phi,
+			Tbase:    scenario.Day,
+			Source:   failure.NewReplay(recorder.Log),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15s waste %.4f, makespan %.0f s, fatal %v\n",
+			pr, res.Waste, res.Makespan, res.Fatal)
+	}
+}

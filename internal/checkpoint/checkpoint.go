@@ -1,0 +1,212 @@
+// Package checkpoint implements the distributed in-memory checkpoint
+// storage of the buddy protocols: per-rank images, their replicas on
+// buddy ranks, and the atomic snapshot-set semantics of §IV — "keeping
+// two sets at all time: the last set of checkpoints that was
+// successful, and the current set, that might be unfinished when a
+// failure hits the system".
+//
+// The Registry is the global bookkeeping the detailed simulator
+// queries to decide, structurally, whether a rank is recoverable. Its
+// answer must agree with the analytic risk windows; the test suite
+// asserts that agreement.
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Version numbers snapshot sets. Version 0 is the initial application
+// state, which per the paper "is always successful" (every rank can
+// restart from it trivially, so the registry treats it as replicated
+// everywhere).
+type Version uint64
+
+// Image is one rank's checkpoint of one version.
+type Image struct {
+	Rank    int
+	Version Version
+	Bytes   int64
+}
+
+// replicaKey locates a replica: whose image, which version, stored on
+// which rank.
+type replicaKey struct {
+	owner   int
+	version Version
+	holder  int
+}
+
+// Registry tracks every image replica in the system and the commit
+// state of snapshot sets.
+type Registry struct {
+	ranks     int
+	imageSize int64
+
+	// replicas holds live replicas, including each rank's local copy
+	// (holder == owner for a local image).
+	replicas map[replicaKey]struct{}
+
+	// committed is the last snapshot version for which EVERY rank's
+	// image reached its required replica set.
+	committed Version
+	// current is the version being assembled (committed+1 while a
+	// checkpoint wave is in flight, == committed otherwise).
+	current Version
+	// pending counts ranks whose current-version replicas are not yet
+	// complete.
+	pending int
+	// done marks ranks complete for the current version.
+	done []bool
+}
+
+// NewRegistry creates the registry for the given number of ranks with
+// the given image size in bytes.
+func NewRegistry(ranks int, imageSize int64) *Registry {
+	return &Registry{
+		ranks:     ranks,
+		imageSize: imageSize,
+		replicas:  make(map[replicaKey]struct{}),
+		done:      make([]bool, ranks),
+	}
+}
+
+// Ranks returns the number of ranks.
+func (r *Registry) Ranks() int { return r.ranks }
+
+// Committed returns the last fully committed snapshot version.
+func (r *Registry) Committed() Version { return r.committed }
+
+// Current returns the version currently being assembled.
+func (r *Registry) Current() Version { return r.current }
+
+// BeginWave starts assembling the next snapshot set and returns its
+// version. Starting a new wave while one is pending abandons the
+// unfinished set (its replicas are garbage-collected), which is what
+// happens when a failure aborts a checkpointing phase.
+func (r *Registry) BeginWave() Version {
+	if r.current != r.committed {
+		r.dropVersion(r.current)
+	}
+	r.current = r.committed + 1
+	r.pending = r.ranks
+	for i := range r.done {
+		r.done[i] = false
+	}
+	return r.current
+}
+
+// AddReplica records that holder now stores owner's image of the
+// given version.
+func (r *Registry) AddReplica(owner int, v Version, holder int) {
+	r.replicas[replicaKey{owner, v, holder}] = struct{}{}
+}
+
+// RankComplete marks the owner's current-version replica set complete
+// (local copy written and remote copies delivered). When every rank is
+// complete the set commits atomically: it becomes the rollback target
+// and the previous committed set is dropped.
+func (r *Registry) RankComplete(owner int) (committedNow bool) {
+	if r.current == r.committed || r.done[owner] {
+		return false
+	}
+	r.done[owner] = true
+	r.pending--
+	if r.pending > 0 {
+		return false
+	}
+	old := r.committed
+	r.committed = r.current
+	if old > 0 {
+		r.dropVersion(old)
+	}
+	return true
+}
+
+// dropVersion removes every replica of a version.
+func (r *Registry) dropVersion(v Version) {
+	for k := range r.replicas {
+		if k.version == v {
+			delete(r.replicas, k)
+		}
+	}
+}
+
+// InvalidateHolder removes every replica stored on the given rank
+// (the rank's machine failed: its memory content is gone, including
+// its own local copies and the buddy images it was holding).
+func (r *Registry) InvalidateHolder(holder int) {
+	for k := range r.replicas {
+		if k.holder == holder {
+			delete(r.replicas, k)
+		}
+	}
+}
+
+// Holders returns the ranks currently holding a replica of owner's
+// image at the given version, sorted ascending.
+func (r *Registry) Holders(owner int, v Version) []int {
+	var out []int
+	for k := range r.replicas {
+		if k.owner == owner && k.version == v {
+			out = append(out, k.holder)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Recoverable reports whether the owner's committed image can be
+// fetched after the owner's machine failed: some OTHER rank must hold
+// a replica of the committed version. Version 0 (the initial state)
+// is always recoverable.
+func (r *Registry) Recoverable(owner int) bool {
+	if r.committed == 0 {
+		return true
+	}
+	for k := range r.replicas {
+		if k.owner == owner && k.version == r.committed && k.holder != owner {
+			return true
+		}
+	}
+	return false
+}
+
+// MemoryUse returns the number of image replicas stored on the given
+// rank, the quantity bounded by the paper's "constant memory"
+// requirement (2 for double, 2 for triple — own + one buddy image per
+// committed set, transiently more while a wave is in flight).
+func (r *Registry) MemoryUse(holder int) int {
+	n := 0
+	for k := range r.replicas {
+		if k.holder == holder {
+			n++
+		}
+	}
+	return n
+}
+
+// MemoryBytes returns MemoryUse in bytes.
+func (r *Registry) MemoryBytes(holder int) int64 {
+	return int64(r.MemoryUse(holder)) * r.imageSize
+}
+
+// CheckInvariants verifies the registry's structural invariants:
+// a committed set never coexists with more than one other version,
+// and committed > current never happens.
+func (r *Registry) CheckInvariants() error {
+	if r.current < r.committed {
+		return fmt.Errorf("checkpoint: current %d < committed %d", r.current, r.committed)
+	}
+	versions := make(map[Version]bool)
+	for k := range r.replicas {
+		versions[k.version] = true
+	}
+	for v := range versions {
+		if v != r.committed && v != r.current {
+			return fmt.Errorf("checkpoint: stray replicas of version %d (committed %d, current %d)",
+				v, r.committed, r.current)
+		}
+	}
+	return nil
+}

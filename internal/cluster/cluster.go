@@ -1,0 +1,195 @@
+// Package cluster models the platform's resource management: compute
+// nodes organized in buddy groups (pairs or triples), a pool of spare
+// nodes, and the replacement of failed nodes, which the paper
+// abstracts as the downtime D. The detailed simulator uses it to make
+// D an observable queueing effect (a failure with an exhausted spare
+// pool waits for a repair) instead of a constant.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is the lifecycle state of a physical node.
+type State int
+
+const (
+	// Active: the node runs a rank of the application.
+	Active State = iota
+	// Spare: the node is idle, ready to replace a failed one.
+	Spare
+	// Down: the node has failed and is under repair.
+	Down
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Spare:
+		return "spare"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Node is one physical machine.
+type Node struct {
+	ID    int
+	State State
+	// Rank is the application rank hosted by the node (-1 when not
+	// Active). Ranks are the stable identities the checkpointing
+	// protocol reasons about; replacements inherit the rank.
+	Rank int
+}
+
+// ErrNoSpares is returned when a failure cannot be replaced.
+var ErrNoSpares = errors.New("cluster: spare pool exhausted")
+
+// Cluster tracks physical nodes, the rank mapping and the spare pool.
+type Cluster struct {
+	nodes     []Node
+	rankHost  []int // rank -> physical node ID
+	sparePool []int
+	groupSize int
+
+	// Repairs in flight: node ID -> completion time, so the cluster
+	// can return repaired machines to the pool.
+	repairs map[int]float64
+	// RepairTime is how long a failed machine takes to rejoin the
+	// spare pool. 0 disables repair (machines are lost forever).
+	RepairTime float64
+}
+
+// New creates a cluster with ranks active ranks, spares spare nodes
+// and the given buddy-group size (2 or 3). Rank i runs initially on
+// physical node i.
+func New(ranks, spares, groupSize int) (*Cluster, error) {
+	if ranks < groupSize || groupSize < 2 || groupSize > 3 {
+		return nil, fmt.Errorf("cluster: invalid shape ranks=%d group=%d", ranks, groupSize)
+	}
+	if ranks%groupSize != 0 {
+		return nil, fmt.Errorf("cluster: %d ranks not divisible by group size %d", ranks, groupSize)
+	}
+	if spares < 0 {
+		return nil, fmt.Errorf("cluster: negative spare count %d", spares)
+	}
+	c := &Cluster{
+		nodes:     make([]Node, ranks+spares),
+		rankHost:  make([]int, ranks),
+		groupSize: groupSize,
+		repairs:   make(map[int]float64),
+	}
+	for i := range c.nodes {
+		c.nodes[i] = Node{ID: i, State: Spare, Rank: -1}
+	}
+	for r := 0; r < ranks; r++ {
+		c.nodes[r].State = Active
+		c.nodes[r].Rank = r
+		c.rankHost[r] = r
+	}
+	for s := ranks; s < ranks+spares; s++ {
+		c.sparePool = append(c.sparePool, s)
+	}
+	return c, nil
+}
+
+// Ranks returns the number of application ranks.
+func (c *Cluster) Ranks() int { return len(c.rankHost) }
+
+// Spares returns the number of currently available spare nodes.
+func (c *Cluster) Spares() int { return len(c.sparePool) }
+
+// GroupSize returns the buddy-group size.
+func (c *Cluster) GroupSize() int { return c.groupSize }
+
+// Host returns the physical node currently hosting a rank.
+func (c *Cluster) Host(rank int) int { return c.rankHost[rank] }
+
+// NodeState returns the state of a physical node.
+func (c *Cluster) NodeState(id int) State { return c.nodes[id].State }
+
+// Group returns the ranks of the buddy group containing the rank:
+// pairs {2k, 2k+1} or triples {3k, 3k+1, 3k+2}.
+func (c *Cluster) Group(rank int) []int {
+	start := (rank / c.groupSize) * c.groupSize
+	g := make([]int, c.groupSize)
+	for i := range g {
+		g[i] = start + i
+	}
+	return g
+}
+
+// Buddies returns the other ranks of the rank's group. For triples the
+// first element is the preferred buddy (next in the rotation p → p' →
+// p” → p) and the second the secondary buddy, matching §IV.
+func (c *Cluster) Buddies(rank int) []int {
+	start := (rank / c.groupSize) * c.groupSize
+	out := make([]int, 0, c.groupSize-1)
+	for i := 1; i < c.groupSize; i++ {
+		out = append(out, start+(rank-start+i)%c.groupSize)
+	}
+	return out
+}
+
+// Fail marks the physical node hosting the rank as down at time now,
+// allocates a spare as the replacement and returns its physical ID.
+// The replacement is usable by the caller after the downtime D has
+// elapsed (the cluster does not track D; the simulator schedules it).
+// If repair is enabled, the failed machine rejoins the pool at
+// now+RepairTime.
+func (c *Cluster) Fail(rank int, now float64) (replacement int, err error) {
+	c.reclaimRepairs(now)
+	failed := c.rankHost[rank]
+	c.nodes[failed].State = Down
+	c.nodes[failed].Rank = -1
+	if c.RepairTime > 0 {
+		c.repairs[failed] = now + c.RepairTime
+	}
+	if len(c.sparePool) == 0 {
+		return -1, ErrNoSpares
+	}
+	replacement = c.sparePool[len(c.sparePool)-1]
+	c.sparePool = c.sparePool[:len(c.sparePool)-1]
+	c.nodes[replacement].State = Active
+	c.nodes[replacement].Rank = rank
+	c.rankHost[rank] = replacement
+	return replacement, nil
+}
+
+// reclaimRepairs returns repaired machines to the spare pool.
+func (c *Cluster) reclaimRepairs(now float64) {
+	for id, ready := range c.repairs {
+		if ready <= now {
+			delete(c.repairs, id)
+			c.nodes[id].State = Spare
+			c.sparePool = append(c.sparePool, id)
+		}
+	}
+}
+
+// CheckInvariants verifies the structural invariants: every rank is
+// hosted by exactly one Active node, and every pool entry is Spare.
+// It is called by tests and by the detailed simulator in debug runs.
+func (c *Cluster) CheckInvariants() error {
+	seen := make(map[int]int)
+	for r, id := range c.rankHost {
+		if c.nodes[id].State != Active || c.nodes[id].Rank != r {
+			return fmt.Errorf("cluster: rank %d hosted by inconsistent node %+v", r, c.nodes[id])
+		}
+		if prev, dup := seen[id]; dup {
+			return fmt.Errorf("cluster: node %d hosts ranks %d and %d", id, prev, r)
+		}
+		seen[id] = r
+	}
+	for _, id := range c.sparePool {
+		if c.nodes[id].State != Spare {
+			return fmt.Errorf("cluster: pool entry %d in state %v", id, c.nodes[id].State)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(8, 2, 2); err != nil {
+		t.Fatalf("valid cluster rejected: %v", err)
+	}
+	bad := []struct{ ranks, spares, group int }{
+		{1, 0, 2},  // fewer ranks than group
+		{8, 2, 1},  // group too small
+		{8, 2, 4},  // group too large
+		{7, 2, 2},  // not divisible
+		{8, -1, 2}, // negative spares
+		{8, 1, 3},  // 8 not divisible by 3
+	}
+	for _, tc := range bad {
+		if _, err := New(tc.ranks, tc.spares, tc.group); err == nil {
+			t.Errorf("New(%d, %d, %d) should fail", tc.ranks, tc.spares, tc.group)
+		}
+	}
+}
+
+func TestInitialLayout(t *testing.T) {
+	c, err := New(6, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ranks() != 6 || c.Spares() != 3 || c.GroupSize() != 3 {
+		t.Fatalf("shape: ranks=%d spares=%d group=%d", c.Ranks(), c.Spares(), c.GroupSize())
+	}
+	for r := 0; r < 6; r++ {
+		if c.Host(r) != r {
+			t.Errorf("rank %d initially on node %d", r, c.Host(r))
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupsAndBuddies(t *testing.T) {
+	c, _ := New(6, 0, 2)
+	got := c.Group(3)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Group(3) = %v", got)
+	}
+	if b := c.Buddies(3); len(b) != 1 || b[0] != 2 {
+		t.Fatalf("Buddies(3) = %v", b)
+	}
+
+	c3, _ := New(6, 0, 3)
+	// §IV rotation: p's preferred buddy is p', secondary is p''.
+	if b := c3.Buddies(3); b[0] != 4 || b[1] != 5 {
+		t.Fatalf("Buddies(3) = %v, want [4 5]", b)
+	}
+	if b := c3.Buddies(5); b[0] != 3 || b[1] != 4 {
+		t.Fatalf("Buddies(5) = %v, want [3 4] (rotation wraps)", b)
+	}
+	// The rotation property: p' has p'' as preferred and p as secondary.
+	if b := c3.Buddies(4); b[0] != 5 || b[1] != 3 {
+		t.Fatalf("Buddies(4) = %v, want [5 3]", b)
+	}
+}
+
+func TestFailAllocatesSpare(t *testing.T) {
+	c, _ := New(4, 2, 2)
+	repl, err := c.Fail(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl < 4 {
+		t.Fatalf("replacement %d should be a spare node", repl)
+	}
+	if c.Host(1) != repl {
+		t.Fatalf("rank 1 hosted by %d, want %d", c.Host(1), repl)
+	}
+	if c.NodeState(1) != Down {
+		t.Fatalf("failed node state = %v", c.NodeState(1))
+	}
+	if c.Spares() != 1 {
+		t.Fatalf("spares = %d, want 1", c.Spares())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparePoolExhaustion(t *testing.T) {
+	c, _ := New(4, 1, 2)
+	if _, err := c.Fail(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fail(2, 2); err != ErrNoSpares {
+		t.Fatalf("expected ErrNoSpares, got %v", err)
+	}
+}
+
+func TestRepairReturnsNodes(t *testing.T) {
+	c, _ := New(4, 1, 2)
+	c.RepairTime = 100
+	if _, err := c.Fail(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Before the repair completes the pool is empty.
+	if _, err := c.Fail(1, 50); err != ErrNoSpares {
+		t.Fatalf("want ErrNoSpares at t=50, got %v", err)
+	}
+	// Note the failed attempt at t=50 still marked rank 1's node down;
+	// rebuild a fresh cluster for the clean case.
+	c, _ = New(4, 1, 2)
+	c.RepairTime = 100
+	if _, err := c.Fail(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	repl, err := c.Fail(1, 150) // node 0 repaired at t=100
+	if err != nil {
+		t.Fatalf("repair should have refilled the pool: %v", err)
+	}
+	if repl != 0 {
+		t.Fatalf("replacement = %d, want repaired node 0", repl)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplacementInheritsRank(t *testing.T) {
+	c, _ := New(4, 2, 2)
+	repl, _ := c.Fail(3, 5)
+	// The buddy group of rank 3 is unchanged even though the host moved.
+	g := c.Group(3)
+	if g[0] != 2 || g[1] != 3 {
+		t.Fatalf("group after replacement = %v", g)
+	}
+	if c.NodeState(repl) != Active {
+		t.Fatalf("replacement state = %v", c.NodeState(repl))
+	}
+	// Failing the same rank again moves it to yet another node.
+	repl2, err := c.Fail(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl2 == repl {
+		t.Fatal("second replacement reused a down node")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Active: "active", Spare: "spare", Down: "down"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+	if !strings.HasPrefix(State(9).String(), "State(") {
+		t.Error("unknown state formatting")
+	}
+}

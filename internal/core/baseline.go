@@ -1,0 +1,45 @@
+package core
+
+import "math"
+
+// This file implements the centralized stable-storage checkpointing
+// baselines the paper compares against in §III.B and §VII: the
+// first-order period approximations of Young and the refinement of
+// Daly. In these formulas the checkpoint cost C is the time to dump
+// the WHOLE application onto stable storage, whereas the distributed
+// protocols only pay the single-node local/remote checkpoint, which is
+// why their optimal periods are much larger (paper §III.B).
+
+// YoungPeriod returns Young's first-order optimal checkpointing period
+// T = √(2MC) + C for platform MTBF m and checkpoint cost c.
+func YoungPeriod(m, c float64) float64 {
+	return math.Sqrt(2*m*c) + c
+}
+
+// DalyPeriod returns Daly's higher-order estimate
+// T = √(2(M+D+R)C) + C for platform MTBF m, downtime d, recovery r and
+// checkpoint cost c.
+func DalyPeriod(m, d, r, c float64) float64 {
+	return math.Sqrt(2*(m+d+r)*c) + c
+}
+
+// CentralizedWaste returns the first-order waste of a coordinated
+// checkpointing protocol writing to centralized stable storage, using
+// the same two-source decomposition as Eq. 4/5: WASTEff = C/P and
+// F = D + R + P/2 (blocking checkpoint, uniform failure position).
+func CentralizedWaste(m, d, r, c, period float64) float64 {
+	if period <= c || m <= 0 {
+		return 1
+	}
+	wff := c / period
+	f := d + r + period/2
+	return clamp01(1 - (1-clamp01(f/m))*(1-clamp01(wff)))
+}
+
+// CentralizedOptimalWaste returns the waste of the centralized
+// baseline at Daly's period. The paper's point in §III.B is that the
+// distributed protocols beat this because their δ (single node, local
+// medium) is far smaller than the global dump time C.
+func CentralizedOptimalWaste(m, d, r, c float64) float64 {
+	return CentralizedWaste(m, d, r, c, DalyPeriod(m, d, r, c))
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestYoungDalyPeriods(t *testing.T) {
+	m, c := 7.0*3600, 200.0
+	if got, want := YoungPeriod(m, c), math.Sqrt(2*m*c)+c; got != want {
+		t.Errorf("Young = %v, want %v", got, want)
+	}
+	d, r := 60.0, 60.0
+	if got, want := DalyPeriod(m, d, r, c), math.Sqrt(2*(m+d+r)*c)+c; got != want {
+		t.Errorf("Daly = %v, want %v", got, want)
+	}
+	// Daly's refinement always increases the period (adds D+R to M).
+	if DalyPeriod(m, d, r, c) <= YoungPeriod(m, c) {
+		t.Error("Daly period should exceed Young period for D+R > 0")
+	}
+	if DalyPeriod(m, 0, 0, c) != YoungPeriod(m, c) {
+		t.Error("Daly with D=R=0 should equal Young")
+	}
+}
+
+func TestCentralizedWaste(t *testing.T) {
+	m, d, r, c := 7.0*3600, 60.0, 60.0, 600.0
+	// Degenerate periods saturate.
+	if got := CentralizedWaste(m, d, r, c, c); got != 1 {
+		t.Errorf("waste at P=C = %v, want 1", got)
+	}
+	if got := CentralizedWaste(0, d, r, c, 2*c); got != 1 {
+		t.Errorf("waste at M=0 = %v, want 1", got)
+	}
+	// The optimum beats both a too-short and a too-long period.
+	opt := CentralizedOptimalWaste(m, d, r, c)
+	if opt <= 0 || opt >= 1 {
+		t.Fatalf("optimal centralized waste = %v", opt)
+	}
+	if short := CentralizedWaste(m, d, r, c, 1.2*c); short <= opt {
+		t.Errorf("short-period waste %v should exceed optimal %v", short, opt)
+	}
+	if long := CentralizedWaste(m, d, r, c, 50*DalyPeriod(m, d, r, c)); long <= opt {
+		t.Errorf("long-period waste %v should exceed optimal %v", long, opt)
+	}
+}
+
+func TestCentralizedVersusDistributedShape(t *testing.T) {
+	// §III.B / §VII: with a whole-application dump far costlier than a
+	// single-node checkpoint, the buddy protocols win decisively.
+	p := baseParams()
+	for _, mult := range []float64{20, 100, 500} {
+		central := CentralizedOptimalWaste(p.M, p.D, p.R, mult*p.Delta)
+		for _, pr := range Protocols {
+			if w := OptimalWaste(pr, p, 0.5*p.R); w >= central {
+				t.Errorf("dump=%vδ: %s waste %v not better than centralized %v",
+					mult, pr, w, central)
+			}
+		}
+	}
+}

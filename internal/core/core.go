@@ -1,0 +1,110 @@
+// Package core implements the unified performance/risk model of
+// "Revisiting the double checkpointing algorithm" (Dongarra, Hérault,
+// Robert, APDCM 2013).
+//
+// The model covers peer-to-peer in-memory checkpointing protocols in
+// which platform nodes are organized in pairs (double checkpointing,
+// after Zheng/Shi/Kalé and Ni/Meneses/Kalé) or triples (the paper's new
+// triple checkpointing algorithm). For each protocol the package
+// computes:
+//
+//   - the fault-free waste WASTEff and the failure-induced waste
+//     WASTEfail = F/M (paper Eq. 4-5),
+//   - the expected time lost per failure F (paper Eq. 7, 8, 14),
+//   - the per-phase expected re-execution times RE1..RE3 (§III.A, §V.A),
+//   - the optimal checkpointing period (paper Eq. 9, 10, 15),
+//   - the risk window and the application success probability
+//     (paper Eq. 11, 12, 16).
+//
+// All durations are expressed in seconds and, per the paper's
+// convention, the application progresses at unit speed, so time units
+// and work units are interchangeable.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params holds the platform and protocol parameters of the unified
+// model (paper Table I plus the platform MTBF).
+//
+// The overhead parameter φ is deliberately not part of Params: the
+// paper sweeps φ between 0 and R for a fixed platform, so φ is an
+// argument of the evaluation functions instead.
+type Params struct {
+	// D is the downtime: the time to detect a failure and allocate a
+	// replacement node, in seconds.
+	D float64
+
+	// Delta (δ) is the duration of the blocking local checkpoint, in
+	// seconds. During δ no application work is performed.
+	Delta float64
+
+	// R is the base time to transfer one checkpoint image between
+	// buddies in fully blocking mode, in seconds. R equals θmin, and
+	// the paper also uses R as the recovery time (re-reception of the
+	// lost image after a failure).
+	R float64
+
+	// Alpha (α) is the overlap speedup factor: stretching the transfer
+	// from θmin to θmax = (1+α)θmin drives the overhead φ from R down
+	// to zero (paper §II).
+	Alpha float64
+
+	// N is the number of platform nodes, used for risk assessment.
+	N int
+
+	// M is the platform MTBF in seconds. The individual node MTBF is
+	// N*M and the per-node failure rate is λ = 1/(N*M).
+	M float64
+}
+
+// Validate reports an error if the parameters are outside the model's
+// domain.
+func (p Params) Validate() error {
+	switch {
+	case !(p.D >= 0) || math.IsInf(p.D, 0):
+		return fmt.Errorf("core: downtime D = %v must be finite and >= 0", p.D)
+	case !(p.Delta >= 0) || math.IsInf(p.Delta, 0):
+		return fmt.Errorf("core: local checkpoint time δ = %v must be finite and >= 0", p.Delta)
+	case !(p.R > 0) || math.IsInf(p.R, 0):
+		return fmt.Errorf("core: blocking transfer time R = %v must be finite and > 0", p.R)
+	case !(p.Alpha >= 0) || math.IsInf(p.Alpha, 0):
+		return fmt.Errorf("core: overlap factor α = %v must be finite and >= 0", p.Alpha)
+	case p.N < 2:
+		return fmt.Errorf("core: platform size n = %d must be at least 2", p.N)
+	case !(p.M > 0) || math.IsInf(p.M, 0):
+		return fmt.Errorf("core: platform MTBF M = %v must be finite and > 0", p.M)
+	}
+	return nil
+}
+
+// Lambda returns the instantaneous failure rate λ = 1/(nM) of an
+// individual processor (paper §III.C).
+func (p Params) Lambda() float64 { return 1 / (float64(p.N) * p.M) }
+
+// NodeMTBF returns the individual node MTBF, Mind = n*M.
+func (p Params) NodeMTBF() float64 { return float64(p.N) * p.M }
+
+// WithMTBF returns a copy of p with the platform MTBF set to m.
+func (p Params) WithMTBF(m float64) Params {
+	p.M = m
+	return p
+}
+
+// WithNodes returns a copy of p with the platform size set to n.
+func (p Params) WithNodes(n int) Params {
+	p.N = n
+	return p
+}
+
+// ErrPeriodTooSmall is returned when a period is too small to contain
+// the checkpointing phases of the protocol.
+var ErrPeriodTooSmall = errors.New("core: period smaller than the checkpointing phases")
+
+// ErrMTBFTooSmall is returned when the platform MTBF is so small that
+// the expected failure-induced loss exceeds the MTBF for every valid
+// period, i.e. the application cannot progress.
+var ErrMTBFTooSmall = errors.New("core: MTBF too small for the protocol to progress")

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// baseParams mirrors the paper's Base scenario (Table I) with M = 7h.
+func baseParams() Params {
+	return Params{D: 0, Delta: 2, R: 4, Alpha: 10, N: 324 * 32, M: 7 * 3600}
+}
+
+// exaParams mirrors the paper's Exa scenario (Table I) with M = 7h.
+func exaParams() Params {
+	return Params{D: 60, Delta: 30, R: 60, Alpha: 10, N: 1_000_000, M: 7 * 3600}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := baseParams().Validate(); err != nil {
+		t.Fatalf("Base params should validate: %v", err)
+	}
+	if err := exaParams().Validate(); err != nil {
+		t.Fatalf("Exa params should validate: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"negative D", func(p *Params) { p.D = -1 }},
+		{"NaN D", func(p *Params) { p.D = math.NaN() }},
+		{"negative delta", func(p *Params) { p.Delta = -0.5 }},
+		{"zero R", func(p *Params) { p.R = 0 }},
+		{"negative R", func(p *Params) { p.R = -3 }},
+		{"infinite R", func(p *Params) { p.R = math.Inf(1) }},
+		{"negative alpha", func(p *Params) { p.Alpha = -1 }},
+		{"one node", func(p *Params) { p.N = 1 }},
+		{"zero nodes", func(p *Params) { p.N = 0 }},
+		{"zero MTBF", func(p *Params) { p.M = 0 }},
+		{"NaN MTBF", func(p *Params) { p.M = math.NaN() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := baseParams()
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("expected validation error for %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestLambda(t *testing.T) {
+	p := baseParams()
+	want := 1 / (float64(p.N) * p.M)
+	if got := p.Lambda(); got != want {
+		t.Fatalf("Lambda = %g, want %g", got, want)
+	}
+	if got := p.NodeMTBF(); got != float64(p.N)*p.M {
+		t.Fatalf("NodeMTBF = %g, want %g", got, float64(p.N)*p.M)
+	}
+	// λ·NodeMTBF must be exactly 1 up to rounding.
+	if prod := p.Lambda() * p.NodeMTBF(); math.Abs(prod-1) > 1e-12 {
+		t.Fatalf("Lambda*NodeMTBF = %g, want 1", prod)
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	p := baseParams()
+	q := p.WithMTBF(60)
+	if q.M != 60 || p.M != 7*3600 {
+		t.Fatalf("WithMTBF must copy: q.M=%v p.M=%v", q.M, p.M)
+	}
+	r := p.WithNodes(12)
+	if r.N != 12 || p.N != 324*32 {
+		t.Fatalf("WithNodes must copy: r.N=%v p.N=%v", r.N, p.N)
+	}
+}
+
+func TestProtocolProperties(t *testing.T) {
+	if len(Protocols) != numProtocols {
+		t.Fatalf("Protocols lists %d entries, want %d", len(Protocols), numProtocols)
+	}
+	wantNames := map[Protocol]string{
+		DoubleBlocking: "DoubleBlocking",
+		DoubleNBL:      "DoubleNBL",
+		DoubleBoF:      "DoubleBoF",
+		TripleNBL:      "Triple",
+		TripleBoF:      "TripleBoF",
+	}
+	for pr, name := range wantNames {
+		if pr.String() != name {
+			t.Errorf("%v.String() = %q, want %q", int(pr), pr.String(), name)
+		}
+		if !pr.Valid() {
+			t.Errorf("%s should be valid", name)
+		}
+	}
+	if Protocol(99).Valid() {
+		t.Error("Protocol(99) should be invalid")
+	}
+	if got := Protocol(99).String(); got != "Protocol(99)" {
+		t.Errorf("invalid protocol String = %q", got)
+	}
+	for _, pr := range []Protocol{DoubleBlocking, DoubleNBL, DoubleBoF} {
+		if pr.GroupSize() != 2 || !pr.IsDouble() || pr.IsTriple() {
+			t.Errorf("%s should be a pair protocol", pr)
+		}
+	}
+	for _, pr := range []Protocol{TripleNBL, TripleBoF} {
+		if pr.GroupSize() != 3 || pr.IsDouble() || !pr.IsTriple() {
+			t.Errorf("%s should be a triple protocol", pr)
+		}
+	}
+	blocking := map[Protocol]bool{
+		DoubleBlocking: true, DoubleBoF: true, TripleBoF: true,
+		DoubleNBL: false, TripleNBL: false,
+	}
+	for pr, want := range blocking {
+		if pr.BlocksOnFailure() != want {
+			t.Errorf("%s.BlocksOnFailure() = %v, want %v", pr, pr.BlocksOnFailure(), want)
+		}
+	}
+}
+
+func TestDoubleBlockingPinsPhi(t *testing.T) {
+	p := baseParams()
+	// Whatever φ is requested, DoubleBlocking behaves as φ = R, θ = R.
+	for _, phi := range []float64{0, 1, 2.5, 4} {
+		ev := Evaluate(DoubleBlocking, p, phi)
+		if ev.Phi != p.R {
+			t.Fatalf("DoubleBlocking effective φ = %v, want R = %v", ev.Phi, p.R)
+		}
+		if ev.Theta != p.R {
+			t.Fatalf("DoubleBlocking θ = %v, want R = %v", ev.Theta, p.R)
+		}
+	}
+	// And it must coincide with DoubleNBL at φ = R.
+	evB := Evaluate(DoubleBlocking, p, 0)
+	evN := Evaluate(DoubleNBL, p, p.R)
+	if math.Abs(evB.Waste-evN.Waste) > 1e-12 {
+		t.Fatalf("DoubleBlocking waste %v != DoubleNBL(φ=R) waste %v", evB.Waste, evN.Waste)
+	}
+}

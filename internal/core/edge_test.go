@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBoFREPhases checks the blocking-on-failure re-execution times:
+// the overlap overhead φ is removed per re-sent image (the blocking
+// retransmissions are accounted in the recovery term instead).
+func TestBoFREPhases(t *testing.T) {
+	p := baseParams()
+	phi, period := 1.0, 200.0
+
+	nbl, err := REPhases(DoubleNBL, p, phi, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bof, err := REPhases(DoubleBoF, p, phi, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nbl {
+		if math.Abs(bof[i]-(nbl[i]-phi)) > 1e-9 {
+			t.Errorf("double RE%d: bof %v, want nbl-φ = %v", i+1, bof[i], nbl[i]-phi)
+		}
+	}
+
+	tn, err := REPhases(TripleNBL, p, phi, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := REPhases(TripleBoF, p, phi, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tn {
+		if math.Abs(tb[i]-(tn[i]-2*phi)) > 1e-9 {
+			t.Errorf("triple RE%d: bof %v, want nbl-2φ = %v", i+1, tb[i], tn[i]-2*phi)
+		}
+	}
+}
+
+// TestAlphaZeroDegeneratesToBlocking: with no overlap capability the
+// non-blocking protocols pay full overhead at any φ request... more
+// precisely, θ(φ) = R for every φ, so the only consistent operating
+// point is φ = R and DoubleNBL collapses onto DoubleBlocking.
+func TestAlphaZeroDegeneratesToBlocking(t *testing.T) {
+	p := baseParams()
+	p.Alpha = 0
+	evN := Evaluate(DoubleNBL, p, p.R)
+	evB := Evaluate(DoubleBlocking, p, 0)
+	if math.Abs(evN.Waste-evB.Waste) > 1e-12 {
+		t.Fatalf("α=0: DoubleNBL waste %v != DoubleBlocking %v", evN.Waste, evB.Waste)
+	}
+	if evN.Theta != p.R {
+		t.Fatalf("α=0: θ = %v, want R", evN.Theta)
+	}
+}
+
+// TestEvaluatePhiEndpoints exercises both ends of the overhead range.
+func TestEvaluatePhiEndpoints(t *testing.T) {
+	p := exaParams()
+	for _, pr := range Protocols {
+		for _, phi := range []float64{0, p.R} {
+			ev := Evaluate(pr, p, phi)
+			if !ev.Feasible {
+				t.Errorf("%s at φ=%v infeasible", pr, phi)
+			}
+			if ev.Waste <= 0 || ev.Waste >= 1 {
+				t.Errorf("%s at φ=%v: waste %v", pr, phi, ev.Waste)
+			}
+		}
+	}
+	// φ = 0 with Triple: the checkpointing is free and the waste is
+	// purely failure-induced.
+	ev := Evaluate(TripleNBL, p, 0)
+	if ev.WasteFF != 0 {
+		t.Errorf("Triple at φ=0: WASTEff = %v, want 0", ev.WasteFF)
+	}
+	if math.Abs(ev.Waste-ev.WasteRE) > 1e-12 {
+		t.Errorf("Triple at φ=0: waste %v != failure waste %v", ev.Waste, ev.WasteRE)
+	}
+}
+
+// TestWasteFailClamp: F beyond M saturates the failure waste at 1.
+func TestWasteFailClamp(t *testing.T) {
+	p := baseParams().WithMTBF(30)
+	if got := WasteFail(DoubleNBL, p, 0, 1000); got != 1 {
+		t.Fatalf("WasteFail = %v, want 1", got)
+	}
+}
+
+// TestFailureLossGrowsWithPeriod: dF/dP = 1/2 for every protocol.
+func TestFailureLossGrowsWithPeriod(t *testing.T) {
+	p := baseParams()
+	for _, pr := range Protocols {
+		f1 := FailureLoss(pr, p, 1, 100)
+		f2 := FailureLoss(pr, p, 1, 300)
+		if math.Abs((f2-f1)-100) > 1e-9 {
+			t.Errorf("%s: F(300)-F(100) = %v, want 100 (P/2 term)", pr, f2-f1)
+		}
+	}
+}
+
+// TestRiskOrderingAcrossProtocols: for φ < R the windows order as
+// BoF < Blocking? No: Blocking and BoF share D+2R; the NBL variants
+// trade risk for overlap. Assert the full ordering the model implies.
+func TestRiskOrderingAcrossProtocols(t *testing.T) {
+	p := exaParams()
+	phi := 0.2 * p.R
+	bof := RiskWindow(DoubleBoF, p, phi)
+	blocking := RiskWindow(DoubleBlocking, p, phi)
+	nbl := RiskWindow(DoubleNBL, p, phi)
+	tbof := RiskWindow(TripleBoF, p, phi)
+	tnbl := RiskWindow(TripleNBL, p, phi)
+	if bof != blocking {
+		t.Errorf("BoF %v != Blocking %v (both D+2R)", bof, blocking)
+	}
+	if !(bof < nbl && nbl < tnbl) {
+		t.Errorf("ordering broken: bof %v, nbl %v, triple-nbl %v", bof, nbl, tnbl)
+	}
+	if !(tbof > bof && tbof < tnbl) {
+		t.Errorf("TripleBoF %v should sit between %v and %v", tbof, bof, tnbl)
+	}
+}
+
+// TestWorkNonNegativeAtMinPeriod: the minimum period always leaves
+// non-negative work for every protocol and φ.
+func TestWorkNonNegativeAtMinPeriod(t *testing.T) {
+	for _, p := range []Params{baseParams(), exaParams()} {
+		for _, pr := range Protocols {
+			for _, frac := range []float64{0, 0.5, 1} {
+				phi := frac * p.R
+				minP := MinPeriod(pr, p, phi)
+				if w := Work(pr, p, phi, minP); w < -1e-9 {
+					t.Errorf("%s/%s φ=%v: W(minP) = %v", p.short(), pr, phi, w)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import "fmt"
+
+// The overlap model (paper §II) interpolates the cost of the remote
+// checkpoint exchange between two extremes:
+//
+//   - θ = θmin = R: the transfer runs at full network speed, no
+//     computation can proceed concurrently, the overhead is φ = R;
+//   - θ = θmax = (1+α)θmin: the transfer is stretched enough to hide
+//     entirely behind computation, the overhead is φ = 0.
+//
+// Between the extremes the paper uses the linear interpolation
+//
+//	θ(φ) = θmin + α(θmin − φ).
+
+// ThetaMin returns θmin, the smallest possible duration of the remote
+// exchange (fully blocking). It equals R.
+func (p Params) ThetaMin() float64 { return p.R }
+
+// ThetaMax returns θmax = (1+α)θmin, the exchange duration at which
+// the transfer is fully overlapped with computation (φ = 0).
+func (p Params) ThetaMax() float64 { return (1 + p.Alpha) * p.R }
+
+// Theta returns the duration θ(φ) of the remote exchange for overhead
+// φ ∈ [0, R]: θ(φ) = θmin + α(θmin − φ).
+func (p Params) Theta(phi float64) float64 {
+	return p.R + p.Alpha*(p.R-phi)
+}
+
+// PhiForTheta inverts the overlap model: it returns the overhead φ
+// incurred when the exchange is stretched to duration θ ∈ [θmin, θmax].
+// For α = 0 the transfer cannot be stretched and φ = R for any θ.
+func (p Params) PhiForTheta(theta float64) float64 {
+	if p.Alpha == 0 {
+		return p.R
+	}
+	phi := p.R - (theta-p.R)/p.Alpha
+	switch {
+	case phi < 0:
+		return 0
+	case phi > p.R:
+		return p.R
+	}
+	return phi
+}
+
+// CheckPhi reports an error if φ is outside [0, R], the domain of the
+// overlap model.
+func (p Params) CheckPhi(phi float64) error {
+	if phi < 0 || phi > p.R {
+		return fmt.Errorf("core: overhead φ = %v outside [0, R = %v]", phi, p.R)
+	}
+	return nil
+}
+
+// ExchangeRate returns the rate at which application work progresses
+// during a remote exchange of duration θ(φ), namely (θ−φ)/θ. It is 0
+// in fully blocking mode and approaches 1 under full overlap.
+func (p Params) ExchangeRate(phi float64) float64 {
+	theta := p.Theta(phi)
+	if theta <= 0 {
+		return 0
+	}
+	return (theta - phi) / theta
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThetaEndpoints(t *testing.T) {
+	p := baseParams()
+	if got := p.Theta(p.R); got != p.R {
+		t.Fatalf("θ(R) = %v, want θmin = R = %v", got, p.R)
+	}
+	if got := p.Theta(0); got != (1+p.Alpha)*p.R {
+		t.Fatalf("θ(0) = %v, want θmax = (1+α)R = %v", got, (1+p.Alpha)*p.R)
+	}
+	if p.ThetaMin() != p.R {
+		t.Fatalf("ThetaMin = %v, want %v", p.ThetaMin(), p.R)
+	}
+	if p.ThetaMax() != (1+p.Alpha)*p.R {
+		t.Fatalf("ThetaMax = %v, want %v", p.ThetaMax(), (1+p.Alpha)*p.R)
+	}
+}
+
+func TestThetaPhiInverse(t *testing.T) {
+	p := baseParams()
+	for _, phi := range []float64{0, 0.5, 1, 2, 3.99, 4} {
+		back := p.PhiForTheta(p.Theta(phi))
+		if math.Abs(back-phi) > 1e-12 {
+			t.Errorf("PhiForTheta(Theta(%v)) = %v", phi, back)
+		}
+	}
+	// Out-of-range θ values clamp φ to [0, R].
+	if got := p.PhiForTheta(p.ThetaMax() + 100); got != 0 {
+		t.Errorf("φ for θ beyond θmax = %v, want 0", got)
+	}
+	if got := p.PhiForTheta(p.ThetaMin() - 1); got != p.R {
+		t.Errorf("φ for θ below θmin = %v, want R", got)
+	}
+}
+
+func TestPhiForThetaAlphaZero(t *testing.T) {
+	p := baseParams()
+	p.Alpha = 0
+	// With no overlap capability, any transfer is fully blocking.
+	for _, theta := range []float64{p.R, 2 * p.R, 100} {
+		if got := p.PhiForTheta(theta); got != p.R {
+			t.Errorf("α=0: PhiForTheta(%v) = %v, want R", theta, got)
+		}
+	}
+	if p.ThetaMax() != p.ThetaMin() {
+		t.Errorf("α=0: θmax = %v should equal θmin = %v", p.ThetaMax(), p.ThetaMin())
+	}
+}
+
+func TestCheckPhi(t *testing.T) {
+	p := baseParams()
+	for _, phi := range []float64{0, 2, 4} {
+		if err := p.CheckPhi(phi); err != nil {
+			t.Errorf("CheckPhi(%v) = %v, want nil", phi, err)
+		}
+	}
+	for _, phi := range []float64{-0.1, 4.01, 100} {
+		if err := p.CheckPhi(phi); err == nil {
+			t.Errorf("CheckPhi(%v) should fail", phi)
+		}
+	}
+}
+
+func TestExchangeRate(t *testing.T) {
+	p := baseParams()
+	if got := p.ExchangeRate(p.R); got != 0 {
+		t.Errorf("fully blocking exchange rate = %v, want 0", got)
+	}
+	if got := p.ExchangeRate(0); got != 1 {
+		t.Errorf("fully overlapped exchange rate = %v, want 1", got)
+	}
+	// The rate must be monotone decreasing in φ.
+	prev := 2.0
+	for _, phi := range []float64{0, 1, 2, 3, 4} {
+		r := p.ExchangeRate(phi)
+		if r > prev {
+			t.Fatalf("exchange rate not decreasing at φ=%v: %v > %v", phi, r, prev)
+		}
+		prev = r
+	}
+}
+
+// quickPhi maps an arbitrary float into the valid φ domain [0, R].
+func quickPhi(p Params, raw float64) float64 {
+	if math.IsNaN(raw) || math.IsInf(raw, 0) {
+		return 0
+	}
+	frac := math.Abs(raw) - math.Floor(math.Abs(raw))
+	return frac * p.R
+}
+
+func TestThetaPhiRoundTripProperty(t *testing.T) {
+	p := baseParams()
+	f := func(raw float64) bool {
+		phi := quickPhi(p, raw)
+		theta := p.Theta(phi)
+		if theta < p.ThetaMin()-1e-9 || theta > p.ThetaMax()+1e-9 {
+			return false
+		}
+		return math.Abs(p.PhiForTheta(theta)-phi) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThetaMonotoneProperty(t *testing.T) {
+	// θ(φ) is strictly decreasing in φ for α > 0: stretching the
+	// transfer is what buys the overhead down.
+	p := exaParams()
+	f := func(rawA, rawB float64) bool {
+		a, b := quickPhi(p, rawA), quickPhi(p, rawB)
+		if a == b {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return p.Theta(a) > p.Theta(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import "math"
+
+// periodCoefficients returns the constants (C, A) such that the total
+// waste for period P is, to first order,
+//
+//	WASTE(P) ≈ C/P + (A + P/2)/M − (A + P/2)·C/(M·P)
+//
+// where C is the fault-free loss per period (δ+φ for double, 2φ for
+// triple) and A = F − P/2 is the period-independent part of the
+// failure loss. Setting dWASTE/dP = 0 yields P² = 2C(M−A), which is
+// exactly the paper's Eq. 9, 10 and 15.
+func periodCoefficients(pr Protocol, p Params, phi float64) (c, a float64) {
+	phi = pr.effectivePhi(p, phi)
+	theta := p.Theta(phi)
+	if pr.IsTriple() {
+		c = 2 * phi
+	} else {
+		c = p.Delta + phi
+	}
+	a = p.D + p.R + theta
+	switch pr {
+	case DoubleBoF:
+		a += p.R - phi
+	case TripleBoF:
+		a += 2 * (p.R - phi)
+	}
+	return c, a
+}
+
+// OptimalPeriod returns the period length minimizing the total waste:
+//
+//	DoubleNBL: √(2(δ+φ)(M − R − D − θ))          (paper Eq. 9)
+//	DoubleBoF: √(2(δ+φ)(M − 2R − D − θ + φ))     (paper Eq. 10)
+//	Triple:    2√(φ(M − D − R − θ))              (paper Eq. 15)
+//
+// The closed form is clamped from below to MinPeriod (σ ≥ 0); the
+// clamp matters for the triple protocols when φ → 0, where checkpoints
+// are free and the model drives the period to its minimum. It returns
+// ErrMTBFTooSmall when M ≤ A, in which case no period allows progress
+// and the returned period is MinPeriod.
+func OptimalPeriod(pr Protocol, p Params, phi float64) (float64, error) {
+	c, a := periodCoefficients(pr, p, phi)
+	minP := MinPeriod(pr, p, phi)
+	if p.M <= a {
+		return minP, ErrMTBFTooSmall
+	}
+	period := math.Sqrt(2 * c * (p.M - a))
+	if period < minP {
+		period = minP
+	}
+	return period, nil
+}
+
+// OptimalWaste returns the waste at the optimal period. When the MTBF
+// is too small for the protocol to progress it returns 1.
+func OptimalWaste(pr Protocol, p Params, phi float64) float64 {
+	period, err := OptimalPeriod(pr, p, phi)
+	if err != nil {
+		return 1
+	}
+	w, err := Waste(pr, p, phi, period)
+	if err != nil {
+		return 1
+	}
+	return w
+}
+
+// Evaluation bundles every model output at the waste-optimal period
+// for one (protocol, platform, φ) point. It is the unit the experiment
+// harness sweeps over.
+type Evaluation struct {
+	Protocol Protocol
+	Params   Params
+	Phi      float64 // overhead φ actually used (R for DoubleBlocking)
+	Theta    float64 // exchange duration θ(φ)
+	Period   float64 // waste-optimal period P
+	Sigma    float64 // full-speed phase σ = P − checkpointing phases
+	WasteFF  float64 // fault-free waste
+	WasteRE  float64 // failure-induced waste F/M
+	Waste    float64 // total waste (Eq. 5)
+	Loss     float64 // expected time lost per failure F
+	Risk     float64 // risk-window length
+	Feasible bool    // false when M is too small for any progress
+}
+
+// Evaluate computes the full model at the optimal period. Infeasible
+// points (M ≤ A) are returned with Waste = 1 and Feasible = false
+// rather than an error, because the paper's waste surfaces include the
+// saturated region (M → 15 s).
+func Evaluate(pr Protocol, p Params, phi float64) Evaluation {
+	phi = pr.effectivePhi(p, phi)
+	ev := Evaluation{
+		Protocol: pr,
+		Params:   p,
+		Phi:      phi,
+		Theta:    p.Theta(phi),
+		Risk:     RiskWindow(pr, p, phi),
+	}
+	period, err := OptimalPeriod(pr, p, phi)
+	ev.Period = period
+	if err != nil {
+		ev.Waste = 1
+		ev.WasteFF = WasteFF(pr, p, phi, period)
+		ev.WasteRE = 1
+		ev.Loss = FailureLoss(pr, p, phi, period)
+		return ev
+	}
+	ph, perr := PeriodPhases(pr, p, phi, period)
+	if perr == nil {
+		ev.Sigma = ph.Compute
+	}
+	ev.Feasible = true
+	ev.WasteFF = WasteFF(pr, p, phi, period)
+	ev.WasteRE = WasteFail(pr, p, phi, period)
+	ev.Loss = FailureLoss(pr, p, phi, period)
+	w, werr := Waste(pr, p, phi, period)
+	if werr != nil {
+		w = 1
+		ev.Feasible = false
+	}
+	ev.Waste = w
+	if w >= 1 {
+		ev.Feasible = false
+	}
+	return ev
+}

@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// Protocol identifies one of the peer-to-peer in-memory checkpointing
+// protocols analyzed by the paper.
+type Protocol int
+
+const (
+	// DoubleBlocking is the original buddy algorithm of Zheng, Shi and
+	// Kalé (FTC-Charm++, Cluster 2004): the remote exchange is fully
+	// blocking, which pins φ = R and θ = θmin = R. It is the special
+	// case φ/R = 1 of DoubleNBL and serves as the paper's historical
+	// baseline.
+	DoubleBlocking Protocol = iota
+
+	// DoubleNBL is the non-blocking ("semi-blocking") double
+	// checkpointing algorithm of Ni, Meneses and Kalé (Cluster 2012):
+	// the remote exchange overlaps with computation, and after a
+	// failure the buddy's image is re-sent in overlapped mode too,
+	// leaving a long risk window D+R+θ.
+	DoubleNBL
+
+	// DoubleBoF (Blocking on Failure) is the paper's new double
+	// variant: regular periods are non-blocking like DoubleNBL, but
+	// after a failure both images are re-sent at full speed (time R
+	// each, no overlap), shrinking the risk window to D+2R at the
+	// price of a higher per-failure overhead.
+	DoubleBoF
+
+	// TripleNBL is the paper's new triple checkpointing algorithm:
+	// nodes form triples with a preferred and a secondary buddy; a
+	// copy-on-write fork replaces the blocking local checkpoint, so
+	// the period is 2θ+σ with fault-free waste 2φ/P. After a failure
+	// the two buddy images are re-sent in overlapped mode
+	// (risk window D+R+2θ).
+	TripleNBL
+
+	// TripleBoF is the blocking-on-failure triple variant sketched
+	// (but not analyzed) in §IV of the paper: after a failure all
+	// three messages are sent at full speed, for a risk window of
+	// D+3R. The loss formula F = Ftri + 2(R-φ) is our extrapolation
+	// of the DoubleBoF correction (see DESIGN.md).
+	TripleBoF
+
+	numProtocols int = iota
+)
+
+// Protocols lists every protocol in declaration order. It is the set
+// iterated by the experiment harness.
+var Protocols = []Protocol{DoubleBlocking, DoubleNBL, DoubleBoF, TripleNBL, TripleBoF}
+
+// String returns the protocol name used throughout the paper's figures.
+func (pr Protocol) String() string {
+	switch pr {
+	case DoubleBlocking:
+		return "DoubleBlocking"
+	case DoubleNBL:
+		return "DoubleNBL"
+	case DoubleBoF:
+		return "DoubleBoF"
+	case TripleNBL:
+		return "Triple"
+	case TripleBoF:
+		return "TripleBoF"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(pr))
+	}
+}
+
+// Valid reports whether pr is a defined protocol.
+func (pr Protocol) Valid() bool { return pr >= 0 && int(pr) < numProtocols }
+
+// GroupSize returns the number of nodes per buddy group: 2 for the
+// double protocols, 3 for the triple protocols.
+func (pr Protocol) GroupSize() int {
+	if pr.IsTriple() {
+		return 3
+	}
+	return 2
+}
+
+// IsTriple reports whether pr organizes nodes in triples.
+func (pr Protocol) IsTriple() bool { return pr == TripleNBL || pr == TripleBoF }
+
+// IsDouble reports whether pr organizes nodes in pairs.
+func (pr Protocol) IsDouble() bool { return pr.Valid() && !pr.IsTriple() }
+
+// BlocksOnFailure reports whether the protocol re-sends the surviving
+// checkpoint images at full speed (blocking) after a failure.
+// DoubleBlocking re-sends in time θ = R which is both "blocking" and
+// "regular speed"; the model treats it as blocking on failure.
+func (pr Protocol) BlocksOnFailure() bool {
+	return pr == DoubleBlocking || pr == DoubleBoF || pr == TripleBoF
+}
+
+// effectivePhi returns the overhead actually used by the protocol for
+// a requested φ: DoubleBlocking pins φ = R regardless of the request.
+func (pr Protocol) effectivePhi(p Params, phi float64) float64 {
+	if pr == DoubleBlocking {
+		return p.R
+	}
+	return phi
+}
+
+// EffectivePhi returns the overhead the protocol actually uses for a
+// requested φ. It differs from the request only for DoubleBlocking,
+// which pins φ = R (its exchange is always fully blocking).
+func EffectivePhi(pr Protocol, p Params, phi float64) float64 {
+	return pr.effectivePhi(p, phi)
+}

@@ -1,0 +1,94 @@
+package core
+
+import "math"
+
+// RiskWindow returns the length of the risk period that follows a
+// failure: the time during which a further failure striking the
+// surviving image holder(s) is fatal to the application (paper §III.C
+// and §V.C):
+//
+//	DoubleNBL:      D + R + θ
+//	DoubleBoF:      D + 2R
+//	DoubleBlocking: D + 2R   (θ = R under full blocking)
+//	TripleNBL:      D + R + 2θ
+//	TripleBoF:      D + 3R
+func RiskWindow(pr Protocol, p Params, phi float64) float64 {
+	phi = pr.effectivePhi(p, phi)
+	theta := p.Theta(phi)
+	switch pr {
+	case DoubleNBL:
+		return p.D + p.R + theta
+	case DoubleBlocking, DoubleBoF:
+		return p.D + 2*p.R
+	case TripleNBL:
+		return p.D + p.R + 2*theta
+	case TripleBoF:
+		return p.D + 3*p.R
+	}
+	return math.NaN()
+}
+
+// SuccessProbability returns the probability that an application (or
+// platform exploitation) of duration t completes without a fatal
+// failure:
+//
+//	double protocols: (1 − 2λ²·t·Risk)^(n/2)      (paper Eq. 11)
+//	triple protocols: (1 − 6λ³·t·Risk²)^(n/3)     (paper Eq. 16)
+//
+// with λ = 1/(nM). The per-group fatality probability is clamped to
+// [0, 1]; the power is computed as exp(k·log1p(−x)) for numerical
+// stability with n up to 10⁶ and x down to 10⁻²⁰.
+func SuccessProbability(pr Protocol, p Params, phi, t float64) float64 {
+	risk := RiskWindow(pr, p, phi)
+	lambda := p.Lambda()
+	var x, groups float64
+	if pr.IsTriple() {
+		x = 6 * lambda * lambda * lambda * t * risk * risk
+		groups = float64(p.N) / 3
+	} else {
+		x = 2 * lambda * lambda * t * risk
+		groups = float64(p.N) / 2
+	}
+	return groupSurvival(x, groups)
+}
+
+// FatalFailureProbability returns 1 − SuccessProbability.
+func FatalFailureProbability(pr Protocol, p Params, phi, t float64) float64 {
+	return 1 - SuccessProbability(pr, p, phi, t)
+}
+
+// BaseSuccessProbability returns the probability that the application
+// succeeds with no checkpointing at all: Pbase = (1 − λ·Tbase)^n
+// (paper Eq. 12). Any single failure is then fatal.
+func BaseSuccessProbability(p Params, tbase float64) float64 {
+	return groupSurvival(p.Lambda()*tbase, float64(p.N))
+}
+
+// RunsTolerated returns the expected number of executions of duration
+// t the platform can run before the first fatal failure, 1/(1−P).
+// The paper uses this to state that Triple "is able to tolerate twice
+// more runs without incurring a fatal failure" than DoubleNBL. It
+// returns +Inf when the success probability is 1 to working precision.
+func RunsTolerated(pr Protocol, p Params, phi, t float64) float64 {
+	q := FatalFailureProbability(pr, p, phi, t)
+	if q <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / q
+}
+
+// groupSurvival computes (1−x)^groups with clamping and log1p-based
+// stability: the per-group fatality x is often ~1e-15 while groups is
+// ~1e6, where naive Pow loses all precision.
+func groupSurvival(x, groups float64) float64 {
+	if groups <= 0 {
+		return 1
+	}
+	switch {
+	case x <= 0:
+		return 1
+	case x >= 1:
+		return 0
+	}
+	return math.Exp(groups * math.Log1p(-x))
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRiskWindows(t *testing.T) {
+	p := baseParams()
+	phi := 1.0
+	theta := p.Theta(phi)
+	cases := []struct {
+		pr   Protocol
+		want float64
+	}{
+		{DoubleNBL, p.D + p.R + theta},
+		{DoubleBoF, p.D + 2*p.R},
+		{DoubleBlocking, p.D + 2*p.R},
+		{TripleNBL, p.D + p.R + 2*theta},
+		{TripleBoF, p.D + 3*p.R},
+	}
+	for _, tc := range cases {
+		if got := RiskWindow(tc.pr, p, phi); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s risk window = %v, want %v", tc.pr, got, tc.want)
+		}
+	}
+	if !math.IsNaN(RiskWindow(Protocol(99), p, phi)) {
+		t.Error("invalid protocol risk window should be NaN")
+	}
+}
+
+func TestBoFShrinksRisk(t *testing.T) {
+	// Blocking on failure exists precisely to shrink the risk window;
+	// strictly so whenever θ > R (i.e. φ < R).
+	for _, p := range []Params{baseParams(), exaParams()} {
+		for _, frac := range []float64{0, 0.25, 0.5, 0.9} {
+			phi := frac * p.R
+			if RiskWindow(DoubleBoF, p, phi) >= RiskWindow(DoubleNBL, p, phi) {
+				t.Errorf("%s φ/R=%v: BoF risk not smaller", p.short(), frac)
+			}
+			if RiskWindow(TripleBoF, p, phi) >= RiskWindow(TripleNBL, p, phi) {
+				t.Errorf("%s φ/R=%v: TripleBoF risk not smaller", p.short(), frac)
+			}
+		}
+	}
+}
+
+func TestSuccessProbabilityFormulas(t *testing.T) {
+	// Cross-check Eq. 11/16 against a direct small-n computation where
+	// Pow is still accurate.
+	p := baseParams().WithNodes(6).WithMTBF(24 * 3600)
+	phi := 0.0
+	tlife := 3600.0 * 24
+	lambda := p.Lambda()
+
+	risk := RiskWindow(DoubleNBL, p, phi)
+	want := math.Pow(1-2*lambda*lambda*tlife*risk, float64(p.N)/2)
+	if got := SuccessProbability(DoubleNBL, p, phi, tlife); math.Abs(got-want) > 1e-9 {
+		t.Errorf("double success = %v, want Eq.11 = %v", got, want)
+	}
+
+	risk = RiskWindow(TripleNBL, p, phi)
+	want = math.Pow(1-6*lambda*lambda*lambda*tlife*risk*risk, float64(p.N)/3)
+	if got := SuccessProbability(TripleNBL, p, phi, tlife); math.Abs(got-want) > 1e-9 {
+		t.Errorf("triple success = %v, want Eq.16 = %v", got, want)
+	}
+
+	want = math.Pow(1-lambda*tlife, float64(p.N))
+	if got := BaseSuccessProbability(p, tlife); math.Abs(got-want) > 1e-9 {
+		t.Errorf("base success = %v, want Eq.12 = %v", got, want)
+	}
+}
+
+func TestSuccessProbabilityBounds(t *testing.T) {
+	p := exaParams()
+	for _, pr := range Protocols {
+		for _, tlife := range []float64{0, 3600, 1e9, 1e15} {
+			got := SuccessProbability(pr, p, 0, tlife)
+			if got < 0 || got > 1 || math.IsNaN(got) {
+				t.Errorf("%s t=%v: success = %v outside [0,1]", pr, tlife, got)
+			}
+		}
+		if got := SuccessProbability(pr, p, 0, 0); got != 1 {
+			t.Errorf("%s: success at t=0 = %v, want 1", pr, got)
+		}
+	}
+	// Fatality clamp: ridiculous risk drives success to 0, not negative.
+	tiny := Params{D: 0, Delta: 1, R: 1e6, Alpha: 0, N: 2, M: 1e-3}
+	if got := SuccessProbability(DoubleNBL, tiny, 0, 1e12); got != 0 {
+		t.Errorf("saturated success = %v, want 0", got)
+	}
+}
+
+func TestSuccessProbabilityNumericalStability(t *testing.T) {
+	// Exascale regime: per-group fatality ~1e-15, one million nodes.
+	// The log1p path must not collapse to exactly 1.
+	p := exaParams().WithMTBF(Hour())
+	tlife := 30.0 * 24 * 3600
+	got := SuccessProbability(DoubleNBL, p, 0, tlife)
+	if got <= 0 || got >= 1 {
+		t.Fatalf("exascale success = %v, want in (0,1)", got)
+	}
+	naive := math.Pow(1-2*p.Lambda()*p.Lambda()*tlife*RiskWindow(DoubleNBL, p, 0), float64(p.N)/2)
+	if math.Abs(got-naive) > 1e-6 {
+		t.Fatalf("stable %v vs naive %v differ too much", got, naive)
+	}
+}
+
+func Hour() float64 { return 3600 }
+
+func TestSuccessMonotoneInLifeProperty(t *testing.T) {
+	p := baseParams().WithMTBF(60)
+	f := func(raw1, raw2 float64) bool {
+		t1 := math.Mod(math.Abs(raw1), 1e7)
+		t2 := math.Mod(math.Abs(raw2), 1e7)
+		if math.IsNaN(t1) || math.IsNaN(t2) {
+			return true
+		}
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		for _, pr := range Protocols {
+			if SuccessProbability(pr, p, 0, t2) > SuccessProbability(pr, p, 0, t1)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTripleDominatesRisk reproduces the paper's central risk claim
+// (Fig. 6b/9b): the triple algorithm's success probability dominates
+// both double protocols even with its largest possible risk window
+// θ = (α+1)R (φ = 0).
+func TestTripleDominatesRisk(t *testing.T) {
+	for _, p := range []Params{baseParams(), exaParams()} {
+		for _, m := range []float64{30, 60, 300, 1800} {
+			q := p.WithMTBF(m)
+			for _, tlife := range []float64{24 * 3600, 10 * 24 * 3600, 30 * 24 * 3600} {
+				tri := SuccessProbability(TripleNBL, q, 0, tlife)
+				nbl := SuccessProbability(DoubleNBL, q, 0, tlife)
+				bof := SuccessProbability(DoubleBoF, q, 0, tlife)
+				if tri < nbl-1e-15 || tri < bof-1e-15 {
+					t.Errorf("%s M=%v t=%v: triple %v not dominating nbl %v / bof %v",
+						q.short(), m, tlife, tri, nbl, bof)
+				}
+				if bof < nbl-1e-15 {
+					t.Errorf("%s M=%v t=%v: BoF %v should be at least as safe as NBL %v",
+						q.short(), m, tlife, bof, nbl)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointingBeatsNoCheckpointing(t *testing.T) {
+	// Any buddy protocol must beat running with no checkpoints at all
+	// for a long execution: Pbase decays with λT, the pairs with λ²T.
+	p := baseParams().WithMTBF(600)
+	tlife := 7.0 * 24 * 3600
+	pbase := BaseSuccessProbability(p, tlife)
+	for _, pr := range Protocols {
+		if got := SuccessProbability(pr, p, 0, tlife); got <= pbase {
+			t.Errorf("%s success %v should beat no-checkpoint %v", pr, got, pbase)
+		}
+	}
+}
+
+func TestRunsTolerated(t *testing.T) {
+	p := baseParams().WithMTBF(60)
+	tlife := 24.0 * 3600
+	nbl := RunsTolerated(DoubleNBL, p, 0, tlife)
+	tri := RunsTolerated(TripleNBL, p, 0, tlife)
+	if !(tri > 2*nbl) {
+		t.Errorf("triple runs tolerated %v, want > 2x double %v (paper §VI.A)", tri, nbl)
+	}
+	if got := RunsTolerated(DoubleNBL, p, 0, 0); !math.IsInf(got, 1) {
+		t.Errorf("runs tolerated at t=0 = %v, want +Inf", got)
+	}
+}
+
+func TestGroupSurvivalEdges(t *testing.T) {
+	if got := groupSurvival(0.5, 0); got != 1 {
+		t.Errorf("zero groups survival = %v, want 1", got)
+	}
+	if got := groupSurvival(-0.1, 10); got != 1 {
+		t.Errorf("negative fatality survival = %v, want 1", got)
+	}
+	if got := groupSurvival(1, 10); got != 0 {
+		t.Errorf("certain fatality survival = %v, want 0", got)
+	}
+	if got := groupSurvival(0.5, 2); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("survival(0.5, 2) = %v, want 0.25", got)
+	}
+}
+
+func TestFatalFailureProbabilityComplement(t *testing.T) {
+	p := exaParams().WithMTBF(120)
+	tlife := 3.0 * 24 * 3600
+	for _, pr := range Protocols {
+		s := SuccessProbability(pr, p, 0.2*p.R, tlife)
+		q := FatalFailureProbability(pr, p, 0.2*p.R, tlife)
+		if math.Abs(s+q-1) > 1e-12 {
+			t.Errorf("%s: success+fatal = %v, want 1", pr, s+q)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import "math"
+
+// Phases holds the durations of the three parts of a checkpointing
+// period (paper Fig. 1 and Fig. 3).
+//
+// For the double protocols: Ckpt1 = δ (blocking local checkpoint),
+// Ckpt2 = θ (remote exchange, overlapped), Compute = σ.
+//
+// For the triple protocols: Ckpt1 = θ (exchange with the preferred
+// buddy), Ckpt2 = θ (exchange with the secondary buddy), Compute = σ.
+type Phases struct {
+	Ckpt1   float64 // first checkpointing phase
+	Ckpt2   float64 // second checkpointing phase
+	Compute float64 // full-speed computation phase (σ)
+}
+
+// Period returns the total period length P = Ckpt1 + Ckpt2 + Compute.
+func (ph Phases) Period() float64 { return ph.Ckpt1 + ph.Ckpt2 + ph.Compute }
+
+// PhaseOf returns the 1-based index of the phase containing period
+// offset x ∈ [0, P), matching the paper's RE1/RE2/RE3 numbering.
+func (ph Phases) PhaseOf(x float64) int {
+	switch {
+	case x < ph.Ckpt1:
+		return 1
+	case x < ph.Ckpt1+ph.Ckpt2:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// MinPeriod returns the smallest admissible period for the protocol,
+// i.e. the period with σ = 0: δ+θ(φ) for the double protocols and
+// 2θ(φ) for the triple protocols.
+func MinPeriod(pr Protocol, p Params, phi float64) float64 {
+	phi = pr.effectivePhi(p, phi)
+	theta := p.Theta(phi)
+	if pr.IsTriple() {
+		return 2 * theta
+	}
+	return p.Delta + theta
+}
+
+// PeriodPhases splits a period P into the protocol's three phases.
+// It returns ErrPeriodTooSmall if P cannot contain the checkpointing
+// phases (σ would be negative).
+func PeriodPhases(pr Protocol, p Params, phi, period float64) (Phases, error) {
+	phi = pr.effectivePhi(p, phi)
+	theta := p.Theta(phi)
+	var ph Phases
+	if pr.IsTriple() {
+		ph = Phases{Ckpt1: theta, Ckpt2: theta}
+	} else {
+		ph = Phases{Ckpt1: p.Delta, Ckpt2: theta}
+	}
+	ph.Compute = period - ph.Ckpt1 - ph.Ckpt2
+	if ph.Compute < -1e-9 {
+		return Phases{}, ErrPeriodTooSmall
+	}
+	if ph.Compute < 0 {
+		ph.Compute = 0
+	}
+	return ph, nil
+}
+
+// Work returns the amount W of application work executed during one
+// fault-free period of length P: W = P − δ − φ for the double
+// protocols (paper §II) and W = P − 2φ for the triple protocols (§V).
+func Work(pr Protocol, p Params, phi, period float64) float64 {
+	phi = pr.effectivePhi(p, phi)
+	if pr.IsTriple() {
+		return period - 2*phi
+	}
+	return period - p.Delta - phi
+}
+
+// WasteFF returns the fault-free waste WASTEff = (P−W)/P: (δ+φ)/P for
+// the double protocols and 2φ/P for the triple protocols.
+func WasteFF(pr Protocol, p Params, phi, period float64) float64 {
+	if period <= 0 {
+		return 1
+	}
+	w := 1 - Work(pr, p, phi, period)/period
+	return clamp01(w)
+}
+
+// FailureLoss returns F, the expected time lost per failure when the
+// period length is P:
+//
+//	Fnbl  = D + R + θ + P/2            (paper Eq. 7)
+//	Fbof  = Fnbl + R − φ               (paper Eq. 8)
+//	Ftri  = D + R + θ + P/2            (paper Eq. 14)
+//	Ftbof = Ftri + 2(R − φ)            (our extrapolation, DESIGN.md)
+//
+// DoubleBlocking is Fnbl evaluated at φ = R (hence θ = R), which
+// coincides with Fbof at φ = R.
+func FailureLoss(pr Protocol, p Params, phi, period float64) float64 {
+	phi = pr.effectivePhi(p, phi)
+	theta := p.Theta(phi)
+	f := p.D + p.R + theta + period/2
+	switch pr {
+	case DoubleBoF:
+		f += p.R - phi
+	case TripleBoF:
+		f += 2 * (p.R - phi)
+	}
+	return f
+}
+
+// REPhases returns the expected re-execution times RE1, RE2, RE3 for
+// a failure striking each of the three parts of the period (§III.A
+// for the double protocols, §V.A for the triple protocols):
+//
+//	double: RE1 = θ+σ+δ/2, RE2 = θ+σ+δ+θ/2, RE3 = θ+σ/2
+//	triple: RE1 = 2θ+σ+θ/2, RE2 = 3θ/2,     RE3 = 2θ+σ/2
+//
+// For the blocking-on-failure variants the overlap overhead is removed
+// from every re-execution (−φ per overlapped message) while the extra
+// blocking retransmissions are accounted in the recovery term of
+// FailureLoss, mirroring the paper's Fbof = Fnbl + R − φ.
+func REPhases(pr Protocol, p Params, phi, period float64) ([3]float64, error) {
+	phi = pr.effectivePhi(p, phi)
+	ph, err := PeriodPhases(pr, p, phi, period)
+	if err != nil {
+		return [3]float64{}, err
+	}
+	theta := p.Theta(phi)
+	sigma := ph.Compute
+	var re [3]float64
+	if pr.IsTriple() {
+		re = [3]float64{
+			2*theta + sigma + theta/2,
+			3 * theta / 2,
+			2*theta + sigma/2,
+		}
+		if pr.BlocksOnFailure() {
+			for i := range re {
+				re[i] -= 2 * phi
+			}
+		}
+	} else {
+		re = [3]float64{
+			theta + sigma + p.Delta/2,
+			theta + sigma + p.Delta + theta/2,
+			theta + sigma/2,
+		}
+		if pr.BlocksOnFailure() {
+			for i := range re {
+				re[i] -= phi
+			}
+		}
+	}
+	return re, nil
+}
+
+// failureLossFromPhases recomputes F by weighting the per-phase
+// re-execution times by the probability of the failure striking each
+// phase (paper Eq. 6 and Eq. 13). It must agree with FailureLoss; the
+// test suite asserts the identity, which is the paper's own
+// consistency check between Eq. 6/13 and Eq. 7/14.
+func failureLossFromPhases(pr Protocol, p Params, phi, period float64) (float64, error) {
+	phi = pr.effectivePhi(p, phi)
+	ph, err := PeriodPhases(pr, p, phi, period)
+	if err != nil {
+		return 0, err
+	}
+	re, err := REPhases(pr, p, phi, period)
+	if err != nil {
+		return 0, err
+	}
+	recovery := p.D + p.R
+	switch pr {
+	case DoubleBoF, DoubleBlocking:
+		// One extra blocking retransmission of the buddy's image. For
+		// DoubleBlocking this matches Fbof = Fnbl + R − φ at φ = R.
+		recovery += p.R
+	case TripleBoF:
+		recovery += 2 * p.R
+	}
+	f := recovery
+	weights := [3]float64{ph.Ckpt1, ph.Ckpt2, ph.Compute}
+	for i, w := range weights {
+		f += w / period * re[i]
+	}
+	return f, nil
+}
+
+// WasteFail returns the failure-induced waste F/M for period P.
+func WasteFail(pr Protocol, p Params, phi, period float64) float64 {
+	return clamp01(FailureLoss(pr, p, phi, period) / p.M)
+}
+
+// Waste returns the total waste for period P (paper Eq. 4/5):
+//
+//	WASTE = 1 − (1 − F/M)(1 − WASTEff)
+//
+// clamped to [0, 1]. It returns ErrPeriodTooSmall if P cannot contain
+// the protocol's checkpointing phases.
+func Waste(pr Protocol, p Params, phi, period float64) (float64, error) {
+	if _, err := PeriodPhases(pr, p, phi, period); err != nil {
+		return 1, err
+	}
+	wff := WasteFF(pr, p, phi, period)
+	wfail := WasteFail(pr, p, phi, period)
+	return clamp01(1 - (1-wfail)*(1-wff)), nil
+}
+
+// ExpectedRuntime returns the expected makespan T of an application of
+// failure-free duration Tbase under the protocol with period P:
+// (1 − WASTE) T = Tbase (paper Eq. 3). It returns +Inf when the waste
+// is 1 (the application cannot progress).
+func ExpectedRuntime(pr Protocol, p Params, phi, period, tbase float64) (float64, error) {
+	w, err := Waste(pr, p, phi, period)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	if w >= 1 {
+		return math.Inf(1), nil
+	}
+	return tbase / (1 - w), nil
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	case math.IsNaN(x):
+		return 1
+	}
+	return x
+}

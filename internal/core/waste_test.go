@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhasesSplit(t *testing.T) {
+	p := baseParams()
+	phi := 1.0
+	theta := p.Theta(phi) // 4 + 10*3 = 34
+
+	ph, err := PeriodPhases(DoubleNBL, p, phi, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Ckpt1 != p.Delta || ph.Ckpt2 != theta || math.Abs(ph.Compute-(100-2-34)) > 1e-12 {
+		t.Fatalf("double phases = %+v", ph)
+	}
+	if math.Abs(ph.Period()-100) > 1e-12 {
+		t.Fatalf("Period() = %v, want 100", ph.Period())
+	}
+
+	ph, err = PeriodPhases(TripleNBL, p, phi, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Ckpt1 != theta || ph.Ckpt2 != theta || math.Abs(ph.Compute-(100-68)) > 1e-12 {
+		t.Fatalf("triple phases = %+v", ph)
+	}
+}
+
+func TestPhaseOf(t *testing.T) {
+	ph := Phases{Ckpt1: 2, Ckpt2: 34, Compute: 64}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 1}, {1.99, 1}, {2, 2}, {20, 2}, {35.99, 2}, {36, 3}, {99, 3},
+	}
+	for _, tc := range cases {
+		if got := ph.PhaseOf(tc.x); got != tc.want {
+			t.Errorf("PhaseOf(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestPeriodTooSmall(t *testing.T) {
+	p := baseParams()
+	if _, err := PeriodPhases(DoubleNBL, p, 0, 10); err != ErrPeriodTooSmall {
+		t.Fatalf("period 10 < δ+θmax should fail, got %v", err)
+	}
+	if _, err := Waste(DoubleNBL, p, 0, 10); err != ErrPeriodTooSmall {
+		t.Fatalf("Waste with too-small period should fail, got %v", err)
+	}
+	if _, err := REPhases(TripleNBL, p, 0, 50); err != ErrPeriodTooSmall {
+		t.Fatalf("triple REPhases with P < 2θmax should fail, got %v", err)
+	}
+}
+
+func TestWorkFormulas(t *testing.T) {
+	p := baseParams()
+	phi, period := 1.0, 200.0
+	if got, want := Work(DoubleNBL, p, phi, period), period-p.Delta-phi; got != want {
+		t.Errorf("double W = %v, want P-δ-φ = %v", got, want)
+	}
+	if got, want := Work(TripleNBL, p, phi, period), period-2*phi; got != want {
+		t.Errorf("triple W = %v, want P-2φ = %v", got, want)
+	}
+	// DoubleBlocking pins φ = R.
+	if got, want := Work(DoubleBlocking, p, 0, period), period-p.Delta-p.R; got != want {
+		t.Errorf("blocking W = %v, want P-δ-R = %v", got, want)
+	}
+}
+
+func TestWasteFFFormulas(t *testing.T) {
+	p := baseParams()
+	phi, period := 2.0, 300.0
+	if got, want := WasteFF(DoubleNBL, p, phi, period), (p.Delta+phi)/period; math.Abs(got-want) > 1e-12 {
+		t.Errorf("double WASTEff = %v, want (δ+φ)/P = %v", got, want)
+	}
+	if got, want := WasteFF(TripleNBL, p, phi, period), 2*phi/period; math.Abs(got-want) > 1e-12 {
+		t.Errorf("triple WASTEff = %v, want 2φ/P = %v", got, want)
+	}
+	// Triple with φ = 0 has zero fault-free waste: the paper's headline
+	// property (§IV: "WASTEff tends to zero").
+	if got := WasteFF(TripleNBL, p, 0, period); got != 0 {
+		t.Errorf("triple WASTEff at φ=0 = %v, want 0", got)
+	}
+	if got := WasteFF(DoubleNBL, p, 0, 0); got != 1 {
+		t.Errorf("WASTEff at P=0 = %v, want 1 (clamped)", got)
+	}
+}
+
+func TestFailureLossClosedForms(t *testing.T) {
+	p := exaParams()
+	phi, period := 6.0, 1500.0
+	theta := p.Theta(phi)
+
+	fnbl := FailureLoss(DoubleNBL, p, phi, period)
+	if want := p.D + p.R + theta + period/2; math.Abs(fnbl-want) > 1e-9 {
+		t.Errorf("Fnbl = %v, want Eq.7 = %v", fnbl, want)
+	}
+	fbof := FailureLoss(DoubleBoF, p, phi, period)
+	if want := fnbl + p.R - phi; math.Abs(fbof-want) > 1e-9 {
+		t.Errorf("Fbof = %v, want Fnbl+R-φ = %v (Eq.8)", fbof, want)
+	}
+	ftri := FailureLoss(TripleNBL, p, phi, period)
+	if math.Abs(ftri-fnbl) > 1e-9 {
+		t.Errorf("Ftri = %v, want = Fnbl = %v (paper: Fnbl = Ftri)", ftri, fnbl)
+	}
+	ftbof := FailureLoss(TripleBoF, p, phi, period)
+	if want := ftri + 2*(p.R-phi); math.Abs(ftbof-want) > 1e-9 {
+		t.Errorf("Ftbof = %v, want Ftri+2(R-φ) = %v", ftbof, want)
+	}
+}
+
+// TestFailureLossMatchesPhaseDecomposition is the paper's own
+// consistency check: averaging the per-phase re-execution times RE1,
+// RE2, RE3 weighted by the phase lengths (Eq. 6 / Eq. 13) must give
+// the closed forms of Eq. 7 / Eq. 14.
+func TestFailureLossMatchesPhaseDecomposition(t *testing.T) {
+	for _, p := range []Params{baseParams(), exaParams()} {
+		for _, pr := range Protocols {
+			for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+				phi := frac * p.R
+				minP := MinPeriod(pr, p, phi)
+				for _, period := range []float64{minP, minP * 1.5, minP * 4, minP * 20} {
+					want := FailureLoss(pr, p, phi, period)
+					got, err := failureLossFromPhases(pr, p, phi, period)
+					if err != nil {
+						t.Fatalf("%s φ=%v P=%v: %v", pr, phi, period, err)
+					}
+					if math.Abs(got-want) > 1e-6*want {
+						t.Errorf("%s φ=%v P=%v: phase-weighted F = %v, closed form = %v",
+							pr, phi, period, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestREPhasesClosedForms(t *testing.T) {
+	p := baseParams()
+	phi := 1.0
+	theta := p.Theta(phi)
+	period := 200.0
+
+	re, err := REPhases(DoubleNBL, p, phi, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := period - p.Delta - theta
+	want := [3]float64{
+		theta + sigma + p.Delta/2,
+		theta + sigma + p.Delta + theta/2,
+		theta + sigma/2,
+	}
+	for i := range re {
+		if math.Abs(re[i]-want[i]) > 1e-9 {
+			t.Errorf("double RE%d = %v, want %v", i+1, re[i], want[i])
+		}
+	}
+
+	re, err = REPhases(TripleNBL, p, phi, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma = period - 2*theta
+	want = [3]float64{
+		2*theta + sigma + theta/2,
+		3 * theta / 2,
+		2*theta + sigma/2,
+	}
+	for i := range re {
+		if math.Abs(re[i]-want[i]) > 1e-9 {
+			t.Errorf("triple RE%d = %v, want %v", i+1, re[i], want[i])
+		}
+	}
+}
+
+func TestWasteComposition(t *testing.T) {
+	// Eq. 5: WASTE = WASTEfail + WASTEff − WASTEfail·WASTEff.
+	p := baseParams()
+	phi, period := 1.0, 400.0
+	for _, pr := range Protocols {
+		wff := WasteFF(pr, p, phi, period)
+		wfail := WasteFail(pr, p, phi, period)
+		got, err := Waste(pr, p, phi, period)
+		if err != nil {
+			t.Fatalf("%s: %v", pr, err)
+		}
+		want := wfail + wff - wfail*wff
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s: WASTE = %v, want Eq.5 = %v", pr, got, want)
+		}
+	}
+}
+
+func TestWasteSaturatesAtTinyMTBF(t *testing.T) {
+	// Paper §VI.A: at M = 15 s "no progress happens for any protocol".
+	// DoubleBlocking (θ = R = 4s) remains marginally feasible on Base,
+	// so assert near-saturation rather than exact saturation.
+	p := baseParams().WithMTBF(15)
+	for _, pr := range Protocols {
+		if w := OptimalWaste(pr, p, 0.5*p.R); w < 0.9 {
+			t.Errorf("%s at M=15s: waste = %v, want >= 0.9", pr, w)
+		}
+	}
+}
+
+func TestWasteSmallAtLargeMTBF(t *testing.T) {
+	p := baseParams().WithMTBF(24 * 3600) // 1 day
+	for _, pr := range Protocols {
+		w := OptimalWaste(pr, p, 0.2*p.R)
+		if w <= 0 || w >= 0.1 {
+			t.Errorf("%s at M=1day: waste = %v, want (0, 0.1)", pr, w)
+		}
+	}
+}
+
+func TestExpectedRuntime(t *testing.T) {
+	p := baseParams()
+	phi, period := 1.0, 400.0
+	tbase := 1e6
+	tt, err := ExpectedRuntime(DoubleNBL, p, phi, period, tbase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := Waste(DoubleNBL, p, phi, period)
+	if math.Abs(tt*(1-w)-tbase) > 1e-6*tbase {
+		t.Fatalf("(1-WASTE)·T = %v, want Tbase = %v", tt*(1-w), tbase)
+	}
+	// Saturated platform: runtime is infinite.
+	sat := p.WithMTBF(10)
+	tt, _ = ExpectedRuntime(DoubleNBL, sat, phi, period, tbase)
+	if !math.IsInf(tt, 1) {
+		t.Fatalf("runtime at M=10s = %v, want +Inf", tt)
+	}
+}
+
+func TestWasteInUnitIntervalProperty(t *testing.T) {
+	p := baseParams()
+	f := func(rawPhi, rawM, rawP float64) bool {
+		phi := quickPhi(p, rawPhi)
+		m := 1 + math.Mod(math.Abs(rawM), 1e6)
+		if math.IsNaN(m) {
+			m = 100
+		}
+		q := p.WithMTBF(m)
+		for _, pr := range Protocols {
+			minP := MinPeriod(pr, q, phi)
+			span := 1 + math.Mod(math.Abs(rawP), 1e5)
+			if math.IsNaN(span) {
+				span = 1
+			}
+			w, err := Waste(pr, q, phi, minP+span)
+			if err != nil {
+				return false
+			}
+			if w < 0 || w > 1 || math.IsNaN(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWasteMonotoneInMTBFProperty(t *testing.T) {
+	// At the optimal period, a larger MTBF never increases the waste.
+	p := exaParams()
+	f := func(rawPhi, rawM1, rawM2 float64) bool {
+		phi := quickPhi(p, rawPhi)
+		m1 := 30 + math.Mod(math.Abs(rawM1), 1e6)
+		m2 := 30 + math.Mod(math.Abs(rawM2), 1e6)
+		if math.IsNaN(m1) || math.IsNaN(m2) {
+			return true
+		}
+		if m1 > m2 {
+			m1, m2 = m2, m1
+		}
+		for _, pr := range Protocols {
+			w1 := OptimalWaste(pr, p.WithMTBF(m1), phi)
+			w2 := OptimalWaste(pr, p.WithMTBF(m2), phi)
+			if w2 > w1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {2, 1},
+		{math.NaN(), 1}, {math.Inf(1), 1}, {math.Inf(-1), 0},
+	}
+	for _, tc := range cases {
+		if got := clamp01(tc.in); got != tc.want {
+			t.Errorf("clamp01(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package eventq implements the discrete-event-simulation priority
+// queue used by the detailed simulator: a binary min-heap on event
+// time with stable FIFO ordering of simultaneous events and O(log n)
+// cancellation by handle.
+package eventq
+
+import "container/heap"
+
+// Event is a scheduled occurrence. The payload is an opaque value
+// interpreted by the simulator.
+type Event struct {
+	Time    float64
+	Payload any
+
+	seq   uint64 // insertion sequence, breaks time ties FIFO
+	index int    // heap index, -1 once removed
+}
+
+// Handle identifies a scheduled event for cancellation.
+type Handle struct{ ev *Event }
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule inserts an event at the given time and returns a handle
+// that can cancel it. Events at equal times dequeue in insertion
+// order, which keeps detailed simulations deterministic.
+func (q *Queue) Schedule(time float64, payload any) Handle {
+	ev := &Event{Time: time, Payload: payload, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, ev)
+	return Handle{ev: ev}
+}
+
+// PeekTime returns the time of the earliest pending event. ok is false
+// when the queue is empty.
+func (q *Queue) PeekTime() (time float64, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].Time, true
+}
+
+// Pop removes and returns the earliest pending event. ok is false when
+// the queue is empty.
+func (q *Queue) Pop() (ev Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	return *e, true
+}
+
+// Cancel removes the event identified by h. It returns false if the
+// event already fired or was already cancelled. Cancelling is O(log n).
+func (q *Queue) Cancel(h Handle) bool {
+	if h.ev == nil || h.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&q.h, h.ev.index)
+	return true
+}
+
+// Pending reports whether the event identified by h is still queued.
+func (h Handle) Pending() bool { return h.ev != nil && h.ev.index >= 0 }
+
+// Clear drops every pending event.
+func (q *Queue) Clear() {
+	for _, ev := range q.h {
+		ev.index = -1
+	}
+	q.h = q.h[:0]
+}
+
+// eventHeap implements heap.Interface ordered by (Time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

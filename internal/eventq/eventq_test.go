@@ -1,0 +1,209 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		q.Schedule(tm, tm)
+	}
+	prev := -1.0
+	for q.Len() > 0 {
+		ev, ok := q.Pop()
+		if !ok {
+			t.Fatal("Pop failed on non-empty queue")
+		}
+		if ev.Time < prev {
+			t.Fatalf("events out of order: %v after %v", ev.Time, prev)
+		}
+		prev = ev.Time
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Schedule(1.0, i)
+	}
+	for i := 0; i < 10; i++ {
+		ev, _ := q.Pop()
+		if ev.Payload.(int) != i {
+			t.Fatalf("tie-break not FIFO: got %v at position %d", ev.Payload, i)
+		}
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue should fail")
+	}
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue should fail")
+	}
+	if q.Len() != 0 {
+		t.Fatal("empty queue has non-zero length")
+	}
+}
+
+func TestPeekMatchesPop(t *testing.T) {
+	var q Queue
+	q.Schedule(3, "c")
+	q.Schedule(1, "a")
+	q.Schedule(2, "b")
+	for q.Len() > 0 {
+		peek, _ := q.PeekTime()
+		ev, _ := q.Pop()
+		if ev.Time != peek {
+			t.Fatalf("peek %v != pop %v", peek, ev.Time)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	h1 := q.Schedule(1, "a")
+	h2 := q.Schedule(2, "b")
+	q.Schedule(3, "c")
+
+	if !h2.Pending() {
+		t.Fatal("h2 should be pending")
+	}
+	if !q.Cancel(h2) {
+		t.Fatal("Cancel should succeed")
+	}
+	if h2.Pending() {
+		t.Fatal("h2 should no longer be pending")
+	}
+	if q.Cancel(h2) {
+		t.Fatal("double Cancel should fail")
+	}
+
+	ev, _ := q.Pop()
+	if ev.Payload != "a" {
+		t.Fatalf("first event = %v, want a", ev.Payload)
+	}
+	if q.Cancel(h1) {
+		t.Fatal("cancelling a fired event should fail")
+	}
+	ev, _ = q.Pop()
+	if ev.Payload != "c" {
+		t.Fatalf("second event = %v, want c (b cancelled)", ev.Payload)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestCancelZeroHandle(t *testing.T) {
+	var q Queue
+	if q.Cancel(Handle{}) {
+		t.Fatal("zero handle Cancel should fail")
+	}
+	if (Handle{}).Pending() {
+		t.Fatal("zero handle should not be pending")
+	}
+}
+
+func TestClear(t *testing.T) {
+	var q Queue
+	h := q.Schedule(1, nil)
+	q.Schedule(2, nil)
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatal("Clear left events behind")
+	}
+	if h.Pending() {
+		t.Fatal("cleared event still pending")
+	}
+	// The queue must remain usable after Clear.
+	q.Schedule(5, "x")
+	if ev, ok := q.Pop(); !ok || ev.Payload != "x" {
+		t.Fatal("queue unusable after Clear")
+	}
+}
+
+func TestHeapProperty(t *testing.T) {
+	// Property: popping returns exactly the sorted sequence of the
+	// scheduled times, for arbitrary inputs.
+	f := func(raw []float64) bool {
+		var q Queue
+		times := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if v != v { // skip NaN: unordered values are out of contract
+				continue
+			}
+			times = append(times, v)
+			q.Schedule(v, nil)
+		}
+		sort.Float64s(times)
+		for _, want := range times {
+			ev, ok := q.Pop()
+			if !ok || ev.Time != want {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomCancellationProperty(t *testing.T) {
+	// Schedule many events, cancel a random half, and verify the
+	// survivors pop in order with none of the cancelled ones.
+	s := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		var q Queue
+		type rec struct {
+			h      Handle
+			time   float64
+			cancel bool
+		}
+		recs := make([]rec, 200)
+		for i := range recs {
+			tm := s.Float64() * 100
+			recs[i] = rec{h: q.Schedule(tm, i), time: tm, cancel: s.Float64() < 0.5}
+		}
+		var want []float64
+		for _, r := range recs {
+			if r.cancel {
+				if !q.Cancel(r.h) {
+					t.Fatal("cancel failed")
+				}
+			} else {
+				want = append(want, r.time)
+			}
+		}
+		sort.Float64s(want)
+		for _, w := range want {
+			ev, ok := q.Pop()
+			if !ok || ev.Time != w {
+				t.Fatalf("trial %d: expected %v, got %v (ok=%v)", trial, w, ev.Time, ok)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("trial %d: %d stray events", trial, q.Len())
+		}
+	}
+}
+
+func BenchmarkScheduleAndPop(b *testing.B) {
+	s := rng.New(1)
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.Schedule(s.Float64(), nil)
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func TestTableI(t *testing.T) {
+	table := TableI()
+	for _, want := range []string{"Base", "Exa", "10368", "1000000"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table I missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestWasteSurfaceShape(t *testing.T) {
+	s := WasteSurface(scenario.Base(), core.DoubleNBL, 10, 12)
+	if len(s.Xs) != 11 || len(s.Ys) != 12 {
+		t.Fatalf("surface grid %dx%d", len(s.Xs), len(s.Ys))
+	}
+	// Waste ∈ [0, 1] everywhere.
+	lo, hi := s.MinMax()
+	if lo < 0 || hi > 1 {
+		t.Fatalf("waste range [%v, %v]", lo, hi)
+	}
+	// §VI.A: waste ≈ 1 at M = 15 s, ≈ 0 at M = 1 day (for φ/R > 0).
+	for i := range s.Xs {
+		if got := s.Z[i][0]; got < 0.5 {
+			t.Errorf("phi/R=%v at M=15s: waste %v, want near 1", s.Xs[i], got)
+		}
+		if got := s.Z[i][len(s.Ys)-1]; got > 0.05 {
+			t.Errorf("phi/R=%v at M=1day: waste %v, want near 0", s.Xs[i], got)
+		}
+	}
+	// Waste is non-increasing in M at every φ.
+	for i := range s.Xs {
+		for j := 1; j < len(s.Ys); j++ {
+			if s.Z[i][j] > s.Z[i][j-1]+1e-9 {
+				t.Fatalf("waste increased with MTBF at phi/R=%v", s.Xs[i])
+			}
+		}
+	}
+}
+
+func TestFigure4PanelOrder(t *testing.T) {
+	panels := Figure4(4, 4)
+	if len(panels) != 3 {
+		t.Fatalf("%d panels", len(panels))
+	}
+	wantNames := []string{"DoubleBoF", "DoubleNBL", "Triple"}
+	for i, s := range panels {
+		if !strings.Contains(s.Name, wantNames[i]) {
+			t.Errorf("panel %d named %q, want %s", i, s.Name, wantNames[i])
+		}
+	}
+}
+
+// TestFigure5Shape asserts the paper's Fig. 5 reading: BoF/NBL ≥ 1
+// converging to 1 as φ/R → 1; Triple/NBL well below 1 left of the
+// φ = δ crossover, at most ~1.15 at φ/R = 1.
+func TestFigure5Shape(t *testing.T) {
+	series := Figure5(20)
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	bof, tri := series[0], series[1]
+	if bof.Name != "DoubleBoF/DoubleNBL" || tri.Name != "Triple/DoubleNBL" {
+		t.Fatalf("series names %q, %q", bof.Name, tri.Name)
+	}
+	for i, x := range bof.Xs {
+		if bof.Ys[i] < 1-1e-9 {
+			t.Errorf("BoF ratio %v < 1 at phi/R=%v", bof.Ys[i], x)
+		}
+	}
+	last := len(bof.Xs) - 1
+	if math.Abs(bof.Ys[last]-1) > 1e-6 {
+		t.Errorf("BoF ratio at phi/R=1 is %v, want 1 (protocols coincide)", bof.Ys[last])
+	}
+	if tri.Ys[2] >= 0.8 { // phi/R = 0.1
+		t.Errorf("Triple ratio at phi/R=0.1 is %v, want well below 1", tri.Ys[2])
+	}
+	if tri.Ys[last] < 1.05 || tri.Ys[last] > 1.2 {
+		t.Errorf("Triple ratio at phi/R=1 is %v, want ~1.15", tri.Ys[last])
+	}
+}
+
+// TestFigure8Shape asserts the Exa claim: Triple's gain reaches ~25%
+// at φ/R = 0.1.
+func TestFigure8Shape(t *testing.T) {
+	series := Figure8(20)
+	tri := series[1]
+	got := tri.Ys[2] // phi/R = 0.1
+	if got < 0.65 || got > 0.85 {
+		t.Errorf("Exa Triple ratio at phi/R=0.1 = %v, want ~0.75", got)
+	}
+}
+
+// TestFigure6Shape asserts the risk panels: every ratio is in [0, 1]
+// (the numerator protocol is always the riskier one), decreasing in
+// platform life, and the BoF/Triple panel dips far lower than the
+// NBL/BoF panel at small MTBF (the paper's "orders of magnitude").
+func TestFigure6Shape(t *testing.T) {
+	panels := Figure6(12)
+	if len(panels) != 3 {
+		t.Fatalf("%d panels", len(panels))
+	}
+	for _, s := range panels {
+		lo, hi := s.MinMax()
+		if lo < 0 || hi > 1+1e-9 {
+			t.Fatalf("%s: ratio range [%v, %v]", s.Name, lo, hi)
+		}
+		// Non-increasing in platform life at the smallest MTBF.
+		for j := 1; j < len(s.Ys); j++ {
+			if s.Z[0][j] > s.Z[0][j-1]+1e-9 {
+				t.Fatalf("%s: ratio increased with life", s.Name)
+			}
+		}
+	}
+	nblOverBof, bofOverTriple, nblOverTriple := panels[0], panels[1], panels[2]
+	// Worst corner: smallest MTBF, longest life. P_triple ≥ P_bof ≥
+	// P_nbl implies NBL/Triple is the deepest of the three ratios.
+	last := len(nblOverBof.Ys) - 1
+	cornerA := nblOverBof.Z[0][last]
+	cornerB := bofOverTriple.Z[0][last]
+	cornerNT := nblOverTriple.Z[0][last]
+	if cornerNT > cornerA+1e-12 || cornerNT > cornerB+1e-12 {
+		t.Errorf("NBL/Triple corner %v should be the deepest (NBL/BoF %v, BoF/Triple %v)",
+			cornerNT, cornerA, cornerB)
+	}
+	// Triple itself stays nearly immune even in the worst corner with
+	// its largest risk window θ = (α+1)R — the paper's headline.
+	p := scenario.Base().Params.WithMTBF(scenario.Minute)
+	if tri := core.SuccessProbability(core.TripleNBL, p, 0, 30*scenario.Day); tri < 0.99 {
+		t.Errorf("Triple corner success probability %v, want >= 0.99", tri)
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	panels := Figure9(10)
+	// On Exa, the BoF advantage is visible "to a higher extent" (§VI.B):
+	// the NBL/BoF corner dips lower than on Base with the same relative
+	// corner (sanity: it is meaningfully below 1).
+	last := len(panels[0].Ys) - 1
+	corner := panels[0].Z[0][last]
+	if corner > 0.99 {
+		t.Errorf("Exa NBL/BoF corner = %v, want visibly below 1", corner)
+	}
+	// BoF/Triple also dips well below 1 on Exa (Fig. 9b), and the
+	// NBL/Triple ratio is the deepest of all.
+	cornerBT := panels[1].Z[0][last]
+	cornerNT := panels[2].Z[0][last]
+	if cornerBT > 0.9 {
+		t.Errorf("Exa BoF/Triple corner = %v, want well below 1", cornerBT)
+	}
+	if cornerNT > corner+1e-12 || cornerNT > cornerBT+1e-12 {
+		t.Errorf("Exa NBL/Triple corner %v should be the deepest (%v, %v)", cornerNT, corner, cornerBT)
+	}
+	// Triple stays nearly immune on Exa too.
+	p := scenario.Exa().Params.WithMTBF(scenario.Minute)
+	if tri := core.SuccessProbability(core.TripleNBL, p, 0, 60*scenario.Week); tri < 0.99 {
+		t.Errorf("Exa Triple corner success = %v, want >= 0.99", tri)
+	}
+}
+
+func TestSummaryNumbers(t *testing.T) {
+	s := Summarize()
+	if s.BaseWorstTripleRatio < 1.05 || s.BaseWorstTripleRatio > 1.2 {
+		t.Errorf("BaseWorstTripleRatio = %v", s.BaseWorstTripleRatio)
+	}
+	if s.ExaTripleGainAtTenth < 0.65 || s.ExaTripleGainAtTenth > 0.85 {
+		t.Errorf("ExaTripleGainAtTenth = %v", s.ExaTripleGainAtTenth)
+	}
+	if math.Abs(s.BaseCrossoverPhiFrac-0.5) > 0.01 {
+		t.Errorf("BaseCrossoverPhiFrac = %v, want 0.5", s.BaseCrossoverPhiFrac)
+	}
+	if s.RunsToleratedGain < 2 {
+		t.Errorf("RunsToleratedGain = %v, want >= 2 (paper: 'twice more runs')", s.RunsToleratedGain)
+	}
+	str := s.String()
+	if !strings.Contains(str, "crossover") {
+		t.Errorf("summary text: %s", str)
+	}
+}
+
+func TestCrossoverMatchesDeltaOverR(t *testing.T) {
+	// The crossover is at φ = δ for any scenario where it exists.
+	for _, sc := range scenario.All() {
+		got := CrossoverPhiFrac(sc.Params)
+		want := sc.Params.Delta / sc.Params.R
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s: crossover %v, want δ/R = %v", sc.Name, got, want)
+		}
+	}
+}
+
+func TestAlphaSweepShape(t *testing.T) {
+	s := AlphaSweep(scenario.Base(), 0.25, []float64{0.5, 1, 2, 5, 10, 20})
+	// At fixed φ/R, a larger α stretches θ and inflates the common
+	// failure-loss term D+R+θ, diluting Triple's fault-free advantage:
+	// the ratio creeps toward 1 — the quantitative content of the
+	// paper's remark that its "conservatively high" α values REDUCE
+	// the triple algorithm's potential benefit. Triple must still win
+	// (< 1) across the sweep at φ/R = 0.25 < δ/R.
+	for i := 1; i < len(s.Ys); i++ {
+		if s.Ys[i] < s.Ys[i-1]-1e-9 {
+			t.Fatalf("ratio decreased with alpha: %v", s.Ys)
+		}
+	}
+	for i, y := range s.Ys {
+		if y >= 1 {
+			t.Fatalf("Triple loses at alpha=%v: ratio %v", s.Xs[i], y)
+		}
+	}
+}
+
+func TestDeltaSweepShape(t *testing.T) {
+	series := DeltaSweep(scenario.Base(), 0.25, []float64{0.01, 0.1, 1, 2, 4})
+	double, triple := series[0], series[1]
+	// Triple does not depend on δ; Double's waste grows with δ.
+	for i := 1; i < len(triple.Ys); i++ {
+		if math.Abs(triple.Ys[i]-triple.Ys[0]) > 1e-12 {
+			t.Fatalf("Triple waste depends on delta: %v", triple.Ys)
+		}
+		if double.Ys[i] < double.Ys[i-1]-1e-12 {
+			t.Fatalf("Double waste decreased with delta: %v", double.Ys)
+		}
+	}
+	// At δ ≈ 0 the double protocol catches up with (and beats, since
+	// its fault-free cost is φ < 2φ) the triple.
+	if double.Ys[0] > triple.Ys[0] {
+		t.Errorf("at delta~0 double %v should not exceed triple %v", double.Ys[0], triple.Ys[0])
+	}
+}
+
+func TestCentralizedSweepShape(t *testing.T) {
+	series := CentralizedSweep(scenario.Base(), 0.25, []float64{1, 10, 100})
+	central, double := series[0], series[1]
+	// The centralized baseline degrades with the dump cost while the
+	// distributed waste is flat; by 100×δ the gap is wide.
+	if central.Ys[2] <= central.Ys[0] {
+		t.Fatal("centralized waste should grow with dump cost")
+	}
+	if double.Ys[0] != double.Ys[2] {
+		t.Fatal("distributed waste should not depend on the dump cost")
+	}
+	if central.Ys[2] < 3*double.Ys[2] {
+		t.Errorf("at 100x dump cost: centralized %v vs distributed %v", central.Ys[2], double.Ys[2])
+	}
+}
+
+func TestValidateTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo")
+	}
+	rows, err := Validate(scenario.Base(), 1800, 0.25, 2e5, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(core.Protocols) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.SimWaste-r.ModelWaste) > 0.15*r.ModelWaste+0.01 {
+			t.Errorf("%s: sim %v vs model %v", r.Protocol, r.SimWaste, r.ModelWaste)
+		}
+		if r.SimLoss > 0 && math.Abs(r.SimLoss-r.ModelLoss) > 0.2*r.ModelLoss {
+			t.Errorf("%s: sim F %v vs model F %v", r.Protocol, r.SimLoss, r.ModelLoss)
+		}
+	}
+	text := FormatValidation(rows)
+	if !strings.Contains(text, "DoubleNBL") || !strings.Contains(text, "model waste") {
+		t.Errorf("validation table: %s", text)
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteAll(dir, 8, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"table1.txt", "summary.txt",
+		"fig4a_doublebof.dat", "fig4b_doublenbl.dat", "fig4c_triple.dat",
+		"fig5.dat",
+		"fig6a_nbl_over_bof.dat", "fig6b_bof_over_triple.dat", "fig6c_nbl_over_triple.dat",
+		"fig7a_doublebof.dat", "fig7b_doublenbl.dat", "fig7c_triple.dat",
+		"fig8.dat",
+		"fig9a_nbl_over_bof.dat", "fig9b_bof_over_triple.dat", "fig9c_nbl_over_triple.dat",
+		"ablation_alpha.dat", "ablation_delta.dat", "ablation_centralized.dat",
+		"extension_insurance.dat",
+	}
+	for _, name := range want {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("empty artifact %s", name)
+		}
+	}
+}

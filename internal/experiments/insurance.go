@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/multilevel"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// InsuranceSweep quantifies the two-level extension (DESIGN.md) across
+// platform MTBFs: for each M it returns
+//
+//   - the waste premium of adding an optimally spaced global
+//     checkpoint level on top of the buddy protocol, and
+//   - the expected fraction of the platform life an UNPROTECTED
+//     deployment loses to fatal buddy-group failures,
+//
+// for both DoubleNBL and Triple. The crossing of the two curves is the
+// operating point below which the paper's conclusion (combine
+// in-memory buddy checkpointing with a hierarchical level) pays off.
+func InsuranceSweep(sc scenario.Scenario, phiFrac, g, rg, life float64, mtbfs []float64) []*stats.Series {
+	mk := func(pr core.Protocol, metric string, f func(core.Params, float64) float64) *stats.Series {
+		return stats.NewSeries(pr.String()+" "+metric, "M (s)", "fraction", mtbfs,
+			func(m float64) float64 {
+				p := sc.Params.WithMTBF(m)
+				return f(p, phiFrac*p.R)
+			})
+	}
+	premium := func(p core.Params, phi float64) float64 {
+		plan, err := multilevel.Optimize(multilevel.Config{
+			Protocol: core.DoubleNBL, Params: p, Phi: phi, G: g, Rg: rg,
+		})
+		if err != nil {
+			return 1
+		}
+		return plan.Waste - plan.InnerWaste
+	}
+	premiumTri := func(p core.Params, phi float64) float64 {
+		plan, err := multilevel.Optimize(multilevel.Config{
+			Protocol: core.TripleNBL, Params: p, Phi: phi, G: g, Rg: rg,
+		})
+		if err != nil {
+			return 1
+		}
+		return plan.Waste - plan.InnerWaste
+	}
+	lost := func(pr core.Protocol) func(core.Params, float64) float64 {
+		return func(p core.Params, phi float64) float64 {
+			return multilevel.LossIfUnprotected(pr, p, phi, life)
+		}
+	}
+	return []*stats.Series{
+		mk(core.DoubleNBL, "premium", premium),
+		mk(core.DoubleNBL, "unprotected-loss", lost(core.DoubleNBL)),
+		mk(core.TripleNBL, "premium", premiumTri),
+		mk(core.TripleNBL, "unprotected-loss", lost(core.TripleNBL)),
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestInsuranceSweepShape(t *testing.T) {
+	mtbfs := []float64{300, 600, 1800, 7200}
+	series := InsuranceSweep(scenario.Base(), 0.25, 200, 200, 30*scenario.Day, mtbfs)
+	if len(series) != 4 {
+		t.Fatalf("%d series", len(series))
+	}
+	dblPremium, dblLost := series[0], series[1]
+	triPremium, triLost := series[2], series[3]
+
+	for i := range mtbfs {
+		for _, s := range series {
+			if s.Ys[i] < 0 || s.Ys[i] > 1 {
+				t.Fatalf("%s at M=%v: %v outside [0,1]", s.Name, mtbfs[i], s.Ys[i])
+			}
+		}
+		// Triple's unprotected loss is always (weakly) below Double's:
+		// cubic vs quadratic chains.
+		if triLost.Ys[i] > dblLost.Ys[i]+1e-12 {
+			t.Errorf("M=%v: triple loss %v above double %v", mtbfs[i], triLost.Ys[i], dblLost.Ys[i])
+		}
+	}
+	// The unprotected loss shrinks as the platform gets healthier.
+	for i := 1; i < len(mtbfs); i++ {
+		if dblLost.Ys[i] > dblLost.Ys[i-1]+1e-12 {
+			t.Fatalf("double unprotected loss increased with MTBF: %v", dblLost.Ys)
+		}
+	}
+	// At the hostile end the insurance pays: the double's unprotected
+	// loss exceeds its premium by a wide margin.
+	if !(dblLost.Ys[0] > 5*dblPremium.Ys[0]) {
+		t.Errorf("M=300s: loss %v should dwarf premium %v", dblLost.Ys[0], dblPremium.Ys[0])
+	}
+	// Triple barely needs the insurance at all.
+	if triPremium.Ys[0] > dblPremium.Ys[0]+1e-9 {
+		t.Errorf("triple premium %v above double %v", triPremium.Ys[0], dblPremium.Ys[0])
+	}
+}

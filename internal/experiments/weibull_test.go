@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestWeibullStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo")
+	}
+	points, err := WeibullStudy(scenario.Base(), 1800, 0.25, 1e5,
+		[]float64{0.5, 0.7, 1}, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	var expPt, burstyPt WeibullPoint
+	for _, pt := range points {
+		if pt.BestWaste > pt.ExpWaste+1e-12 {
+			t.Errorf("shape %v: best waste %v exceeds waste at P(exp) %v",
+				pt.Shape, pt.BestWaste, pt.ExpWaste)
+		}
+		if pt.BestWaste <= 0 || pt.BestWaste >= 1 {
+			t.Errorf("shape %v: degenerate best waste %v", pt.Shape, pt.BestWaste)
+		}
+		switch pt.Shape {
+		case 1:
+			expPt = pt
+		case 0.5:
+			burstyPt = pt
+		}
+	}
+	// Shape 1 is Exponential: the model must be accurate there.
+	if d := expPt.ExpWaste - expPt.ModelWaste; d > 0.15*expPt.ModelWaste+0.01 || d < -0.15*expPt.ModelWaste-0.01 {
+		t.Errorf("shape 1: simulated %v vs model %v", expPt.ExpWaste, expPt.ModelWaste)
+	}
+	// Bursty failures (shape 0.5) hurt: same mean MTBF, higher waste
+	// than the exponential run at the exponential-optimal period.
+	if burstyPt.ExpWaste <= expPt.ExpWaste {
+		t.Errorf("shape 0.5 waste %v not above exponential %v (clustering should hurt)",
+			burstyPt.ExpWaste, expPt.ExpWaste)
+	}
+	text := FormatWeibull(points)
+	if !strings.Contains(text, "best mult") {
+		t.Errorf("table: %s", text)
+	}
+	t.Logf("\n%s", text)
+}
+
+func TestWeibullStudyInfeasible(t *testing.T) {
+	if _, err := WeibullStudy(scenario.Base(), 5, 0.25, 1e4, []float64{1}, 2, 1); err == nil {
+		t.Fatal("M=5s should be infeasible")
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// WriteAll regenerates every figure and table into dir: gnuplot .dat
+// files for the plots, table1.txt, summary.txt, and (optionally) the
+// ablation curves. points controls the grid resolution. progress, if
+// non-nil, receives one line per artifact.
+func WriteAll(dir string, points int, ablations bool, progress io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	note := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format+"\n", args...)
+		}
+	}
+
+	// Table I.
+	if err := os.WriteFile(filepath.Join(dir, "table1.txt"), []byte(TableI()), 0o644); err != nil {
+		return err
+	}
+	note("table1.txt")
+
+	// Figures 4 and 7: waste surfaces.
+	for figure, surfaces := range map[string][]*stats.Surface{
+		"fig4": Figure4(points, points),
+		"fig7": Figure7(points, points),
+	} {
+		for i, s := range surfaces {
+			name := fmt.Sprintf("%s%c_%s.dat", figure, 'a'+i, protoSlug(i))
+			if err := writeSurface(filepath.Join(dir, name), s); err != nil {
+				return err
+			}
+			note("%s", name)
+		}
+	}
+
+	// Figures 5 and 8: waste-ratio slices.
+	if err := writeSeries(filepath.Join(dir, "fig5.dat"), Figure5(points)...); err != nil {
+		return err
+	}
+	note("fig5.dat")
+	if err := writeSeries(filepath.Join(dir, "fig8.dat"), Figure8(points)...); err != nil {
+		return err
+	}
+	note("fig8.dat")
+
+	// Figures 6 and 9: success-probability ratios.
+	riskNames := []string{"a_nbl_over_bof", "b_bof_over_triple", "c_nbl_over_triple"}
+	for i, s := range Figure6(points) {
+		name := fmt.Sprintf("fig6%s.dat", riskNames[i])
+		if err := writeSurface(filepath.Join(dir, name), s); err != nil {
+			return err
+		}
+		note("%s", name)
+	}
+	for i, s := range Figure9(points) {
+		name := fmt.Sprintf("fig9%s.dat", riskNames[i])
+		if err := writeSurface(filepath.Join(dir, name), s); err != nil {
+			return err
+		}
+		note("%s", name)
+	}
+
+	// Headline summary.
+	if err := os.WriteFile(filepath.Join(dir, "summary.txt"), []byte(Summarize().String()), 0o644); err != nil {
+		return err
+	}
+	note("summary.txt")
+
+	if !ablations {
+		return nil
+	}
+	alphas := []float64{0.5, 1, 2, 5, 10, 20, 50}
+	if err := writeSeries(filepath.Join(dir, "ablation_alpha.dat"),
+		AlphaSweep(scenario.Base(), 0.25, alphas)); err != nil {
+		return err
+	}
+	note("ablation_alpha.dat")
+	deltas := []float64{0.01, 0.05, 0.1, 0.5, 1, 2, 4}
+	if err := writeSeries(filepath.Join(dir, "ablation_delta.dat"),
+		DeltaSweep(scenario.Base(), 0.25, deltas)...); err != nil {
+		return err
+	}
+	note("ablation_delta.dat")
+	mults := []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+	if err := writeSeries(filepath.Join(dir, "ablation_centralized.dat"),
+		CentralizedSweep(scenario.Base(), 0.25, mults)...); err != nil {
+		return err
+	}
+	note("ablation_centralized.dat")
+	mtbfs := []float64{200, 300, 600, 1200, 3600, 7200}
+	if err := writeSeries(filepath.Join(dir, "extension_insurance.dat"),
+		InsuranceSweep(scenario.Base(), 0.25, 200, 200, 30*scenario.Day, mtbfs)...); err != nil {
+		return err
+	}
+	note("extension_insurance.dat")
+	return nil
+}
+
+func protoSlug(i int) string {
+	switch i {
+	case 0:
+		return "doublebof"
+	case 1:
+		return "doublenbl"
+	default:
+		return "triple"
+	}
+}
+
+func writeSurface(path string, s *stats.Surface) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.WriteDat(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeSeries(path string, series ...*stats.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := stats.WriteDat(f, series...); err != nil {
+		return err
+	}
+	return f.Close()
+}

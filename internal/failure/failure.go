@@ -1,0 +1,207 @@
+// Package failure models node failures: the failure laws
+// (Exponential, as assumed by the paper; Weibull and LogNormal for the
+// related-work comparisons of §VII), per-node renewal processes, the
+// merged platform-level process, and recordable/replayable failure
+// traces.
+//
+// MTBF conventions follow the paper: a platform of n nodes with
+// individual MTBF Mind behaves like a single node of MTBF M = Mind/n,
+// and the per-node failure rate is λ = 1/(n·M).
+package failure
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eventq"
+	"repro/internal/rng"
+)
+
+// Law is an inter-arrival distribution for the failures of one node.
+type Law interface {
+	// Sample draws the time from one failure (or node birth) to the
+	// next failure of the same node.
+	Sample(s *rng.Stream) float64
+	// Mean returns the distribution mean (the individual MTBF).
+	Mean() float64
+	// Name identifies the law in reports.
+	Name() string
+}
+
+// Exponential is the memoryless law assumed throughout the paper's
+// analysis. MTBF is the mean time between failures of one node.
+type Exponential struct{ MTBF float64 }
+
+// Sample draws an Exponential inter-arrival time.
+func (e Exponential) Sample(s *rng.Stream) float64 { return s.Exponential(1 / e.MTBF) }
+
+// Mean returns the individual MTBF.
+func (e Exponential) Mean() float64 { return e.MTBF }
+
+// Name returns "exponential".
+func (e Exponential) Name() string { return "exponential" }
+
+// Weibull is the heavy-tailed law used by the checkpoint-placement
+// literature cited in §VII ([8], [9], [10]): Shape < 1 yields the
+// decreasing hazard rate observed on production machines. MTBF is the
+// mean; the scale is derived as MTBF/Γ(1+1/Shape).
+type Weibull struct {
+	Shape float64
+	MTBF  float64
+}
+
+// Scale returns the Weibull scale parameter matching the mean.
+func (w Weibull) Scale() float64 { return w.MTBF / math.Gamma(1+1/w.Shape) }
+
+// Sample draws a Weibull inter-arrival time.
+func (w Weibull) Sample(s *rng.Stream) float64 { return s.Weibull(w.Shape, w.Scale()) }
+
+// Mean returns the individual MTBF.
+func (w Weibull) Mean() float64 { return w.MTBF }
+
+// Name returns "weibull(k)".
+func (w Weibull) Name() string { return fmt.Sprintf("weibull(%g)", w.Shape) }
+
+// LogNormal models failure clustering through a multiplicative noise
+// parameter Sigma; the mean is MTBF.
+type LogNormal struct {
+	MTBF  float64
+	Sigma float64
+}
+
+// Sample draws a LogNormal inter-arrival time with mean MTBF.
+func (l LogNormal) Sample(s *rng.Stream) float64 {
+	// mean of LogNormal(mu, sigma) is exp(mu + sigma²/2).
+	mu := math.Log(l.MTBF) - l.Sigma*l.Sigma/2
+	return s.LogNormal(mu, l.Sigma)
+}
+
+// Mean returns the individual MTBF.
+func (l LogNormal) Mean() float64 { return l.MTBF }
+
+// Name returns "lognormal(sigma)".
+func (l LogNormal) Name() string { return fmt.Sprintf("lognormal(%g)", l.Sigma) }
+
+// PlatformMTBF converts an individual node MTBF into the platform
+// MTBF M = Mind/n.
+func PlatformMTBF(individual float64, n int) float64 { return individual / float64(n) }
+
+// IndividualMTBF converts a platform MTBF into the per-node MTBF
+// Mind = n·M.
+func IndividualMTBF(platform float64, n int) float64 { return platform * float64(n) }
+
+// Event is one failure: the absolute time and the victim node.
+type Event struct {
+	Time float64 `json:"t"`
+	Node int     `json:"node"`
+}
+
+// Source produces a platform's failure sequence in non-decreasing
+// time order.
+type Source interface {
+	// Next returns the next failure. ok is false when the source is
+	// exhausted (generative sources never exhaust).
+	Next() (Event, bool)
+}
+
+// Merged is the platform-level failure process for Exponential laws:
+// the superposition of n independent Poisson processes is a Poisson
+// process of rate n·λ = 1/M whose victims are uniform over the nodes.
+// This is what makes simulating a 10⁶-node platform cheap.
+type Merged struct {
+	n      int
+	rate   float64
+	now    float64
+	stream *rng.Stream
+}
+
+// NewMerged returns a merged source for n nodes and platform MTBF m.
+func NewMerged(n int, platformMTBF float64, stream *rng.Stream) *Merged {
+	if n < 1 || platformMTBF <= 0 {
+		panic("failure: invalid merged source parameters")
+	}
+	return &Merged{n: n, rate: 1 / platformMTBF, stream: stream}
+}
+
+// Next draws the next platform failure.
+func (m *Merged) Next() (Event, bool) {
+	m.now += m.stream.Exponential(m.rate)
+	return Event{Time: m.now, Node: m.stream.Intn(m.n)}, true
+}
+
+// Renewal is the node-level failure process: each node independently
+// draws inter-arrival times from its law. It supports non-memoryless
+// laws (Weibull, LogNormal) at O(log n) per failure.
+type Renewal struct {
+	q    eventq.Queue
+	laws []Law
+	strs []*rng.Stream
+}
+
+// NewRenewal returns a renewal source where node i follows laws[i].
+// Each node gets an independent child stream of parent.
+func NewRenewal(laws []Law, parent *rng.Stream) *Renewal {
+	r := &Renewal{laws: laws, strs: make([]*rng.Stream, len(laws))}
+	for i, law := range laws {
+		r.strs[i] = parent.Split(uint64(i))
+		r.q.Schedule(law.Sample(r.strs[i]), i)
+	}
+	return r
+}
+
+// NewRenewalUniform returns a renewal source where every one of n
+// nodes follows the same law.
+func NewRenewalUniform(n int, law Law, parent *rng.Stream) *Renewal {
+	laws := make([]Law, n)
+	for i := range laws {
+		laws[i] = law
+	}
+	return NewRenewal(laws, parent)
+}
+
+// Next pops the earliest node failure and schedules that node's
+// subsequent failure.
+func (r *Renewal) Next() (Event, bool) {
+	ev, ok := r.q.Pop()
+	if !ok {
+		return Event{}, false
+	}
+	node := ev.Payload.(int)
+	r.q.Schedule(ev.Time+r.laws[node].Sample(r.strs[node]), node)
+	return Event{Time: ev.Time, Node: node}, true
+}
+
+// Replay replays a recorded trace.
+type Replay struct {
+	trace []Event
+	pos   int
+}
+
+// NewReplay returns a source that replays the given events in order.
+func NewReplay(trace []Event) *Replay { return &Replay{trace: trace} }
+
+// Next returns the next recorded failure; ok is false past the end.
+func (r *Replay) Next() (Event, bool) {
+	if r.pos >= len(r.trace) {
+		return Event{}, false
+	}
+	ev := r.trace[r.pos]
+	r.pos++
+	return ev, true
+}
+
+// Recorder wraps a source and keeps every event it produced, so that a
+// detailed simulation can be re-run on the exact same failure sample.
+type Recorder struct {
+	Inner Source
+	Log   []Event
+}
+
+// Next forwards to the inner source and records the event.
+func (rec *Recorder) Next() (Event, bool) {
+	ev, ok := rec.Inner.Next()
+	if ok {
+		rec.Log = append(rec.Log, ev)
+	}
+	return ev, ok
+}

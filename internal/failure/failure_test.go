@@ -1,0 +1,248 @@
+package failure
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMTBFAlgebra(t *testing.T) {
+	if got := PlatformMTBF(50*365*24*3600, 1_000_000); math.Abs(got-50*365*24*3600/1e6) > 1e-9 {
+		t.Fatalf("PlatformMTBF = %v", got)
+	}
+	// Round trip.
+	ind := 7.0 * 24 * 3600
+	if got := IndividualMTBF(PlatformMTBF(ind, 1234), 1234); math.Abs(got-ind) > 1e-6 {
+		t.Fatalf("MTBF round trip = %v, want %v", got, ind)
+	}
+}
+
+func TestLawMeans(t *testing.T) {
+	s := rng.New(1)
+	laws := []Law{
+		Exponential{MTBF: 100},
+		Weibull{Shape: 0.7, MTBF: 100},
+		Weibull{Shape: 2, MTBF: 100},
+		LogNormal{MTBF: 100, Sigma: 0.5},
+	}
+	const n = 300000
+	for _, law := range laws {
+		if law.Mean() != 100 {
+			t.Errorf("%s: declared mean %v, want 100", law.Name(), law.Mean())
+		}
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := law.Sample(s)
+			if x < 0 {
+				t.Fatalf("%s: negative sample %v", law.Name(), x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		if math.Abs(mean-100) > 3 {
+			t.Errorf("%s: empirical mean %v, want ~100", law.Name(), mean)
+		}
+	}
+}
+
+func TestLawNames(t *testing.T) {
+	if (Exponential{}).Name() != "exponential" {
+		t.Error("exponential name")
+	}
+	if (Weibull{Shape: 0.7}).Name() != "weibull(0.7)" {
+		t.Errorf("weibull name = %s", (Weibull{Shape: 0.7}).Name())
+	}
+	if (LogNormal{Sigma: 0.5}).Name() != "lognormal(0.5)" {
+		t.Errorf("lognormal name = %s", LogNormal{Sigma: 0.5}.Name())
+	}
+}
+
+func TestMergedRate(t *testing.T) {
+	// The merged process over n nodes with platform MTBF M must
+	// produce failures at rate 1/M, with victims uniform over nodes.
+	s := rng.New(5)
+	const n, m = 64, 120.0
+	src := NewMerged(n, m, s)
+	const events = 200000
+	var last float64
+	counts := make([]int, n)
+	for i := 0; i < events; i++ {
+		ev, ok := src.Next()
+		if !ok {
+			t.Fatal("merged source exhausted")
+		}
+		if ev.Time <= last {
+			t.Fatalf("non-increasing failure times: %v after %v", ev.Time, last)
+		}
+		last = ev.Time
+		counts[ev.Node]++
+	}
+	gotMTBF := last / events
+	if math.Abs(gotMTBF-m) > 0.02*m {
+		t.Fatalf("observed platform MTBF %v, want %v", gotMTBF, m)
+	}
+	want := float64(events) / n
+	for node, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("node %d hit %d times, want ~%v", node, c, want)
+		}
+	}
+}
+
+func TestMergedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMerged with bad params should panic")
+		}
+	}()
+	NewMerged(0, 100, rng.New(1))
+}
+
+func TestRenewalMatchesMergedForExponential(t *testing.T) {
+	// For Exponential laws the renewal process and the merged process
+	// have the same platform rate; compare observed MTBFs.
+	const n = 32
+	const ind = 3200.0 // individual MTBF => platform MTBF 100
+	ren := NewRenewalUniform(n, Exponential{MTBF: ind}, rng.New(7))
+	const events = 100000
+	var last float64
+	for i := 0; i < events; i++ {
+		ev, ok := ren.Next()
+		if !ok {
+			t.Fatal("renewal exhausted")
+		}
+		if ev.Time < last {
+			t.Fatalf("renewal times decreased: %v < %v", ev.Time, last)
+		}
+		last = ev.Time
+		if ev.Node < 0 || ev.Node >= n {
+			t.Fatalf("bad node %d", ev.Node)
+		}
+	}
+	gotMTBF := last / events
+	if math.Abs(gotMTBF-100) > 3 {
+		t.Fatalf("renewal platform MTBF = %v, want ~100", gotMTBF)
+	}
+}
+
+func TestRenewalHeterogeneous(t *testing.T) {
+	// A node with a tiny MTBF must dominate the failure log.
+	laws := []Law{
+		Exponential{MTBF: 10},
+		Exponential{MTBF: 10000},
+		Exponential{MTBF: 10000},
+	}
+	ren := NewRenewal(laws, rng.New(11))
+	counts := make([]int, 3)
+	for i := 0; i < 5000; i++ {
+		ev, _ := ren.Next()
+		counts[ev.Node]++
+	}
+	if counts[0] < 4500 {
+		t.Fatalf("fragile node hit only %d/5000 times", counts[0])
+	}
+}
+
+func TestReplayAndRecorder(t *testing.T) {
+	src := NewMerged(8, 50, rng.New(3))
+	rec := &Recorder{Inner: src}
+	var events []Event
+	for i := 0; i < 100; i++ {
+		ev, ok := rec.Next()
+		if !ok {
+			t.Fatal("source exhausted")
+		}
+		events = append(events, ev)
+	}
+	if len(rec.Log) != 100 {
+		t.Fatalf("recorder kept %d events, want 100", len(rec.Log))
+	}
+	rep := NewReplay(rec.Log)
+	for i := 0; i < 100; i++ {
+		ev, ok := rep.Next()
+		if !ok || ev != events[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, ev, events[i])
+		}
+	}
+	if _, ok := rep.Next(); ok {
+		t.Fatal("replay should exhaust after the trace")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	src := NewMerged(16, 30, rng.New(9))
+	tr := Collect(src, 16, 30, "exponential", 10000)
+	if len(tr.Events) == 0 {
+		t.Fatal("collected no events")
+	}
+	if !tr.Sorted() {
+		t.Fatal("collected trace not sorted")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Nodes != tr.Nodes || back.PlatformMTBF != tr.PlatformMTBF || back.Law != tr.Law {
+		t.Fatal("trace metadata did not round-trip")
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("event count %d != %d", len(back.Events), len(tr.Events))
+	}
+	for i := range back.Events {
+		if back.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}
+
+func TestTraceValidateRejectsBadData(t *testing.T) {
+	bad := []Trace{
+		{Nodes: 0},
+		{Nodes: 4, Events: []Event{{Time: 5, Node: 0}, {Time: 1, Node: 0}}},
+		{Nodes: 4, Events: []Event{{Time: 1, Node: 4}}},
+		{Nodes: 4, Events: []Event{{Time: 1, Node: -1}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("trace %d should fail validation", i)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewBufferString("{")); err == nil {
+		t.Fatal("truncated JSON should fail")
+	}
+	if _, err := ReadTrace(bytes.NewBufferString(`{"nodes":0,"events":[]}`)); err == nil {
+		t.Fatal("invalid trace should fail validation on read")
+	}
+}
+
+func TestCollectHorizon(t *testing.T) {
+	src := NewMerged(4, 10, rng.New(21))
+	tr := Collect(src, 4, 10, "exponential", 500)
+	for _, ev := range tr.Events {
+		if ev.Time > 500 {
+			t.Fatalf("event at %v beyond horizon", ev.Time)
+		}
+	}
+	if len(tr.Events) < 20 {
+		t.Fatalf("suspiciously few events: %d", len(tr.Events))
+	}
+}
+
+func TestWeibullScale(t *testing.T) {
+	w := Weibull{Shape: 1, MTBF: 42}
+	if math.Abs(w.Scale()-42) > 1e-9 {
+		t.Fatalf("shape-1 Weibull scale = %v, want mean %v", w.Scale(), 42.0)
+	}
+}

@@ -1,0 +1,79 @@
+package failure
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Trace is a serializable failure log with its platform metadata, the
+// unit exchanged by `cmd/simulate -record` and `-replay`.
+type Trace struct {
+	// Nodes is the platform size the trace was generated for.
+	Nodes int `json:"nodes"`
+	// PlatformMTBF is the platform MTBF in seconds (informational).
+	PlatformMTBF float64 `json:"platform_mtbf"`
+	// Law names the generating law (informational).
+	Law string `json:"law"`
+	// Events is the time-ordered failure log.
+	Events []Event `json:"events"`
+}
+
+// Validate checks the structural invariants a simulator relies on:
+// non-decreasing times, node indices within range.
+func (tr *Trace) Validate() error {
+	if tr.Nodes < 1 {
+		return fmt.Errorf("failure: trace has %d nodes", tr.Nodes)
+	}
+	prev := 0.0
+	for i, ev := range tr.Events {
+		if ev.Time < prev {
+			return fmt.Errorf("failure: trace event %d at %v is before %v", i, ev.Time, prev)
+		}
+		if ev.Node < 0 || ev.Node >= tr.Nodes {
+			return fmt.Errorf("failure: trace event %d hits node %d of %d", i, ev.Node, tr.Nodes)
+		}
+		prev = ev.Time
+	}
+	return nil
+}
+
+// Sorted returns whether the events are in non-decreasing time order.
+func (tr *Trace) Sorted() bool {
+	return sort.SliceIsSorted(tr.Events, func(i, j int) bool {
+		return tr.Events[i].Time < tr.Events[j].Time
+	})
+}
+
+// Write encodes the trace as JSON.
+func (tr *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tr)
+}
+
+// ReadTrace decodes a JSON trace and validates it.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("failure: decoding trace: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// Collect draws events from src until the horizon and returns them as
+// a trace. It is the recording path of cmd/simulate.
+func Collect(src Source, nodes int, platformMTBF float64, law string, horizon float64) *Trace {
+	tr := &Trace{Nodes: nodes, PlatformMTBF: platformMTBF, Law: law}
+	for {
+		ev, ok := src.Next()
+		if !ok || ev.Time > horizon {
+			return tr
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+}

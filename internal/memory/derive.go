@@ -1,0 +1,71 @@
+package memory
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// PhiCurvePoint is one (θ, φ) sample of the measured overhead curve.
+type PhiCurvePoint struct {
+	Theta float64
+	Phi   float64
+}
+
+// PhiCurve measures the expected COW overhead φ(θ) over a range of
+// upload durations, averaging episodes per point. It is the measured
+// counterpart of the paper's linear interpolation θ(φ) = θmin +
+// α(θmin − φ).
+func PhiCurve(p *Process, thetas []float64, copyTime float64, order UploadOrder,
+	episodes int, stream *rng.Stream) ([]PhiCurvePoint, error) {
+	if episodes < 1 {
+		return nil, fmt.Errorf("memory: %d episodes", episodes)
+	}
+	out := make([]PhiCurvePoint, 0, len(thetas))
+	for _, theta := range thetas {
+		var sum float64
+		for e := 0; e < episodes; e++ {
+			res, err := ForkUpload(p, theta, copyTime, order, stream)
+			if err != nil {
+				return nil, err
+			}
+			sum += res.OverheadTime
+		}
+		out = append(out, PhiCurvePoint{Theta: theta, Phi: sum / float64(episodes)})
+	}
+	return out, nil
+}
+
+// FitAlpha estimates the overlap factor α of the paper's linear model
+// from a measured (θ, φ) curve by least squares on θ = θmin + α(θmin−φ):
+// α = Σ (θ−θmin)(θmin−φ) / Σ (θmin−φ)². Points with φ ≥ θmin carry no
+// information (fully blocking) and are skipped.
+func FitAlpha(curve []PhiCurvePoint, thetaMin float64) (float64, error) {
+	var num, den float64
+	for _, pt := range curve {
+		d := thetaMin - pt.Phi
+		if d <= 0 {
+			continue
+		}
+		num += (pt.Theta - thetaMin) * d
+		den += d * d
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("memory: no usable points to fit α (all φ >= θmin)")
+	}
+	return num / den, nil
+}
+
+// EffectiveDelta returns the local-checkpoint time of the double
+// protocols with and without fork/COW: without fork, δ is the time to
+// write the whole image to local storage at the given bandwidth; with
+// fork it shrinks to the pause needed to set up the copy-on-write
+// mappings (setupTime) because the writing proceeds concurrently. The
+// paper notes this refinement would "reduce δ significantly" for the
+// double protocols too.
+func EffectiveDelta(p *Process, localBandwidth, setupTime float64, withFork bool) float64 {
+	if !withFork {
+		return float64(p.Bytes()) / localBandwidth
+	}
+	return setupTime
+}

@@ -1,0 +1,223 @@
+// Package memory models the copy-on-write fork checkpointing that
+// motivates the triple algorithm (§IV): a process forks, the child
+// uploads the image to the buddies while the parent keeps computing,
+// and every parent write to a page the child has not yet uploaded
+// forces the OS to duplicate that page. The trade-off the paper
+// describes — upload slower to relieve the network vs upload faster to
+// duplicate fewer pages, mitigated by sending the most-likely-modified
+// pages first — is directly reproducible here.
+//
+// This substrate substitutes for the real fork/COW mechanism (which a
+// simulation cannot invoke meaningfully) and supplies the paper's
+// stated future work: deriving realistic values of the overhead φ and
+// the overlap factor α from application write behaviour instead of
+// assuming them.
+package memory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Process describes the application state on one node.
+type Process struct {
+	// Pages is the number of resident pages.
+	Pages int
+	// PageBytes is the page size in bytes.
+	PageBytes int64
+	// WriteRate is the rate of page-dirtying writes per second
+	// executed by the computing parent.
+	WriteRate float64
+	// Weights holds the relative probability of each page being the
+	// target of a write. It is normalized internally; a nil slice
+	// means uniform.
+	Weights []float64
+}
+
+// Validate reports an error for a non-physical process.
+func (p *Process) Validate() error {
+	if p.Pages <= 0 {
+		return fmt.Errorf("memory: %d pages", p.Pages)
+	}
+	if p.PageBytes <= 0 {
+		return fmt.Errorf("memory: page size %d", p.PageBytes)
+	}
+	if p.WriteRate < 0 || math.IsNaN(p.WriteRate) {
+		return fmt.Errorf("memory: write rate %v", p.WriteRate)
+	}
+	if p.Weights != nil && len(p.Weights) != p.Pages {
+		return fmt.Errorf("memory: %d weights for %d pages", len(p.Weights), p.Pages)
+	}
+	return nil
+}
+
+// Bytes returns the total image size.
+func (p *Process) Bytes() int64 { return int64(p.Pages) * p.PageBytes }
+
+// normWeights returns the per-page write probabilities.
+func (p *Process) normWeights() []float64 {
+	w := make([]float64, p.Pages)
+	if p.Weights == nil {
+		for i := range w {
+			w[i] = 1 / float64(p.Pages)
+		}
+		return w
+	}
+	var sum float64
+	for _, x := range p.Weights {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+	}
+	if sum == 0 {
+		for i := range w {
+			w[i] = 1 / float64(p.Pages)
+		}
+		return w
+	}
+	for i, x := range p.Weights {
+		if x < 0 {
+			x = 0
+		}
+		w[i] = x / sum
+	}
+	return w
+}
+
+// ZipfWeights returns Zipf(s) page-write weights over n pages: page i
+// has weight 1/(i+1)^s. HPC applications typically concentrate writes
+// on a small working set, which Zipf captures.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}
+
+// UploadOrder selects the order in which the child uploads pages.
+type UploadOrder int
+
+const (
+	// HotFirst uploads the most-likely-modified pages first — the
+	// paper's recommendation, minimizing the window during which hot
+	// pages are still shared.
+	HotFirst UploadOrder = iota
+	// ColdFirst uploads the least-likely-modified pages first — the
+	// adversarial order, used as the ablation baseline.
+	ColdFirst
+	// AddressOrder uploads pages by address (index), oblivious to
+	// hotness — what a naive implementation does.
+	AddressOrder
+)
+
+// String returns the order name.
+func (o UploadOrder) String() string {
+	switch o {
+	case HotFirst:
+		return "hot-first"
+	case ColdFirst:
+		return "cold-first"
+	case AddressOrder:
+		return "address-order"
+	default:
+		return fmt.Sprintf("UploadOrder(%d)", int(o))
+	}
+}
+
+// ForkResult summarizes one fork-upload episode.
+type ForkResult struct {
+	// Theta is the upload duration used.
+	Theta float64
+	// Duplicated is the number of pages the COW mechanism copied.
+	Duplicated int
+	// ExtraBytes is the peak extra memory consumed by duplicates.
+	ExtraBytes int64
+	// OverheadTime is the application time lost to page copies, i.e.
+	// the measured φ contribution of the COW traffic for this episode.
+	OverheadTime float64
+}
+
+// ForkUpload simulates one checkpoint: fork at time 0, upload all
+// pages evenly over theta seconds in the given order while the parent
+// writes pages at the process write rate, each COW duplication costing
+// copyTime seconds of application time. The returned overhead is the
+// φ of this episode.
+//
+// The simulation uses the exact first-write-time decomposition of the
+// Poisson write process: page i receives its first write at an
+// Exponential(rate·p_i) time, and is duplicated iff that write lands
+// before the page's upload completes.
+func ForkUpload(p *Process, theta, copyTime float64, order UploadOrder, stream *rng.Stream) (ForkResult, error) {
+	if err := p.Validate(); err != nil {
+		return ForkResult{}, err
+	}
+	if theta <= 0 {
+		return ForkResult{}, fmt.Errorf("memory: upload duration %v", theta)
+	}
+	if copyTime < 0 {
+		return ForkResult{}, fmt.Errorf("memory: copy time %v", copyTime)
+	}
+	weights := p.normWeights()
+	uploadAt := uploadTimes(weights, theta, order)
+	res := ForkResult{Theta: theta}
+	for i, w := range weights {
+		rate := p.WriteRate * w
+		if rate <= 0 {
+			continue
+		}
+		firstWrite := stream.Exponential(rate)
+		if firstWrite < uploadAt[i] {
+			res.Duplicated++
+		}
+	}
+	res.ExtraBytes = int64(res.Duplicated) * p.PageBytes
+	res.OverheadTime = float64(res.Duplicated) * copyTime
+	return res, nil
+}
+
+// ExpectedDuplications returns the analytic expectation of the number
+// of COW duplications for the same model: Σ_i 1 − exp(−rate·p_i·u_i).
+func ExpectedDuplications(p *Process, theta float64, order UploadOrder) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if theta <= 0 {
+		return 0, fmt.Errorf("memory: upload duration %v", theta)
+	}
+	weights := p.normWeights()
+	uploadAt := uploadTimes(weights, theta, order)
+	var sum float64
+	for i, w := range weights {
+		sum += 1 - math.Exp(-p.WriteRate*w*uploadAt[i])
+	}
+	return sum, nil
+}
+
+// uploadTimes returns the completion time of each page's upload when
+// pages are sent back to back over theta seconds in the given order.
+func uploadTimes(weights []float64, theta float64, order UploadOrder) []float64 {
+	n := len(weights)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	switch order {
+	case HotFirst:
+		sort.SliceStable(idx, func(a, b int) bool { return weights[idx[a]] > weights[idx[b]] })
+	case ColdFirst:
+		sort.SliceStable(idx, func(a, b int) bool { return weights[idx[a]] < weights[idx[b]] })
+	case AddressOrder:
+		// keep index order
+	}
+	per := theta / float64(n)
+	at := make([]float64, n)
+	for pos, page := range idx {
+		at[page] = float64(pos+1) * per
+	}
+	return at
+}

@@ -1,0 +1,281 @@
+package memory
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func testProc() *Process {
+	return &Process{
+		Pages:     4096,
+		PageBytes: 4096,
+		WriteRate: 1000, // 1000 page writes/s
+		Weights:   ZipfWeights(4096, 1.2),
+	}
+}
+
+func TestProcessValidate(t *testing.T) {
+	if err := testProc().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Process{
+		{Pages: 0, PageBytes: 1, WriteRate: 1},
+		{Pages: 4, PageBytes: 0, WriteRate: 1},
+		{Pages: 4, PageBytes: 1, WriteRate: -1},
+		{Pages: 4, PageBytes: 1, WriteRate: math.NaN()},
+		{Pages: 4, PageBytes: 1, WriteRate: 1, Weights: []float64{1, 2}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("process %d should be invalid", i)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	p := &Process{Pages: 131072, PageBytes: 4096, WriteRate: 0}
+	if got := p.Bytes(); got != 512<<20 {
+		t.Fatalf("Bytes = %d, want 512MB", got)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(4, 1)
+	want := []float64{1, 0.5, 1.0 / 3, 0.25}
+	for i := range w {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("weights = %v", w)
+		}
+	}
+}
+
+func TestNormWeightsFallbacks(t *testing.T) {
+	// nil weights → uniform.
+	p := &Process{Pages: 4, PageBytes: 1, WriteRate: 1}
+	w := p.normWeights()
+	for _, x := range w {
+		if math.Abs(x-0.25) > 1e-12 {
+			t.Fatalf("uniform weights = %v", w)
+		}
+	}
+	// all-zero weights → uniform, not NaN.
+	p.Weights = []float64{0, 0, 0, 0}
+	w = p.normWeights()
+	for _, x := range w {
+		if math.Abs(x-0.25) > 1e-12 {
+			t.Fatalf("degenerate weights = %v", w)
+		}
+	}
+	// negative weights are clamped to 0.
+	p.Weights = []float64{-5, 1, 1, 0}
+	w = p.normWeights()
+	if w[0] != 0 || math.Abs(w[1]-0.5) > 1e-12 {
+		t.Fatalf("clamped weights = %v", w)
+	}
+}
+
+func TestUploadTimesOrdering(t *testing.T) {
+	weights := []float64{0.1, 0.6, 0.3}
+	theta := 3.0
+	hot := uploadTimes(weights, theta, HotFirst)
+	// Hot-first: page 1 (0.6) at t=1, page 2 (0.3) at t=2, page 0 at t=3.
+	if hot[1] != 1 || hot[2] != 2 || hot[0] != 3 {
+		t.Fatalf("hot-first times = %v", hot)
+	}
+	cold := uploadTimes(weights, theta, ColdFirst)
+	if cold[0] != 1 || cold[2] != 2 || cold[1] != 3 {
+		t.Fatalf("cold-first times = %v", cold)
+	}
+	addr := uploadTimes(weights, theta, AddressOrder)
+	if addr[0] != 1 || addr[1] != 2 || addr[2] != 3 {
+		t.Fatalf("address-order times = %v", addr)
+	}
+}
+
+func TestForkUploadValidation(t *testing.T) {
+	s := rng.New(1)
+	if _, err := ForkUpload(testProc(), 0, 1e-6, HotFirst, s); err == nil {
+		t.Fatal("zero theta should fail")
+	}
+	if _, err := ForkUpload(testProc(), 4, -1, HotFirst, s); err == nil {
+		t.Fatal("negative copy time should fail")
+	}
+	if _, err := ForkUpload(&Process{}, 4, 0, HotFirst, s); err == nil {
+		t.Fatal("invalid process should fail")
+	}
+}
+
+func TestForkUploadMatchesExpectation(t *testing.T) {
+	p := testProc()
+	s := rng.New(42)
+	theta := 4.0
+	want, err := ExpectedDuplications(p, theta, HotFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const episodes = 200
+	var sum float64
+	for e := 0; e < episodes; e++ {
+		res, err := ForkUpload(p, theta, 1e-6, HotFirst, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(res.Duplicated)
+	}
+	got := sum / episodes
+	if math.Abs(got-want) > 0.05*want+2 {
+		t.Fatalf("mean duplications %v, analytic %v", got, want)
+	}
+}
+
+func TestHotFirstBeatsColdFirst(t *testing.T) {
+	// The paper's ordering claim: uploading the most-likely-modified
+	// pages first strictly reduces expected duplications on a skewed
+	// write distribution. Zipf weights are descending by construction,
+	// which would make AddressOrder coincide with HotFirst; interleave
+	// them so the three orders genuinely differ.
+	p := testProc()
+	n := len(p.Weights)
+	shuffled := make([]float64, n)
+	for i, w := range p.Weights {
+		shuffled[(i*7919)%n] = w // 7919 is odd, hence coprime with 4096
+	}
+	p.Weights = shuffled
+	theta := 4.0
+	hot, err := ExpectedDuplications(p, theta, HotFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ExpectedDuplications(p, theta, ColdFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := ExpectedDuplications(p, theta, AddressOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hot < addr && addr < cold) {
+		t.Fatalf("ordering violated: hot %v, address %v, cold %v", hot, addr, cold)
+	}
+	if hot > 0.8*cold {
+		t.Fatalf("hot-first gain too small: %v vs %v", hot, cold)
+	}
+}
+
+func TestFasterUploadDuplicatesLess(t *testing.T) {
+	// §IV: "taking less time to upload ... reduces the amount of pages
+	// that must be created with the copy-on-write mechanism".
+	p := testProc()
+	prev := -1.0
+	for _, theta := range []float64{1, 2, 4, 8, 16, 44} {
+		d, err := ExpectedDuplications(p, theta, HotFirst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && d < prev {
+			t.Fatalf("duplications decreased with slower upload: θ=%v d=%v prev=%v", theta, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestUniformWeightsOrderIrrelevant(t *testing.T) {
+	// With uniform write probabilities the upload order cannot matter.
+	p := &Process{Pages: 1000, PageBytes: 4096, WriteRate: 100}
+	theta := 4.0
+	hot, _ := ExpectedDuplications(p, theta, HotFirst)
+	cold, _ := ExpectedDuplications(p, theta, ColdFirst)
+	if math.Abs(hot-cold) > 1e-9 {
+		t.Fatalf("uniform: hot %v != cold %v", hot, cold)
+	}
+}
+
+func TestZeroWriteRateNoDuplications(t *testing.T) {
+	p := &Process{Pages: 100, PageBytes: 4096, WriteRate: 0}
+	res, err := ForkUpload(p, 4, 1e-6, HotFirst, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duplicated != 0 || res.OverheadTime != 0 || res.ExtraBytes != 0 {
+		t.Fatalf("idle process duplicated pages: %+v", res)
+	}
+}
+
+func TestPhiCurveAndFitAlpha(t *testing.T) {
+	p := testProc()
+	thetas := []float64{4, 8, 16, 24, 32, 44}
+	curve, err := PhiCurve(p, thetas, 5e-5, HotFirst, 50, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != len(thetas) {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	// φ rises with θ here (longer exposure → more duplications), but
+	// must stay below θmin for the fit to make sense.
+	for _, pt := range curve {
+		if pt.Phi < 0 {
+			t.Fatalf("negative φ: %+v", pt)
+		}
+	}
+	alpha, err := FitAlpha(curve, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha <= 0 {
+		t.Fatalf("fitted α = %v, want positive", alpha)
+	}
+}
+
+func TestFitAlphaNoInformation(t *testing.T) {
+	curve := []PhiCurvePoint{{Theta: 4, Phi: 5}, {Theta: 8, Phi: 4}}
+	if _, err := FitAlpha(curve, 4); err == nil {
+		t.Fatal("curve with φ >= θmin everywhere should not fit")
+	}
+}
+
+func TestPhiCurveValidation(t *testing.T) {
+	if _, err := PhiCurve(testProc(), []float64{4}, 0, HotFirst, 0, rng.New(1)); err == nil {
+		t.Fatal("zero episodes should fail")
+	}
+	if _, err := PhiCurve(testProc(), []float64{-1}, 0, HotFirst, 1, rng.New(1)); err == nil {
+		t.Fatal("negative theta should fail")
+	}
+}
+
+func TestEffectiveDelta(t *testing.T) {
+	p := &Process{Pages: 131072, PageBytes: 4096, WriteRate: 0} // 512 MB
+	// Base scenario: 256 MB/s SSD gives δ = 2 s, the Table I value.
+	if got := EffectiveDelta(p, 256<<20, 0.05, false); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("δ without fork = %v, want 2", got)
+	}
+	if got := EffectiveDelta(p, 256<<20, 0.05, true); got != 0.05 {
+		t.Fatalf("δ with fork = %v, want setup time", got)
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	for o, want := range map[UploadOrder]string{
+		HotFirst: "hot-first", ColdFirst: "cold-first", AddressOrder: "address-order",
+	} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q", int(o), o.String())
+		}
+	}
+	if UploadOrder(7).String() == "" {
+		t.Error("unknown order should still format")
+	}
+}
+
+func TestExpectedDuplicationsBounds(t *testing.T) {
+	p := testProc()
+	d, err := ExpectedDuplications(p, 44, ColdFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 || d > float64(p.Pages) {
+		t.Fatalf("expected duplications %v outside [0, pages]", d)
+	}
+}

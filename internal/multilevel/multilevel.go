@@ -1,0 +1,179 @@
+// Package multilevel implements the hierarchical extension sketched in
+// the paper's related work and conclusion (§VII, §VIII): combine the
+// distributed in-memory buddy protocols (high-rate, cheap, but exposed
+// to fatal buddy-group failures) with a low-rate global checkpoint to
+// reliable stable storage. A fatal in-memory failure then no longer
+// kills the application: it rolls back to the last global checkpoint
+// instead, at a much larger (but bounded and rare) cost.
+//
+// The model composes the paper's first-order waste terms:
+//
+//	WASTE ≈ WASTEff(inner) + G/(kP) + F/M + r_fatal·L_global
+//
+// where the inner buddy protocol runs with period P, a blocking global
+// dump of duration G is taken every k inner periods, F/M is the
+// ordinary per-failure waste (Eq. 7/8/14), r_fatal is the rate of
+// fatal buddy-group failures per unit time (the same chain analysis as
+// Eq. 11/16, per time instead of per execution), and L_global =
+// D + Rg + kP/2 + G/2 is the expected loss when a fatal failure forces
+// a global rollback.
+package multilevel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+)
+
+// Config describes a two-level deployment.
+type Config struct {
+	// Protocol is the inner in-memory buddy protocol.
+	Protocol core.Protocol
+	// Params is the platform.
+	Params core.Params
+	// Phi is the inner overhead point φ ∈ [0, R].
+	Phi float64
+	// G is the duration of one blocking global checkpoint (a
+	// whole-application dump to stable storage).
+	G float64
+	// Rg is the time to reload the application from global storage
+	// after a fatal in-memory failure.
+	Rg float64
+}
+
+// Validate reports an error for out-of-domain configurations.
+func (c Config) Validate() error {
+	if !c.Protocol.Valid() {
+		return fmt.Errorf("multilevel: invalid protocol %d", int(c.Protocol))
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if err := c.Params.CheckPhi(c.Phi); err != nil && c.Protocol != core.DoubleBlocking {
+		return err
+	}
+	if c.G <= 0 || math.IsNaN(c.G) {
+		return fmt.Errorf("multilevel: global checkpoint cost G = %v", c.G)
+	}
+	if c.Rg < 0 || math.IsNaN(c.Rg) {
+		return fmt.Errorf("multilevel: global recovery Rg = %v", c.Rg)
+	}
+	return nil
+}
+
+// FatalRate returns the rate (per second) of fatal buddy-group
+// failures for the inner protocol: the per-execution probabilities of
+// Eq. 11/16 divided by the execution length. For pairs the chain is
+// nλ²·Risk per unit time; for triples 2nλ³·Risk².
+func FatalRate(pr core.Protocol, p core.Params, phi float64) float64 {
+	lambda := p.Lambda()
+	risk := core.RiskWindow(pr, p, phi)
+	if pr.IsTriple() {
+		return 2 * float64(p.N) * lambda * lambda * lambda * risk * risk
+	}
+	return float64(p.N) * lambda * lambda * risk
+}
+
+// Waste returns the two-level waste for inner period P and global
+// interval k (global checkpoint every k inner periods). It returns 1
+// for saturated configurations.
+func Waste(c Config, period float64, k int) (float64, error) {
+	if k < 1 {
+		return 1, fmt.Errorf("multilevel: k = %d", k)
+	}
+	inner, err := core.Waste(c.Protocol, c.Params, c.Phi, period)
+	if err != nil {
+		return 1, err
+	}
+	globalFF := c.G / (float64(k) * period)
+	lossGlobal := c.Params.D + c.Rg + float64(k)*period/2 + c.G/2
+	fatal := FatalRate(c.Protocol, c.Params, c.Phi) * lossGlobal
+	w := 1 - (1-inner)*(1-clamp01(globalFF))*(1-clamp01(fatal))
+	return clamp01(w), nil
+}
+
+// Plan is an optimized two-level configuration.
+type Plan struct {
+	Period       float64 // inner buddy period
+	K            int     // inner periods per global checkpoint
+	Waste        float64 // total two-level waste
+	InnerWaste   float64 // waste of the buddy level alone
+	GlobalPeriod float64 // k·P, the wall-clock global interval
+	// MTTI is the mean time between fatal in-memory failures, i.e.
+	// how often the global level is actually needed.
+	MTTI float64
+}
+
+// Optimize searches the (P, k) space for the minimal-waste plan. The
+// inner period starts from the protocol's single-level optimum; k is
+// scanned geometrically and the period refined by golden section for
+// each k.
+func Optimize(c Config) (Plan, error) {
+	if err := c.Validate(); err != nil {
+		return Plan{}, err
+	}
+	minP := core.MinPeriod(c.Protocol, c.Params, c.Phi)
+	// Upper bound of the period search: beyond P = 2(M−A) the
+	// per-failure loss F = A + P/2 exceeds the MTBF and the waste
+	// saturates at 1; a flat saturated plateau would defeat a
+	// unimodal search, so exclude it up front.
+	a := core.FailureLoss(c.Protocol, c.Params, c.Phi, 0)
+	maxP := 2 * (c.Params.M - a)
+	if maxP <= minP {
+		return Plan{}, fmt.Errorf("multilevel: no feasible plan (M = %v too small)", c.Params.M)
+	}
+	best := Plan{Waste: 2}
+	for k := 1; k <= 1<<20; k *= 2 {
+		waste := func(p float64) float64 {
+			w, err := Waste(c, p, k)
+			if err != nil {
+				return 2
+			}
+			return w
+		}
+		// GridRefine tolerates the residual flat spots near the
+		// boundaries that golden section cannot.
+		p := optimize.GridRefine(waste, minP, maxP, 64, 4)
+		if w := waste(p); w < best.Waste {
+			best = Plan{Period: p, K: k, Waste: w}
+		}
+	}
+	if best.Waste >= 1 {
+		return Plan{}, fmt.Errorf("multilevel: no feasible plan (M = %v too small)", c.Params.M)
+	}
+	innerW, err := core.Waste(c.Protocol, c.Params, c.Phi, best.Period)
+	if err != nil {
+		return Plan{}, err
+	}
+	best.InnerWaste = innerW
+	best.GlobalPeriod = float64(best.K) * best.Period
+	if r := FatalRate(c.Protocol, c.Params, c.Phi); r > 0 {
+		best.MTTI = 1 / r
+	} else {
+		best.MTTI = math.Inf(1)
+	}
+	return best, nil
+}
+
+// LossIfUnprotected returns the expected fraction of a platform life
+// lost to fatal failures WITHOUT a global level (the application
+// restarts from scratch): per fatal failure the full expected
+// accumulated work life/2 is lost, so the fraction is r_fatal·life/2,
+// clamped to 1. It quantifies what the global level buys.
+func LossIfUnprotected(pr core.Protocol, p core.Params, phi, life float64) float64 {
+	return clamp01(FatalRate(pr, p, phi) * life / 2)
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	case math.IsNaN(x):
+		return 1
+	}
+	return x
+}

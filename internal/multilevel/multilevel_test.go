@@ -1,0 +1,198 @@
+package multilevel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func baseParams() core.Params {
+	return core.Params{D: 0, Delta: 2, R: 4, Alpha: 10, N: 324 * 32, M: 7 * 3600}
+}
+
+func baseConfig() Config {
+	return Config{
+		Protocol: core.DoubleNBL,
+		Params:   baseParams(),
+		Phi:      1,
+		G:        200, // whole-app dump: 100x the per-node checkpoint
+		Rg:       200,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Protocol = core.Protocol(77) },
+		func(c *Config) { c.Params.M = 0 },
+		func(c *Config) { c.Phi = -1 },
+		func(c *Config) { c.G = 0 },
+		func(c *Config) { c.G = math.NaN() },
+		func(c *Config) { c.Rg = -5 },
+	}
+	for i, mutate := range bad {
+		c := baseConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestFatalRateMatchesEq11(t *testing.T) {
+	// Per-execution fatality of Eq. 11 equals rate × T to first order.
+	p := baseParams().WithMTBF(120)
+	phi := 0.0
+	life := 3600.0
+	rate := FatalRate(core.DoubleNBL, p, phi)
+	perExec := core.FatalFailureProbability(core.DoubleNBL, p, phi, life)
+	if math.Abs(rate*life-perExec) > 0.05*perExec {
+		t.Fatalf("rate*T = %v, Eq.11 = %v", rate*life, perExec)
+	}
+	// Same for triples against Eq. 16.
+	rate = FatalRate(core.TripleNBL, p, phi)
+	perExec = core.FatalFailureProbability(core.TripleNBL, p, phi, life)
+	if math.Abs(rate*life-perExec) > 0.05*perExec {
+		t.Fatalf("triple rate*T = %v, Eq.16 = %v", rate*life, perExec)
+	}
+}
+
+func TestWasteComposition(t *testing.T) {
+	c := baseConfig()
+	period := 300.0
+	w1, err := Waste(c, period, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w10, err := Waste(c, period, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, _ := core.Waste(c.Protocol, c.Params, c.Phi, period)
+	// More frequent global dumps cost more in this regime (fatal
+	// failures are rare on Base at 7h MTBF).
+	if !(w1 > w10 && w10 > inner) {
+		t.Fatalf("waste ordering: k=1 %v, k=10 %v, inner %v", w1, w10, inner)
+	}
+	if _, err := Waste(c, period, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := Waste(c, 10, 5); err == nil {
+		t.Fatal("period below MinPeriod should fail")
+	}
+}
+
+func TestOptimizeBeatsNaive(t *testing.T) {
+	c := baseConfig()
+	plan, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.K < 1 || plan.Period <= 0 {
+		t.Fatalf("degenerate plan %+v", plan)
+	}
+	// The optimized plan beats always-global (k=1) at the same period
+	// and beats a poorly chosen period.
+	naive, _ := Waste(c, plan.Period, 1)
+	if plan.Waste > naive+1e-12 {
+		t.Fatalf("plan %v worse than k=1 %v", plan.Waste, naive)
+	}
+	shortP, _ := Waste(c, core.MinPeriod(c.Protocol, c.Params, c.Phi)+1, plan.K)
+	if plan.Waste > shortP+1e-12 {
+		t.Fatalf("plan %v worse than short-period %v", plan.Waste, shortP)
+	}
+	if plan.GlobalPeriod != float64(plan.K)*plan.Period {
+		t.Fatal("GlobalPeriod inconsistent")
+	}
+	if plan.MTTI <= 0 {
+		t.Fatalf("MTTI = %v", plan.MTTI)
+	}
+}
+
+func TestGlobalLevelNearlyFree(t *testing.T) {
+	// On Base at 7h MTBF, fatal buddy failures are so rare that the
+	// optimized two-level waste is within a whisker of the pure buddy
+	// waste: the global level's insurance is nearly free.
+	c := baseConfig()
+	plan, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure := core.OptimalWaste(c.Protocol, c.Params, c.Phi)
+	if plan.Waste > pure*1.25 {
+		t.Fatalf("two-level waste %v vs pure %v: insurance too expensive", plan.Waste, pure)
+	}
+	if plan.Waste < pure {
+		t.Fatalf("two-level waste %v cannot beat pure buddy %v", plan.Waste, pure)
+	}
+}
+
+func TestInsuranceWorthItAtSmallMTBF(t *testing.T) {
+	// At M = 300s over a 30-day life, an unprotected DoubleNBL
+	// deployment loses a meaningful fraction of its work to fatal
+	// double failures; the two-level plan caps that for a bounded
+	// waste premium. (M = 60s would saturate Base entirely at φ = 0:
+	// F = D+R+θ+P/2 ≥ 71s > M.)
+	p := baseParams().WithMTBF(300)
+	life := 30.0 * 86400
+	lost := LossIfUnprotected(core.DoubleNBL, p, 0, life)
+	if lost < 0.05 {
+		t.Fatalf("unprotected loss = %v, expected significant", lost)
+	}
+	c := Config{Protocol: core.DoubleNBL, Params: p, Phi: 0, G: 200, Rg: 200}
+	plan, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The waste the global level adds on top of the buddy level.
+	added := plan.Waste - plan.InnerWaste
+	if added <= 0 || added > 0.2 {
+		t.Fatalf("insurance premium = %v", added)
+	}
+	t.Logf("M=300s: unprotected expected loss %.3f of the platform life; "+
+		"two-level premium %.4f waste, global every %.0fs (k=%d), MTTI %.0fs",
+		lost, added, plan.GlobalPeriod, plan.K, plan.MTTI)
+}
+
+func TestTripleNeedsLessInsurance(t *testing.T) {
+	// Triple's fatal rate is cubic in λ: its optimized global interval
+	// should be much longer than Double's (less frequent insurance).
+	p := baseParams().WithMTBF(300)
+	mk := func(pr core.Protocol) Plan {
+		plan, err := Optimize(Config{Protocol: pr, Params: p, Phi: 0, G: 200, Rg: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	double := mk(core.DoubleNBL)
+	triple := mk(core.TripleNBL)
+	if triple.MTTI <= double.MTTI {
+		t.Fatalf("triple MTTI %v should exceed double %v", triple.MTTI, double.MTTI)
+	}
+	if triple.GlobalPeriod < double.GlobalPeriod {
+		t.Fatalf("triple global interval %v shorter than double %v",
+			triple.GlobalPeriod, double.GlobalPeriod)
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	c := baseConfig()
+	c.Params.M = 3 // hopeless platform
+	if _, err := Optimize(c); err == nil {
+		t.Fatal("M=3s should be infeasible")
+	}
+}
+
+func TestLossIfUnprotectedClamp(t *testing.T) {
+	p := baseParams().WithMTBF(1)
+	if got := LossIfUnprotected(core.DoubleNBL, p, 0, 1e12); got != 1 {
+		t.Fatalf("clamped loss = %v, want 1", got)
+	}
+	if got := LossIfUnprotected(core.DoubleNBL, baseParams(), 0, 0); got != 0 {
+		t.Fatalf("zero-life loss = %v", got)
+	}
+}

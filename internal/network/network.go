@@ -1,0 +1,152 @@
+// Package network models the interconnect used for buddy checkpoint
+// exchanges: per-node link bandwidth, transfer durations, the
+// stretch/overhead trade-off of the paper's overlap model, and a
+// simple fair-share contention model for concurrent transfers on the
+// same link.
+//
+// It grounds the scenario constants of Table I: R is the time to push
+// one image at full link speed, and stretching a transfer to s·R
+// lowers the compute overhead per the α interpolation.
+package network
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fabric describes the interconnect.
+type Fabric struct {
+	// LinkBandwidth is the per-node injection bandwidth in bytes/s.
+	LinkBandwidth float64
+	// Latency is the per-transfer startup cost in seconds.
+	Latency float64
+}
+
+// Validate reports an error for non-physical parameters.
+func (f Fabric) Validate() error {
+	if f.LinkBandwidth <= 0 || math.IsInf(f.LinkBandwidth, 0) || math.IsNaN(f.LinkBandwidth) {
+		return fmt.Errorf("network: bandwidth %v must be finite and positive", f.LinkBandwidth)
+	}
+	if f.Latency < 0 || math.IsNaN(f.Latency) {
+		return fmt.Errorf("network: latency %v must be >= 0", f.Latency)
+	}
+	return nil
+}
+
+// BlockingTime returns R = θmin for an image of the given size: the
+// time to push it at full link speed.
+func (f Fabric) BlockingTime(bytes int64) float64 {
+	return f.Latency + float64(bytes)/f.LinkBandwidth
+}
+
+// StretchedTime returns the duration of a transfer throttled to a
+// fraction 1/stretch of the link bandwidth (stretch ≥ 1), which is how
+// the non-blocking protocols trade transfer time for lower compute
+// overhead.
+func (f Fabric) StretchedTime(bytes int64, stretch float64) float64 {
+	if stretch < 1 {
+		stretch = 1
+	}
+	return f.Latency + float64(bytes)*stretch/f.LinkBandwidth
+}
+
+// Transfer is one in-flight image transfer between two ranks.
+type Transfer struct {
+	From, To  int
+	Bytes     int64
+	remaining float64 // bytes left
+	rate      float64 // current bytes/s
+}
+
+// Exchange tracks a set of concurrent transfers with fair-share link
+// contention: a node's injection (and reception) bandwidth is split
+// evenly among its active transfers. The buddy exchange phase of the
+// protocols is one Exchange with n transfers (a perfect pairing has no
+// contention; a degraded rewiring after failures may have some).
+type Exchange struct {
+	fabric    Fabric
+	transfers []*Transfer
+	now       float64
+}
+
+// NewExchange creates an empty exchange at time 0.
+func NewExchange(f Fabric) *Exchange {
+	return &Exchange{fabric: f}
+}
+
+// Add inserts a transfer. Rates of all transfers are recomputed.
+func (e *Exchange) Add(from, to int, bytes int64) *Transfer {
+	t := &Transfer{From: from, To: to, Bytes: bytes, remaining: float64(bytes)}
+	e.transfers = append(e.transfers, t)
+	e.recomputeRates()
+	return t
+}
+
+// Active returns the number of unfinished transfers.
+func (e *Exchange) Active() int { return len(e.transfers) }
+
+// Now returns the exchange clock.
+func (e *Exchange) Now() float64 { return e.now }
+
+// recomputeRates applies fair sharing: each endpoint's bandwidth is
+// divided by its number of active transfers; a transfer runs at the
+// minimum of its two endpoint shares.
+func (e *Exchange) recomputeRates() {
+	load := make(map[int]int)
+	for _, t := range e.transfers {
+		load[t.From]++
+		load[t.To]++
+	}
+	for _, t := range e.transfers {
+		shareFrom := e.fabric.LinkBandwidth / float64(load[t.From])
+		shareTo := e.fabric.LinkBandwidth / float64(load[t.To])
+		t.rate = math.Min(shareFrom, shareTo)
+	}
+}
+
+// Step advances the exchange until the next transfer completes or dt
+// elapses, whichever is sooner. It returns the completed transfer (nil
+// if none completed) and the time actually advanced.
+func (e *Exchange) Step(dt float64) (*Transfer, float64) {
+	if len(e.transfers) == 0 {
+		e.now += dt
+		return nil, dt
+	}
+	// Find the earliest completion under current rates.
+	best := -1
+	bestT := math.Inf(1)
+	for i, t := range e.transfers {
+		if t.rate <= 0 {
+			continue
+		}
+		if ct := t.remaining / t.rate; ct < bestT {
+			bestT, best = ct, i
+		}
+	}
+	step := math.Min(dt, bestT)
+	for _, t := range e.transfers {
+		t.remaining -= t.rate * step
+	}
+	e.now += step
+	if step < bestT || best < 0 {
+		return nil, step
+	}
+	done := e.transfers[best]
+	done.remaining = 0
+	e.transfers = append(e.transfers[:best], e.transfers[best+1:]...)
+	e.recomputeRates()
+	return done, step
+}
+
+// Drain runs the exchange to completion and returns the makespan (the
+// time from start until the last transfer finishes).
+func (e *Exchange) Drain() float64 {
+	start := e.now
+	for len(e.transfers) > 0 {
+		if _, step := e.Step(math.Inf(1)); step == 0 && len(e.transfers) > 0 {
+			// All remaining transfers have zero rate; cannot progress.
+			break
+		}
+	}
+	return e.now - start
+}

@@ -1,0 +1,95 @@
+// Package optimize provides small numerical optimization routines used
+// to cross-check the paper's closed-form optimal checkpointing periods
+// (Eq. 9, 10, 15) against direct minimization of the waste function,
+// standing in for the Maple computations of §III.B.
+package optimize
+
+import "math"
+
+// invPhi is 1/φ where φ is the golden ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenSection minimizes f over [a, b] assuming f is unimodal there.
+// It returns the abscissa of the minimum with absolute tolerance tol.
+func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// GridRefine minimizes f over [a, b] by iterated grid scans. It does
+// not require unimodality; it is slower but robust, and is used as a
+// second opinion in tests.
+func GridRefine(f func(float64) float64, a, b float64, points, rounds int) float64 {
+	if points < 3 {
+		points = 3
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	lo, hi := a, b
+	best := lo
+	for r := 0; r < rounds; r++ {
+		step := (hi - lo) / float64(points-1)
+		bestVal := math.Inf(1)
+		for i := 0; i < points; i++ {
+			x := lo + float64(i)*step
+			if v := f(x); v < bestVal {
+				bestVal, best = v, x
+			}
+		}
+		lo = math.Max(a, best-step)
+		hi = math.Min(b, best+step)
+	}
+	return best
+}
+
+// Bisect finds a root of f in [a, b] (f(a) and f(b) must have opposite
+// signs) with absolute tolerance tol. It is used to locate waste-ratio
+// crossover points in the ablation experiments.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, bool) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, true
+	}
+	if fb == 0 {
+		return b, true
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, false
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	for b-a > tol {
+		m := (a + b) / 2
+		fm := f(m)
+		if fm == 0 {
+			return m, true
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return (a + b) / 2, true
+}

@@ -1,0 +1,110 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	got := GoldenSection(f, 0, 10, 1e-8)
+	if math.Abs(got-3) > 1e-6 {
+		t.Fatalf("minimum at %v, want 3", got)
+	}
+}
+
+func TestGoldenSectionReversedBounds(t *testing.T) {
+	f := func(x float64) float64 { return math.Abs(x - 2) }
+	got := GoldenSection(f, 10, 0, 1e-8) // bounds swapped
+	if math.Abs(got-2) > 1e-6 {
+		t.Fatalf("minimum at %v, want 2", got)
+	}
+}
+
+func TestGoldenSectionBoundaryMinimum(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	got := GoldenSection(f, 1, 5, 1e-8)
+	if math.Abs(got-1) > 1e-6 {
+		t.Fatalf("boundary minimum at %v, want 1", got)
+	}
+}
+
+func TestGoldenSectionDefaultTolerance(t *testing.T) {
+	f := func(x float64) float64 { return (x - 1) * (x - 1) }
+	got := GoldenSection(f, 0, 2, 0) // non-positive tol falls back
+	if math.Abs(got-1) > 1e-6 {
+		t.Fatalf("minimum at %v, want 1", got)
+	}
+}
+
+func TestGoldenSectionProperty(t *testing.T) {
+	// For any parabola with vertex inside the interval, the minimizer
+	// is found to tolerance.
+	prop := func(rawV, rawW float64) bool {
+		v := math.Mod(math.Abs(rawV), 8) + 1 // vertex in [1, 9]
+		w := math.Mod(math.Abs(rawW), 5) + 0.1
+		if math.IsNaN(v) || math.IsNaN(w) {
+			return true
+		}
+		f := func(x float64) float64 { return w * (x - v) * (x - v) }
+		got := GoldenSection(f, 0, 10, 1e-9)
+		return math.Abs(got-v) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridRefine(t *testing.T) {
+	// A bimodal function where golden section could latch onto the
+	// wrong valley: grid refinement finds the global minimum.
+	f := func(x float64) float64 {
+		return math.Min((x-2)*(x-2)+0.5, (x-8)*(x-8))
+	}
+	got := GridRefine(f, 0, 10, 50, 6)
+	if math.Abs(got-8) > 1e-3 {
+		t.Fatalf("global minimum at %v, want 8", got)
+	}
+}
+
+func TestGridRefineDegenerateArgs(t *testing.T) {
+	f := func(x float64) float64 { return (x - 1) * (x - 1) }
+	got := GridRefine(f, 0, 2, 1, 0) // clamped to 3 points, 1 round
+	if math.Abs(got-1) > 0.5 {
+		t.Fatalf("minimum at %v", got)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	root, ok := Bisect(f, 0, 2, 1e-10)
+	if !ok || math.Abs(root-math.Sqrt2) > 1e-8 {
+		t.Fatalf("root = %v, ok = %v", root, ok)
+	}
+}
+
+func TestBisectEndpointsAreRoots(t *testing.T) {
+	f := func(x float64) float64 { return x - 1 }
+	if root, ok := Bisect(f, 1, 5, 1e-9); !ok || root != 1 {
+		t.Fatalf("root at a = %v, %v", root, ok)
+	}
+	if root, ok := Bisect(f, -3, 1, 1e-9); !ok || root != 1 {
+		t.Fatalf("root at b = %v, %v", root, ok)
+	}
+}
+
+func TestBisectNoSignChange(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, ok := Bisect(f, -5, 5, 1e-9); ok {
+		t.Fatal("no root should be reported")
+	}
+}
+
+func TestBisectDefaultTolerance(t *testing.T) {
+	f := func(x float64) float64 { return x - 3 }
+	root, ok := Bisect(f, 0, 10, 0)
+	if !ok || math.Abs(root-3) > 1e-6 {
+		t.Fatalf("root = %v", root)
+	}
+}

@@ -1,0 +1,186 @@
+// Package protocol gives the declarative, executable description of
+// each checkpointing protocol: the phase structure of its period (who
+// sends which image to whom, at what work rate, and when the snapshot
+// set commits) and the failure-handling plan (stall, retransmissions,
+// overlap window, risk window, resume policy).
+//
+// The analytic package core encodes the same information as closed
+// formulas; this package exposes it as data so the detailed simulator
+// can drive the cluster/checkpoint/network substrates. The test suite
+// asserts the two views agree (work per period, risk windows, commit
+// points), which guards against the two implementations drifting.
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// PhaseKind classifies a period phase.
+type PhaseKind int
+
+const (
+	// LocalCheckpoint is the blocking local snapshot (double
+	// protocols' δ phase). No work progresses.
+	LocalCheckpoint PhaseKind = iota
+	// Exchange is a buddy image transfer overlapped with computation
+	// at rate (θ−φ)/θ.
+	Exchange
+	// Compute is the full-speed phase σ.
+	Compute
+)
+
+// String returns the phase-kind name.
+func (k PhaseKind) String() string {
+	switch k {
+	case LocalCheckpoint:
+		return "local-checkpoint"
+	case Exchange:
+		return "exchange"
+	case Compute:
+		return "compute"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// BuddyTarget selects the destination of an exchange phase relative
+// to the sending rank.
+type BuddyTarget int
+
+const (
+	// NoTarget: the phase moves no image (local checkpoint, compute).
+	NoTarget BuddyTarget = iota
+	// PairBuddy: the unique partner in a pair.
+	PairBuddy
+	// PreferredBuddy: p' in the triple rotation (§IV).
+	PreferredBuddy
+	// SecondaryBuddy: p'' in the triple rotation (§IV).
+	SecondaryBuddy
+)
+
+// Phase is one part of the protocol period.
+type Phase struct {
+	Kind     PhaseKind
+	Duration float64
+	// WorkRate is the application progress rate during the phase
+	// (0 for blocking, (θ−φ)/θ for overlapped exchange, 1 for σ).
+	WorkRate float64
+	// SendTo names the image destination for Exchange phases.
+	SendTo BuddyTarget
+	// CommitAfter marks the phase whose completion commits the
+	// snapshot set (double: after the pair exchange; triple: after
+	// the preferred-buddy exchange).
+	CommitAfter bool
+}
+
+// Schedule is a protocol's period.
+type Schedule struct {
+	Protocol core.Protocol
+	Phi      float64
+	Phases   []Phase
+}
+
+// Build returns the period schedule for the protocol at overhead φ
+// and the given period length.
+func Build(pr core.Protocol, p core.Params, phi, period float64) (Schedule, error) {
+	phi = core.EffectivePhi(pr, p, phi)
+	ph, err := core.PeriodPhases(pr, p, phi, period)
+	if err != nil {
+		return Schedule{}, err
+	}
+	exRate := p.ExchangeRate(phi)
+	var phases []Phase
+	if pr.IsTriple() {
+		phases = []Phase{
+			{Kind: Exchange, Duration: ph.Ckpt1, WorkRate: exRate, SendTo: PreferredBuddy, CommitAfter: true},
+			{Kind: Exchange, Duration: ph.Ckpt2, WorkRate: exRate, SendTo: SecondaryBuddy},
+			{Kind: Compute, Duration: ph.Compute, WorkRate: 1},
+		}
+	} else {
+		phases = []Phase{
+			{Kind: LocalCheckpoint, Duration: ph.Ckpt1, WorkRate: 0},
+			{Kind: Exchange, Duration: ph.Ckpt2, WorkRate: exRate, SendTo: PairBuddy, CommitAfter: true},
+			{Kind: Compute, Duration: ph.Compute, WorkRate: 1},
+		}
+	}
+	return Schedule{Protocol: pr, Phi: phi, Phases: phases}, nil
+}
+
+// Period returns the schedule's total duration.
+func (s Schedule) Period() float64 {
+	var sum float64
+	for _, ph := range s.Phases {
+		sum += ph.Duration
+	}
+	return sum
+}
+
+// Work returns the application work accomplished in one fault-free
+// period; it must equal core.Work for the same inputs.
+func (s Schedule) Work() float64 {
+	var sum float64
+	for _, ph := range s.Phases {
+		sum += ph.Duration * ph.WorkRate
+	}
+	return sum
+}
+
+// CommitPhase returns the index of the phase whose completion commits
+// the snapshot set, or -1 if none (not a valid protocol schedule).
+func (s Schedule) CommitPhase() int {
+	for i, ph := range s.Phases {
+		if ph.CommitAfter {
+			return i
+		}
+	}
+	return -1
+}
+
+// FailurePlan describes how a protocol reacts to a failure.
+type FailurePlan struct {
+	// Stall is the blocking time before re-execution can start:
+	// downtime + own-image recovery + blocking retransmissions for
+	// the BoF variants.
+	Stall float64
+	// ImagesToRestore is the number of buddy images the replacement
+	// must re-receive besides its own (1 for pairs, 2 for triples).
+	ImagesToRestore int
+	// OverlapWindow is the re-execution time slice with reduced work
+	// rate while the images stream in (0 for the BoF variants, which
+	// already paid for them in Stall).
+	OverlapWindow float64
+	// RestoreDone lists, for each restored image, the delay after the
+	// failure at which that image is back on the replacement node.
+	// The last entry closes the risk window.
+	RestoreDone []float64
+	// RiskWindow is the risk-period length, equal to the last
+	// RestoreDone entry and to core.RiskWindow.
+	RiskWindow float64
+}
+
+// PlanFailure returns the failure-handling plan for the protocol.
+func PlanFailure(pr core.Protocol, p core.Params, phi float64) FailurePlan {
+	phi = core.EffectivePhi(pr, p, phi)
+	theta := p.Theta(phi)
+	images := pr.GroupSize() - 1
+	plan := FailurePlan{
+		Stall:           p.D + p.R,
+		ImagesToRestore: images,
+	}
+	perImage := theta
+	if pr.BlocksOnFailure() {
+		plan.Stall += float64(images) * p.R
+		perImage = p.R
+	} else {
+		plan.OverlapWindow = float64(images) * theta
+	}
+	at := p.D + p.R
+	for i := 0; i < images; i++ {
+		at += perImage
+		plan.RestoreDone = append(plan.RestoreDone, at)
+	}
+	plan.RiskWindow = at
+	return plan
+}

@@ -1,0 +1,146 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func baseParams() core.Params {
+	return core.Params{D: 0, Delta: 2, R: 4, Alpha: 10, N: 324 * 32, M: 7 * 3600}
+}
+
+func exaParams() core.Params {
+	return core.Params{D: 60, Delta: 30, R: 60, Alpha: 10, N: 1_000_000, M: 7 * 3600}
+}
+
+func TestBuildShapes(t *testing.T) {
+	p := baseParams()
+	s, err := Build(core.DoubleNBL, p, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Phases) != 3 {
+		t.Fatalf("double schedule has %d phases", len(s.Phases))
+	}
+	if s.Phases[0].Kind != LocalCheckpoint || s.Phases[1].Kind != Exchange || s.Phases[2].Kind != Compute {
+		t.Fatalf("double phase kinds wrong: %+v", s.Phases)
+	}
+	if s.Phases[1].SendTo != PairBuddy {
+		t.Fatal("double exchange should target the pair buddy")
+	}
+	if s.CommitPhase() != 1 {
+		t.Fatalf("double commit phase = %d, want 1", s.CommitPhase())
+	}
+
+	s, err = Build(core.TripleNBL, p, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Phases[0].Kind != Exchange || s.Phases[0].SendTo != PreferredBuddy {
+		t.Fatalf("triple phase 1 = %+v", s.Phases[0])
+	}
+	if s.Phases[1].SendTo != SecondaryBuddy {
+		t.Fatalf("triple phase 2 = %+v", s.Phases[1])
+	}
+	if s.CommitPhase() != 0 {
+		t.Fatalf("triple commit phase = %d, want 0 (preferred buddy)", s.CommitPhase())
+	}
+}
+
+func TestBuildRejectsShortPeriods(t *testing.T) {
+	if _, err := Build(core.DoubleNBL, baseParams(), 0, 10); err == nil {
+		t.Fatal("period shorter than δ+θmax should fail")
+	}
+}
+
+// TestScheduleAgreesWithCore is the anti-drift check: the declarative
+// schedule and the analytic formulas must describe the same protocol.
+func TestScheduleAgreesWithCore(t *testing.T) {
+	for _, p := range []core.Params{baseParams(), exaParams()} {
+		for _, pr := range core.Protocols {
+			for _, frac := range []float64{0, 0.25, 0.5, 1} {
+				phi := frac * p.R
+				period := core.MinPeriod(pr, p, phi) * 3
+				s, err := Build(pr, p, phi, period)
+				if err != nil {
+					t.Fatalf("%s: %v", pr, err)
+				}
+				if math.Abs(s.Period()-period) > 1e-9 {
+					t.Errorf("%s: schedule period %v != %v", pr, s.Period(), period)
+				}
+				wantW := core.Work(pr, p, core.EffectivePhi(pr, p, phi), period)
+				if math.Abs(s.Work()-wantW) > 1e-6 {
+					t.Errorf("%s φ=%v: schedule work %v != core.Work %v", pr, phi, s.Work(), wantW)
+				}
+				plan := PlanFailure(pr, p, phi)
+				wantRisk := core.RiskWindow(pr, p, phi)
+				if math.Abs(plan.RiskWindow-wantRisk) > 1e-9 {
+					t.Errorf("%s φ=%v: plan risk %v != core risk %v", pr, phi, plan.RiskWindow, wantRisk)
+				}
+				if plan.ImagesToRestore != pr.GroupSize()-1 {
+					t.Errorf("%s: %d images to restore", pr, plan.ImagesToRestore)
+				}
+				if got := len(plan.RestoreDone); got != plan.ImagesToRestore {
+					t.Errorf("%s: %d restore milestones", pr, got)
+				}
+				if plan.RestoreDone[len(plan.RestoreDone)-1] != plan.RiskWindow {
+					t.Errorf("%s: last restore %v != risk window %v",
+						pr, plan.RestoreDone[len(plan.RestoreDone)-1], plan.RiskWindow)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanFailureBlockingVsOverlap(t *testing.T) {
+	p := baseParams()
+	phi := 1.0
+	nbl := PlanFailure(core.DoubleNBL, p, phi)
+	bof := PlanFailure(core.DoubleBoF, p, phi)
+	// NBL pays with an overlap window, BoF with a longer stall.
+	if nbl.OverlapWindow == 0 || bof.OverlapWindow != 0 {
+		t.Fatalf("overlap windows: nbl %v, bof %v", nbl.OverlapWindow, bof.OverlapWindow)
+	}
+	if bof.Stall <= nbl.Stall {
+		t.Fatalf("stalls: bof %v should exceed nbl %v", bof.Stall, nbl.Stall)
+	}
+	if bof.RiskWindow >= nbl.RiskWindow {
+		t.Fatalf("risk: bof %v should be below nbl %v", bof.RiskWindow, nbl.RiskWindow)
+	}
+}
+
+func TestCommitPhaseMissing(t *testing.T) {
+	s := Schedule{Phases: []Phase{{Kind: Compute, Duration: 1, WorkRate: 1}}}
+	if s.CommitPhase() != -1 {
+		t.Fatal("schedule without commit should return -1")
+	}
+}
+
+func TestPhaseKindString(t *testing.T) {
+	for k, want := range map[PhaseKind]string{
+		LocalCheckpoint: "local-checkpoint", Exchange: "exchange", Compute: "compute",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if PhaseKind(9).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestTripleWorkRateDuringExchanges(t *testing.T) {
+	p := baseParams()
+	s, err := Build(core.TripleNBL, p, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At φ=0 the exchanges are fully overlapped: work rate 1 even
+	// during the transfers — the triple protocol's headline property.
+	if s.Phases[0].WorkRate != 1 || s.Phases[1].WorkRate != 1 {
+		t.Fatalf("φ=0 exchange rates = %v, %v; want 1",
+			s.Phases[0].WorkRate, s.Phases[1].WorkRate)
+	}
+}

@@ -1,0 +1,163 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams and the variate distributions used by the failure and memory
+// substrates.
+//
+// The simulator needs (a) reproducible runs given a seed, (b) one
+// independent stream per node so that adding instrumentation or
+// reordering events never perturbs the failure sample, and (c)
+// Exponential, Weibull and LogNormal variates for the failure laws
+// discussed in the paper's related work (§VII). The generator is
+// xoshiro256**, seeded through SplitMix64 as its authors recommend;
+// both are implemented here to keep the module stdlib-only.
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random stream (xoshiro256**).
+// The zero value is invalid; use New or Split.
+type Stream struct {
+	s [4]uint64
+	// cachedNorm holds the second Box-Muller variate between calls.
+	cachedNorm    float64
+	hasCachedNorm bool
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is the recommended seeding generator for xoshiro.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a stream seeded from the given seed. Distinct seeds give
+// statistically independent streams.
+func New(seed uint64) *Stream {
+	st := seed
+	var s Stream
+	for i := range s.s {
+		s.s[i] = splitMix64(&st)
+	}
+	// xoshiro must not start from the all-zero state.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &s
+}
+
+// Split derives an independent child stream identified by index. It
+// does not advance the parent. Typical use: one child per node.
+func (s *Stream) Split(index uint64) *Stream {
+	// Mix the parent state with the index through SplitMix64 so that
+	// children of distinct indices, and children of distinct parents,
+	// are decorrelated.
+	st := s.s[0] ^ (s.s[1] << 1) ^ (s.s[2] << 2) ^ (s.s[3] << 3) ^ (index * 0xd1342543de82ef95)
+	return New(splitMix64(&st))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Stream) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of
+// precision.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// positiveFloat64 returns a uniform variate in (0, 1], suitable as the
+// argument of a logarithm.
+func (s *Stream) positiveFloat64() float64 {
+	return 1 - s.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, bias-free.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + (aLo*bHi+t&mask)>>32 + t>>32
+	return hi, lo
+}
+
+// Exponential returns a variate of the Exponential distribution with
+// the given rate λ (mean 1/λ).
+func (s *Stream) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential with non-positive rate")
+	}
+	return -math.Log(s.positiveFloat64()) / rate
+}
+
+// Weibull returns a variate of the Weibull distribution with shape k
+// and scale λ. Shape k < 1 models the infant-mortality failure laws
+// observed on real HPC platforms (paper §VII refs [8]-[10]).
+func (s *Stream) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull with non-positive shape or scale")
+	}
+	return scale * math.Pow(-math.Log(s.positiveFloat64()), 1/shape)
+}
+
+// Normal returns a variate of the Normal distribution with the given
+// mean and standard deviation, using the Box-Muller transform.
+func (s *Stream) Normal(mean, stddev float64) float64 {
+	if s.hasCachedNorm {
+		s.hasCachedNorm = false
+		return mean + stddev*s.cachedNorm
+	}
+	u := s.positiveFloat64()
+	v := s.Float64()
+	r := math.Sqrt(-2 * math.Log(u))
+	s.cachedNorm = r * math.Sin(2*math.Pi*v)
+	s.hasCachedNorm = true
+	return mean + stddev*r*math.Cos(2*math.Pi*v)
+}
+
+// LogNormal returns a variate whose logarithm is Normal(mu, sigma).
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Perm fills dst with a uniform random permutation of 0..len(dst)-1
+// (Fisher-Yates).
+func (s *Stream) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}

@@ -1,0 +1,285 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	s := New(0)
+	var zeros int
+	for i := 0; i < 100; i++ {
+		if s.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 2 {
+		t.Fatalf("seed 0 stream produced %d zero outputs", zeros)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1, c2 := parent.Split(0), parent.Split(1)
+	c1again := parent.Split(0)
+	for i := 0; i < 100; i++ {
+		v1, v1b := c1.Uint64(), c1again.Uint64()
+		if v1 != v1b {
+			t.Fatal("Split is not deterministic")
+		}
+		if v1 == c2.Uint64() {
+			t.Fatal("sibling streams collided")
+		}
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(7), New(7)
+	_ = a.Split(3)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(5)
+	const n, buckets = 120000, 12
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d, want ~%v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExponentialMoments(t *testing.T) {
+	s := New(17)
+	const n = 200000
+	rate := 0.25
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := s.Exponential(rate)
+		if x < 0 {
+			t.Fatalf("negative exponential variate %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.05/rate {
+		t.Fatalf("exponential mean = %v, want %v", mean, 1/rate)
+	}
+	variance := sumSq/n - mean*mean
+	if math.Abs(variance-1/(rate*rate)) > 0.1/(rate*rate) {
+		t.Fatalf("exponential variance = %v, want %v", variance, 1/(rate*rate))
+	}
+}
+
+func TestWeibullMean(t *testing.T) {
+	s := New(23)
+	const n = 200000
+	// shape 2, scale 1: mean = Γ(1.5) = √π/2.
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Weibull(2, 1)
+	}
+	want := math.Sqrt(math.Pi) / 2
+	if mean := sum / n; math.Abs(mean-want) > 0.01 {
+		t.Fatalf("Weibull(2,1) mean = %v, want %v", mean, want)
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	// Weibull with shape 1 and scale m is Exponential with mean m:
+	// compare empirical CDFs at a few quantiles.
+	s := New(29)
+	const n = 100000
+	m := 3.0
+	var exceed1, exceed3 int
+	for i := 0; i < n; i++ {
+		x := s.Weibull(1, m)
+		if x > m {
+			exceed1++
+		}
+		if x > 3*m {
+			exceed3++
+		}
+	}
+	if got, want := float64(exceed1)/n, math.Exp(-1); math.Abs(got-want) > 0.01 {
+		t.Errorf("P[X>m] = %v, want %v", got, want)
+	}
+	if got, want := float64(exceed3)/n, math.Exp(-3); math.Abs(got-want) > 0.005 {
+		t.Errorf("P[X>3m] = %v, want %v", got, want)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(31)
+	const n = 200000
+	mean, stddev := 5.0, 2.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := s.Normal(mean, stddev)
+		sum += x
+		sumSq += x * x
+	}
+	m := sum / n
+	if math.Abs(m-mean) > 0.03 {
+		t.Fatalf("normal mean = %v, want %v", m, mean)
+	}
+	v := sumSq/n - m*m
+	if math.Abs(v-stddev*stddev) > 0.1 {
+		t.Fatalf("normal variance = %v, want %v", v, stddev*stddev)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := New(37)
+	const n = 100001
+	mu := 1.5
+	var below int
+	for i := 0; i < n; i++ {
+		if s.LogNormal(mu, 0.8) < math.Exp(mu) {
+			below++
+		}
+	}
+	if frac := float64(below) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("lognormal median fraction = %v, want 0.5", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(41)
+	dst := make([]int, 100)
+	s.Perm(dst)
+	seen := make([]bool, len(dst))
+	for _, v := range dst {
+		if v < 0 || v >= len(dst) || seen[v] {
+			t.Fatalf("not a permutation: %v", dst)
+		}
+		seen[v] = true
+	}
+}
+
+func TestVariatePanics(t *testing.T) {
+	cases := []func(){
+		func() { New(1).Exponential(0) },
+		func() { New(1).Exponential(-1) },
+		func() { New(1).Weibull(0, 1) },
+		func() { New(1).Weibull(1, -1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMul64Property(t *testing.T) {
+	// Verify the 128-bit product against big-number arithmetic done in
+	// two 64-bit halves: (hi, lo) must satisfy hi*2^64 + lo = a*b when
+	// computed modulo 2^64 in parts.
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		if lo != a*b {
+			return false
+		}
+		// Recompute hi by schoolbook on 32-bit limbs.
+		const mask = 0xffffffff
+		aLo, aHi := a&mask, a>>32
+		bLo, bHi := b&mask, b>>32
+		carry := (aLo*bLo)>>32 + (aHi*bLo)&mask + (aLo*bHi)&mask
+		wantHi := aHi*bHi + (aHi*bLo)>>32 + (aLo*bHi)>>32 + carry>>32
+		return hi == wantHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExponentialMemorylessProperty(t *testing.T) {
+	// P[X > s+t | X > s] = P[X > t]: compare tail fractions.
+	s := New(43)
+	const n = 300000
+	rate := 1.0
+	var beyond1, beyond2 int
+	for i := 0; i < n; i++ {
+		x := s.Exponential(rate)
+		if x > 1 {
+			beyond1++
+			if x > 2 {
+				beyond2++
+			}
+		}
+	}
+	conditional := float64(beyond2) / float64(beyond1)
+	want := math.Exp(-1)
+	if math.Abs(conditional-want) > 0.02 {
+		t.Fatalf("memoryless check: P[X>2|X>1] = %v, want %v", conditional, want)
+	}
+}

@@ -1,0 +1,139 @@
+// Package scenario defines the evaluation scenarios of the paper's
+// Table I (Base, taken from Ni/Meneses/Kalé, and Exa, modeling a
+// future exascale platform) together with the parameter grids swept by
+// the figures.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Convenient durations, in seconds (the model's time unit).
+const (
+	Second = 1.0
+	Minute = 60 * Second
+	Hour   = 60 * Minute
+	Day    = 24 * Hour
+	Week   = 7 * Day
+)
+
+// Scenario is a named platform configuration from Table I. The MTBF M
+// is not part of Table I (the figures sweep it); Params carries a
+// representative default that sweeps override.
+type Scenario struct {
+	Name        string
+	Description string
+	Params      core.Params
+}
+
+// Base returns the Base scenario of Table I, using the values of the
+// Cluster'12 paper: 512 MB of state per node, local checkpoint to SSD
+// in δ = 2 s, blocking remote upload in R = 4 s, α = 10, no downtime,
+// n = 324 × 32 nodes. The default MTBF is 7 h, the value used by the
+// paper's Fig. 5.
+func Base() Scenario {
+	return Scenario{
+		Name: "Base",
+		Description: "Cluster'12 setup: 512MB state, SSD local checkpoint, " +
+			"fast interconnect, 324x32 nodes",
+		Params: core.Params{
+			D:     0,
+			Delta: 2 * Second,
+			R:     4 * Second,
+			Alpha: 10,
+			N:     324 * 32,
+			M:     7 * Hour,
+		},
+	}
+}
+
+// Exa returns the Exa scenario of Table I, modeling the IESP "slim"
+// exascale machine: 10⁶ nodes of 1000 cores, 64 GB/core, 1 TB/s/node
+// network, 500 Gb/s local storage bus, giving D = 60 s, δ = 30 s,
+// R = 60 s, α = 10. The default MTBF is 7 h as in Fig. 8.
+func Exa() Scenario {
+	return Scenario{
+		Name: "Exa",
+		Description: "IESP slim exascale projection: 1e6 nodes, 1000 cores/node, " +
+			"1TB/s/node network",
+		Params: core.Params{
+			D:     60 * Second,
+			Delta: 30 * Second,
+			R:     60 * Second,
+			Alpha: 10,
+			N:     1_000_000,
+			M:     7 * Hour,
+		},
+	}
+}
+
+// All returns the scenarios of Table I in paper order.
+func All() []Scenario { return []Scenario{Base(), Exa()} }
+
+// ByName returns the scenario with the given name (case-sensitive).
+func ByName(name string) (Scenario, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (want Base or Exa)", name)
+}
+
+// PhiGrid returns points+1 evenly spaced overhead values φ covering
+// [0, R], i.e. φ/R ∈ {0, 1/points, ..., 1}, the x-axis of Figures 4,
+// 5, 7 and 8.
+func (s Scenario) PhiGrid(points int) []float64 {
+	if points < 1 {
+		points = 1
+	}
+	grid := make([]float64, points+1)
+	for i := range grid {
+		grid[i] = s.Params.R * float64(i) / float64(points)
+	}
+	return grid
+}
+
+// MTBFGridLog returns points MTBF values logarithmically spaced over
+// [min, max], the M-axis of the waste surfaces (Fig. 4 and 7, from
+// 15 s to 1 day).
+func MTBFGridLog(min, max float64, points int) []float64 {
+	if points < 2 || min <= 0 || max <= min {
+		return []float64{min}
+	}
+	grid := make([]float64, points)
+	lmin, lmax := math.Log(min), math.Log(max)
+	for i := range grid {
+		grid[i] = math.Exp(lmin + (lmax-lmin)*float64(i)/float64(points-1))
+	}
+	return grid
+}
+
+// LinearGrid returns points values evenly spaced over [min, max],
+// used for the risk surfaces' M and platform-life axes (Fig. 6, 9).
+func LinearGrid(min, max float64, points int) []float64 {
+	if points < 2 {
+		return []float64{min}
+	}
+	grid := make([]float64, points)
+	for i := range grid {
+		grid[i] = min + (max-min)*float64(i)/float64(points-1)
+	}
+	return grid
+}
+
+// TableI renders the parameters of the given scenarios as the paper's
+// Table I, one row per scenario.
+func TableI(scenarios []Scenario) string {
+	out := "Scenario |    D |    δ |        φ |    R |  α |       n\n"
+	out += "---------+------+------+----------+------+----+--------\n"
+	for _, s := range scenarios {
+		p := s.Params
+		out += fmt.Sprintf("%-8s | %4.0f | %4.0f | 0 ≤ φ ≤ %.0f | %4.0f | %2.0f | %7d\n",
+			s.Name, p.D, p.Delta, p.R, p.R, p.Alpha, p.N)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTableIValues(t *testing.T) {
+	base := Base()
+	// Table I row "Base": D=0, δ=2, R=4, α=10, n=324×32.
+	p := base.Params
+	if p.D != 0 || p.Delta != 2 || p.R != 4 || p.Alpha != 10 || p.N != 324*32 {
+		t.Fatalf("Base params: %+v", p)
+	}
+	exa := Exa()
+	// Table I row "Exa": D=60, δ=30, R=60, α=10, n=10⁶.
+	q := exa.Params
+	if q.D != 60 || q.Delta != 30 || q.R != 60 || q.Alpha != 10 || q.N != 1_000_000 {
+		t.Fatalf("Exa params: %+v", q)
+	}
+	for _, sc := range All() {
+		if err := sc.Params.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Base", "Exa"} {
+		sc, err := ByName(name)
+		if err != nil || sc.Name != name {
+			t.Errorf("ByName(%s) = %v, %v", name, sc.Name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown scenario should fail")
+	}
+	if _, err := ByName("base"); err == nil {
+		t.Fatal("lookup is case-sensitive; 'base' should fail")
+	}
+}
+
+func TestPhiGrid(t *testing.T) {
+	sc := Base()
+	grid := sc.PhiGrid(10)
+	if len(grid) != 11 {
+		t.Fatalf("grid size %d", len(grid))
+	}
+	if grid[0] != 0 || grid[10] != sc.Params.R {
+		t.Fatalf("grid endpoints %v, %v", grid[0], grid[10])
+	}
+	if grid[5] != sc.Params.R/2 {
+		t.Fatalf("grid midpoint %v", grid[5])
+	}
+	// Degenerate request still yields a usable grid.
+	if g := sc.PhiGrid(0); len(g) != 2 {
+		t.Fatalf("PhiGrid(0) = %v", g)
+	}
+}
+
+func TestMTBFGridLog(t *testing.T) {
+	grid := MTBFGridLog(15, Day, 10)
+	if len(grid) != 10 {
+		t.Fatalf("grid size %d", len(grid))
+	}
+	if math.Abs(grid[0]-15) > 1e-9 || math.Abs(grid[9]-Day) > 1e-6 {
+		t.Fatalf("endpoints %v, %v", grid[0], grid[9])
+	}
+	// Log spacing: constant ratio between consecutive points.
+	ratio := grid[1] / grid[0]
+	for i := 2; i < len(grid); i++ {
+		if math.Abs(grid[i]/grid[i-1]-ratio) > 1e-9 {
+			t.Fatalf("not log-spaced at %d", i)
+		}
+	}
+	// Degenerate inputs collapse to the minimum.
+	if g := MTBFGridLog(15, Day, 1); len(g) != 1 || g[0] != 15 {
+		t.Fatalf("degenerate grid %v", g)
+	}
+	if g := MTBFGridLog(0, Day, 5); len(g) != 1 {
+		t.Fatalf("zero-min grid %v", g)
+	}
+}
+
+func TestLinearGrid(t *testing.T) {
+	grid := LinearGrid(0, 10, 11)
+	for i, v := range grid {
+		if math.Abs(v-float64(i)) > 1e-12 {
+			t.Fatalf("grid = %v", grid)
+		}
+	}
+	if g := LinearGrid(5, 10, 1); len(g) != 1 || g[0] != 5 {
+		t.Fatalf("degenerate linear grid %v", g)
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	table := TableI(All())
+	for _, want := range []string{"Base", "Exa", "Scenario"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+	if lines := strings.Count(table, "\n"); lines != 4 {
+		t.Errorf("table has %d lines, want 4 (header+rule+2 rows)", lines)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	if Minute != 60 || Hour != 3600 || Day != 86400 || Week != 604800 {
+		t.Fatal("duration constants wrong")
+	}
+}
+
+func TestScenarioMTBFDefaults(t *testing.T) {
+	// The default M is 7h, the value of Figures 5 and 8; both
+	// scenarios must be feasible there for every protocol.
+	for _, sc := range All() {
+		for _, pr := range core.Protocols {
+			if _, err := core.OptimalPeriod(pr, sc.Params, sc.Params.R/2); err != nil {
+				t.Errorf("%s/%s infeasible at default MTBF: %v", sc.Name, pr, err)
+			}
+		}
+	}
+}

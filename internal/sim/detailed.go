@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/failure"
+	"repro/internal/protocol"
+)
+
+// DetailedConfig describes a run of the detailed simulator, which
+// drives the cluster / checkpoint / protocol substrates explicitly
+// instead of the fast engine's closed bookkeeping. It is meant for
+// moderate platform sizes where structural verification matters more
+// than raw speed.
+type DetailedConfig struct {
+	Protocol core.Protocol
+	Params   core.Params
+	Phi      float64
+	Period   float64 // 0 → model-optimal
+	Tbase    float64
+	Seed     uint64
+	// Spares is the spare-node pool size. 0 defaults to N/10+1.
+	Spares int
+	// ImageBytes is the checkpoint image size (0 → 512 MB, the Base
+	// scenario's value).
+	ImageBytes int64
+	// Law optionally overrides the Exponential failure law.
+	Law failure.Law
+	// MaxSimTime bounds the run (0 → 1000×Tbase).
+	MaxSimTime float64
+}
+
+// DetailedResult extends Result with substrate-level observations.
+type DetailedResult struct {
+	Result
+	// SpareExhaustion counts failures that found an empty spare pool
+	// (handled with the same downtime, but reported: on a real
+	// machine the application would block until a repair).
+	SpareExhaustion int
+	// MaxImagesPerRank is the peak number of image replicas resident
+	// on any rank — the paper's constant-memory claim bounds it by 2
+	// plus the transient current wave.
+	MaxImagesPerRank int
+	// StructuralFatal records whether fatality was detected by the
+	// checkpoint registry (no surviving replica), as opposed to the
+	// analytic window bookkeeping. The two must agree.
+	StructuralFatal bool
+	// CommittedWaves counts snapshot sets that committed.
+	CommittedWaves int
+}
+
+// detailedEngine runs the substrate-backed simulation. It reuses the
+// fast engine for the timeline (the protocols are coordinated, so the
+// global schedule is identical) and layers the substrates on top,
+// checking at every failure that the structural recoverability answer
+// matches the analytic risk window.
+type detailedEngine struct {
+	cfg  DetailedConfig
+	eng  *engine
+	cl   *cluster.Cluster
+	reg  *checkpoint.Registry
+	plan protocol.FailurePlan
+	sch  protocol.Schedule
+
+	// incarnation[r] counts rank r's failures, to drop stale restores.
+	incarnation []int
+	restores    eventq.Queue
+
+	res DetailedResult
+}
+
+// restoreEvent re-adds a replica on a replacement node. It is voided
+// if the holder failed again since scheduling (its newer failure
+// schedules fresh restores) or if a newer snapshot set committed
+// meanwhile (the commit rebuilds the full replica layout).
+//
+// Matching the paper's first-order risk model, restoration is atomic
+// at the end of the risk window: the replacement either regains every
+// buddy image at failure+Risk or the group died (fatal). Modeling the
+// staggered per-image transfer completions (protocol.FailurePlan's
+// RestoreDone milestones) would make the simulator strictly *less*
+// at risk than Eq. 11/16 assume; the cross-check against the analytic
+// windows requires the paper's semantics.
+type restoreEvent struct {
+	owner, holder     int
+	version           checkpoint.Version
+	holderIncarnation int
+}
+
+// RunDetailed executes one substrate-backed simulation.
+func RunDetailed(cfg DetailedConfig) (DetailedResult, error) {
+	fast := Config{
+		Protocol:   cfg.Protocol,
+		Params:     cfg.Params,
+		Phi:        cfg.Phi,
+		Period:     cfg.Period,
+		Tbase:      cfg.Tbase,
+		Seed:       cfg.Seed,
+		Law:        cfg.Law,
+		MaxSimTime: cfg.MaxSimTime,
+	}
+	if err := fast.Validate(); err != nil {
+		return DetailedResult{}, err
+	}
+	if cfg.Params.N%cfg.Protocol.GroupSize() != 0 {
+		return DetailedResult{}, fmt.Errorf("sim: %d ranks not divisible by group size %d",
+			cfg.Params.N, cfg.Protocol.GroupSize())
+	}
+	spares := cfg.Spares
+	if spares == 0 {
+		spares = cfg.Params.N/10 + 1
+	}
+	imageBytes := cfg.ImageBytes
+	if imageBytes == 0 {
+		imageBytes = 512 << 20
+	}
+	eng, err := newEngine(fast)
+	if err != nil {
+		return DetailedResult{}, err
+	}
+	cl, err := cluster.New(cfg.Params.N, spares, cfg.Protocol.GroupSize())
+	if err != nil {
+		return DetailedResult{}, err
+	}
+	sch, err := protocol.Build(cfg.Protocol, cfg.Params, cfg.Phi, eng.period)
+	if err != nil {
+		return DetailedResult{}, err
+	}
+	d := &detailedEngine{
+		cfg:         cfg,
+		eng:         eng,
+		cl:          cl,
+		reg:         checkpoint.NewRegistry(cfg.Params.N, imageBytes),
+		plan:        protocol.PlanFailure(cfg.Protocol, cfg.Params, cfg.Phi),
+		sch:         sch,
+		incarnation: make([]int, cfg.Params.N),
+	}
+	return d.run()
+}
+
+// commitWave registers the full set of replicas for a committed wave:
+// each rank's image lands on itself (double protocols keep a local
+// copy) plus its buddy holders, then completes.
+func (d *detailedEngine) commitWave() {
+	v := d.reg.BeginWave()
+	n := d.cfg.Params.N
+	for rank := 0; rank < n; rank++ {
+		if d.cfg.Protocol.IsTriple() {
+			for _, b := range d.cl.Buddies(rank) {
+				d.reg.AddReplica(rank, v, b)
+			}
+		} else {
+			d.reg.AddReplica(rank, v, rank) // local copy
+			d.reg.AddReplica(rank, v, d.cl.Buddies(rank)[0])
+		}
+	}
+	for rank := 0; rank < n; rank++ {
+		d.reg.RankComplete(rank)
+	}
+	d.res.CommittedWaves++
+	d.trackMemory()
+}
+
+// processRestores applies restore events due at or before now.
+func (d *detailedEngine) processRestores(now float64) {
+	for {
+		tm, ok := d.restores.PeekTime()
+		if !ok || tm > now {
+			return
+		}
+		ev, _ := d.restores.Pop()
+		re := ev.Payload.(restoreEvent)
+		if d.incarnation[re.holder] != re.holderIncarnation {
+			continue // the replacement failed again; restore is void
+		}
+		if re.version != d.reg.Committed() {
+			continue // a newer set committed meanwhile
+		}
+		d.reg.AddReplica(re.owner, re.version, re.holder)
+	}
+}
+
+// failRank mirrors the fast engine's applyFailure at the substrate
+// level and cross-checks structural vs analytic fatality.
+func (d *detailedEngine) failRank(rank int, now float64) (fatal bool, err error) {
+	d.processRestores(now)
+	d.incarnation[rank]++
+
+	if _, ferr := d.cl.Fail(rank, now); ferr == cluster.ErrNoSpares {
+		d.res.SpareExhaustion++
+	} else if ferr != nil {
+		return false, ferr
+	}
+	d.reg.InvalidateHolder(rank)
+
+	structuralFatal := !d.reg.Recoverable(rank)
+	if structuralFatal {
+		d.res.StructuralFatal = true
+		return true, nil
+	}
+
+	// Schedule the restoration of the buddy images the failed machine
+	// lost, atomically at the end of the risk window (see restoreEvent
+	// for why the per-image milestones are not used here).
+	v := d.reg.Committed()
+	if v > 0 {
+		buddies := d.cl.Buddies(rank)
+		for _, owner := range buddies {
+			d.restores.Schedule(now+d.plan.RiskWindow, restoreEvent{
+				owner:             owner,
+				holder:            rank,
+				version:           v,
+				holderIncarnation: d.incarnation[rank],
+			})
+		}
+		if !d.cfg.Protocol.IsTriple() {
+			// Double protocols also rebuild the local copy (received
+			// during the recovery R at the end of the stall).
+			d.restores.Schedule(now+d.cfg.Params.D+d.cfg.Params.R, restoreEvent{
+				owner:             rank,
+				holder:            rank,
+				version:           v,
+				holderIncarnation: d.incarnation[rank],
+			})
+		}
+	}
+	return false, nil
+}
+
+// trackMemory records the peak per-rank replica count over a sample of
+// ranks (sampling keeps large platforms cheap).
+func (d *detailedEngine) trackMemory() {
+	limit := d.cfg.Params.N
+	if limit > 64 {
+		limit = 64
+	}
+	for rank := 0; rank < limit; rank++ {
+		if use := d.reg.MemoryUse(rank); use > d.res.MaxImagesPerRank {
+			d.res.MaxImagesPerRank = use
+		}
+	}
+}
+
+// run drives the fast engine's timeline while maintaining the
+// substrates in lockstep: the engine's commit hook updates the
+// checkpoint registry at the exact commit instants, and every failure
+// is applied to both the analytic bookkeeping and the substrates, with
+// the two fatality verdicts cross-checked.
+func (d *detailedEngine) run() (DetailedResult, error) {
+	e := d.eng
+	e.onCommit = func(t float64) {
+		d.processRestores(t)
+		d.commitWave()
+	}
+	horizon := d.cfg.MaxSimTime
+	if horizon == 0 {
+		horizon = 1000 * d.cfg.Tbase
+	}
+	for {
+		ev, ok := e.src.Next()
+		target := horizon
+		if ok && ev.Time < horizon {
+			target = ev.Time
+		}
+		done := e.advanceUntil(target)
+		d.processRestores(e.t)
+		if done {
+			d.res.Result = e.res
+			d.res.Result.Completed = true
+			d.finish()
+			return d.res, nil
+		}
+		if !ok || ev.Time >= horizon {
+			d.res.Result = e.res
+			d.finish()
+			return d.res, nil
+		}
+		rank := ev.Node
+		// Apply to the fast engine first (timeline + analytic risk).
+		analyticFatal := e.applyFailure(rank)
+		structFatal, err := d.failRank(rank, e.t)
+		if err != nil {
+			return DetailedResult{}, err
+		}
+		if analyticFatal != structFatal {
+			return DetailedResult{}, fmt.Errorf(
+				"sim: fatality disagreement at t=%v rank=%d: analytic=%v structural=%v",
+				e.t, rank, analyticFatal, structFatal)
+		}
+		if analyticFatal {
+			d.res.Result = e.res
+			d.finish()
+			return d.res, nil
+		}
+	}
+}
+
+// finish copies the fast engine's final accounting.
+func (d *detailedEngine) finish() {
+	e := d.eng
+	d.res.Makespan = e.t
+	d.res.WorkDone = math.Min(e.work, d.cfg.Tbase)
+	if d.res.Makespan > 0 {
+		d.res.Waste = 1 - d.res.WorkDone/d.res.Makespan
+	}
+	d.res.LostTime = d.res.Makespan - e.faultFreeMakespan(d.res.WorkDone)
+	d.res.Failures = e.res.Failures
+	d.res.Fatal = e.res.Fatal
+	d.res.FatalTime = e.res.FatalTime
+	d.res.FailuresInRisk = e.res.FailuresInRisk
+	d.res.RiskTime = e.res.RiskTime
+	d.res.ImportanceFatalProb = e.res.ImportanceFatalProb
+	d.res.Period = e.period
+	d.trackMemory()
+}

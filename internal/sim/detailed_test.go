@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+)
+
+func TestDetailedFaultFree(t *testing.T) {
+	cfg := DetailedConfig{
+		Protocol:   core.DoubleNBL,
+		Params:     baseParams().WithNodes(16).WithMTBF(1e12), // effectively no failures
+		Phi:        1,
+		Period:     100,
+		Tbase:      5 * 97,
+		Seed:       1,
+		MaxSimTime: 1e6,
+	}
+	res, err := RunDetailed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("did not complete: %+v", res)
+	}
+	if math.Abs(res.Makespan-500) > 1e-6 {
+		t.Fatalf("makespan = %v, want 500", res.Makespan)
+	}
+	// One commit per period; the fifth period's commit happens at
+	// offset 36 of period 5, before completion at t=500.
+	if res.CommittedWaves != 5 {
+		t.Fatalf("committed waves = %d, want 5", res.CommittedWaves)
+	}
+	// Constant memory: own image + buddy image.
+	if res.MaxImagesPerRank != 2 {
+		t.Fatalf("max images per rank = %d, want 2", res.MaxImagesPerRank)
+	}
+	if res.SpareExhaustion != 0 {
+		t.Fatalf("spare exhaustion = %d", res.SpareExhaustion)
+	}
+}
+
+func TestDetailedMatchesFastEngine(t *testing.T) {
+	// The detailed simulator layers substrates on the same timeline;
+	// its performance metrics must be bit-identical to the fast
+	// engine's for the same seed.
+	p := baseParams().WithNodes(64).WithMTBF(400)
+	for _, pr := range []core.Protocol{core.DoubleNBL, core.DoubleBoF, core.TripleNBL} {
+		n := 64
+		if pr.IsTriple() {
+			n = 63
+		}
+		q := p.WithNodes(n)
+		for seed := uint64(0); seed < 10; seed++ {
+			fast, err := Run(Config{
+				Protocol: pr, Params: q, Phi: 1, Tbase: 2e4, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			det, err := RunDetailed(DetailedConfig{
+				Protocol: pr, Params: q, Phi: 1, Tbase: 2e4, Seed: seed,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", pr, seed, err)
+			}
+			if fast.Makespan != det.Makespan || fast.Failures != det.Failures ||
+				fast.Fatal != det.Fatal || fast.Waste != det.Waste {
+				t.Fatalf("%s seed %d: fast %+v != detailed %+v", pr, seed, fast, det.Result)
+			}
+		}
+	}
+}
+
+// TestDetailedFatalityAgreementStress drives hostile regimes (tiny
+// MTBF, frequent fatal chains) through both fatality detectors; any
+// disagreement makes RunDetailed return an error.
+func TestDetailedFatalityAgreementStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	cases := []struct {
+		pr core.Protocol
+		n  int
+		m  float64
+	}{
+		{core.DoubleNBL, 8, 60},
+		{core.DoubleNBL, 8, 30},
+		{core.DoubleBoF, 8, 30},
+		{core.DoubleBlocking, 8, 30},
+		{core.TripleNBL, 9, 30},
+		{core.TripleNBL, 9, 60},
+		{core.TripleBoF, 9, 30},
+	}
+	fatalSeen := 0
+	for _, tc := range cases {
+		p := core.Params{D: 1, Delta: 2, R: 4, Alpha: 10, N: tc.n, M: tc.m}
+		for seed := uint64(0); seed < 150; seed++ {
+			res, err := RunDetailed(DetailedConfig{
+				Protocol:   tc.pr,
+				Params:     p,
+				Phi:        1,
+				Tbase:      500,
+				Seed:       seed,
+				MaxSimTime: 1e5,
+				Spares:     1000,
+			})
+			if err != nil {
+				t.Fatalf("%s n=%d M=%v seed=%d: %v", tc.pr, tc.n, tc.m, seed, err)
+			}
+			if res.Fatal {
+				fatalSeen++
+				if !res.StructuralFatal {
+					t.Fatalf("%s seed=%d: fatal without structural detection", tc.pr, seed)
+				}
+			}
+		}
+	}
+	if fatalSeen == 0 {
+		t.Fatal("stress regimes produced no fatal failures; the agreement check never fired")
+	}
+}
+
+func TestDetailedSpareExhaustion(t *testing.T) {
+	p := core.Params{D: 1, Delta: 2, R: 4, Alpha: 10, N: 8, M: 50}
+	res, err := RunDetailed(DetailedConfig{
+		Protocol:   core.DoubleNBL,
+		Params:     p,
+		Phi:        1,
+		Tbase:      400,
+		Seed:       3,
+		Spares:     1,
+		MaxSimTime: 1e5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures < 2 {
+		t.Skipf("only %d failures; cannot exercise exhaustion", res.Failures)
+	}
+	if res.SpareExhaustion == 0 {
+		t.Fatalf("expected spare exhaustion with a single spare and %d failures", res.Failures)
+	}
+}
+
+func TestDetailedRejectsIndivisiblePlatform(t *testing.T) {
+	p := baseParams().WithNodes(10) // not divisible by 3
+	_, err := RunDetailed(DetailedConfig{
+		Protocol: core.TripleNBL, Params: p, Phi: 1, Tbase: 100,
+	})
+	if err == nil {
+		t.Fatal("10 ranks with triples should be rejected")
+	}
+}
+
+func TestDetailedWeibull(t *testing.T) {
+	p := baseParams().WithNodes(32).WithMTBF(900)
+	res, err := RunDetailed(DetailedConfig{
+		Protocol: core.DoubleNBL,
+		Params:   p,
+		Phi:      1,
+		Tbase:    2e4,
+		Seed:     5,
+		Law:      failure.Weibull{Shape: 0.7, MTBF: failure.IndividualMTBF(900, 32)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed && !res.Fatal {
+		t.Fatalf("Weibull detailed run stuck: %+v", res)
+	}
+}
+
+func TestDetailedTripleConstantMemory(t *testing.T) {
+	res, err := RunDetailed(DetailedConfig{
+		Protocol:   core.TripleNBL,
+		Params:     baseParams().WithNodes(12).WithMTBF(300),
+		Phi:        1,
+		Tbase:      5000,
+		Seed:       11,
+		MaxSimTime: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A triple rank holds the images of its two buddies: 2 replicas,
+	// briefly 3 when a double-failure restoration overlaps a commit.
+	if res.MaxImagesPerRank > 3 {
+		t.Fatalf("max images per rank = %d, want <= 3", res.MaxImagesPerRank)
+	}
+	if res.CommittedWaves == 0 {
+		t.Fatal("no waves committed")
+	}
+}

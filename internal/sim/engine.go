@@ -1,0 +1,425 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+)
+
+type mode int
+
+const (
+	// modeSchedule: the application follows the periodic checkpoint
+	// schedule (phases 1..3 of the period).
+	modeSchedule mode = iota
+	// modeStall: downtime + recovery (+ blocking retransmissions for
+	// the BoF protocols); no work progresses.
+	modeStall
+	// modeReexec: re-executing the work lost to the last failure; at
+	// reduced rate while the buddy images are still being re-received
+	// (NBL protocols).
+	modeReexec
+)
+
+const workEps = 1e-9
+
+// engine is the state of one simulated execution.
+type engine struct {
+	cfg Config
+	pr  core.Protocol
+	p   core.Params
+
+	phi    float64
+	theta  float64
+	phases core.Phases
+	period float64
+	exRate float64 // work rate during an overlapped exchange: 1 − φ/θ
+	images int     // buddy images to re-receive after a failure
+	risk   float64 // risk-window length
+	group  int     // buddy group size
+
+	src failure.Source
+
+	// timeline state
+	t               float64
+	work            float64 // current live work level
+	snapshotWork    float64 // work level of the last committed snapshot
+	periodStartWork float64 // work level at offset 0 of the current period
+	md              mode
+	offset          float64 // period offset, valid in modeSchedule
+	stallRemaining  float64
+	reexecRemaining float64 // work units still to re-execute
+	overlapRemain   float64 // time left in the reduced-rate window
+	resumeOffset    float64 // where the schedule resumes after re-execution
+
+	// risk state: node -> end of its restoration window
+	compromised map[int]float64
+	riskUntil   float64 // end of the current union of risk windows
+	// everCommitted: a snapshot set has committed. Before that, the
+	// rollback target is the initial configuration, which the paper
+	// treats as "always successful": no failure chain is fatal yet.
+	everCommitted bool
+
+	// onCommit, when set, is invoked at every snapshot commit with
+	// the current time (used by the detailed simulator to keep the
+	// checkpoint registry in lockstep).
+	onCommit func(t float64)
+
+	res Result
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	pr, p := cfg.Protocol, cfg.Params
+	phi := core.EffectivePhi(pr, p, cfg.Phi)
+	period := cfg.Period
+	if period == 0 {
+		var err error
+		period, err = core.OptimalPeriod(pr, p, phi)
+		if err != nil && err != core.ErrMTBFTooSmall {
+			return nil, err
+		}
+	}
+	phases, err := core.PeriodPhases(pr, p, phi, period)
+	if err != nil {
+		return nil, err
+	}
+	theta := p.Theta(phi)
+	images := 1
+	if pr.IsTriple() {
+		images = 2
+	}
+	e := &engine{
+		cfg:         cfg,
+		pr:          pr,
+		p:           p,
+		phi:         phi,
+		theta:       theta,
+		phases:      phases,
+		period:      period,
+		exRate:      (theta - phi) / theta,
+		images:      images,
+		risk:        core.RiskWindow(pr, p, phi),
+		group:       pr.GroupSize(),
+		src:         cfg.source(),
+		compromised: make(map[int]float64),
+	}
+	e.res.Period = period
+	return e, nil
+}
+
+// scheduleWork returns the work accomplished by the schedule between
+// period offset 0 and the given offset, in a fault-free period.
+func (e *engine) scheduleWork(offset float64) float64 {
+	c1 := e.phases.Ckpt1
+	c2 := c1 + e.phases.Ckpt2
+	var w float64
+	if e.pr.IsTriple() {
+		w += math.Min(offset, c1) * e.exRate
+	}
+	if offset > c1 {
+		w += (math.Min(offset, c2) - c1) * e.exRate
+	}
+	if offset > c2 {
+		w += offset - c2
+	}
+	return w
+}
+
+// segment returns the phase index (1..3), work rate and end offset of
+// the schedule segment containing the given period offset.
+func (e *engine) segment(offset float64) (idx int, rate, segEnd float64) {
+	c1 := e.phases.Ckpt1
+	c2 := c1 + e.phases.Ckpt2
+	switch {
+	case offset < c1:
+		if e.pr.IsTriple() {
+			return 1, e.exRate, c1
+		}
+		return 1, 0, c1 // blocking local checkpoint
+	case offset < c2:
+		return 2, e.exRate, c2
+	default:
+		return 3, 1, e.period
+	}
+}
+
+// advanceUntil advances the timeline to target (absolute time) or
+// until the application completes, whichever comes first. It returns
+// true on completion.
+func (e *engine) advanceUntil(target float64) bool {
+	for e.t < target-workEps {
+		dt := target - e.t
+		switch e.md {
+		case modeSchedule:
+			idx, rate, segEnd := e.segment(e.offset)
+			step := math.Min(dt, segEnd-e.offset)
+			if rate > 0 {
+				if need := (e.cfg.Tbase - e.work) / rate; need < step {
+					step = need
+				}
+			}
+			e.t += step
+			e.offset += step
+			e.work += rate * step
+			if e.work >= e.cfg.Tbase-workEps {
+				return true
+			}
+			if e.offset >= segEnd-workEps {
+				e.crossBoundary(idx, segEnd)
+			}
+		case modeStall:
+			step := math.Min(dt, e.stallRemaining)
+			e.t += step
+			e.stallRemaining -= step
+			if e.stallRemaining <= workEps {
+				e.stallRemaining = 0
+				e.md = modeReexec
+			}
+		case modeReexec:
+			rate := 1.0
+			limit := dt
+			if e.overlapRemain > 0 {
+				rate = e.exRate
+				limit = math.Min(limit, e.overlapRemain)
+			}
+			if e.reexecRemaining <= workEps {
+				e.finishReexec()
+				continue
+			}
+			step := limit
+			if rate > 0 {
+				if need := e.reexecRemaining / rate; need < step {
+					step = need
+				}
+				if need := (e.cfg.Tbase - e.work) / rate; need < step {
+					step = need
+				}
+			}
+			e.t += step
+			e.work += rate * step
+			e.reexecRemaining -= rate * step
+			if e.overlapRemain > 0 {
+				e.overlapRemain -= step
+				if e.overlapRemain < workEps {
+					e.overlapRemain = 0
+				}
+			}
+			if e.work >= e.cfg.Tbase-workEps {
+				return true
+			}
+			if e.reexecRemaining <= workEps {
+				e.finishReexec()
+			}
+		}
+	}
+	e.t = target
+	return false
+}
+
+// crossBoundary applies the schedule transition at the end of phase
+// idx. Dispatching on the phase index (not the boundary value) keeps
+// degenerate periods with σ = 0, where the phase-2 boundary coincides
+// with the period end, from looping.
+func (e *engine) crossBoundary(idx int, segEnd float64) {
+	switch idx {
+	case 1:
+		if e.pr.IsTriple() {
+			// Triple commits once the image reaches the preferred buddy.
+			e.commit()
+		}
+		e.offset = segEnd
+	case 2:
+		if !e.pr.IsTriple() {
+			// Double commits when the remote exchange completes.
+			e.commit()
+		}
+		e.offset = segEnd
+	default:
+		e.periodStartWork = e.work
+		e.offset = 0
+	}
+}
+
+// commit records a snapshot-set commit. A committed set means every
+// rank's image — including the ranks restored after recent failures —
+// is fully replicated again, so all open risk windows close early.
+// (In steady state commits always land after the windows anyway; the
+// distinction matters only for failures straddling the first commits,
+// where re-execution is short.)
+func (e *engine) commit() {
+	e.snapshotWork = e.periodStartWork
+	e.everCommitted = true
+	for k := range e.compromised {
+		delete(e.compromised, k)
+	}
+	if e.riskUntil > e.t {
+		e.res.RiskTime -= e.riskUntil - e.t
+		e.riskUntil = e.t
+	}
+	if e.onCommit != nil {
+		e.onCommit(e.t)
+	}
+}
+
+// finishReexec re-enters the periodic schedule at the resume offset.
+func (e *engine) finishReexec() {
+	e.md = modeSchedule
+	e.reexecRemaining = 0
+	e.offset = e.resumeOffset
+	if e.resumeOffset == 0 {
+		e.periodStartWork = e.work
+	}
+}
+
+// applyFailure processes the failure of the given node at the current
+// time. It returns true when the failure is fatal.
+func (e *engine) applyFailure(node int) bool {
+	e.res.Failures++
+
+	// --- Risk bookkeeping -------------------------------------------------
+	gStart := (node / e.group) * e.group
+	others := 0
+	for m := gStart; m < gStart+e.group && m < e.p.N; m++ {
+		if m == node {
+			continue
+		}
+		if end, ok := e.compromised[m]; ok {
+			if end <= e.t {
+				delete(e.compromised, m)
+			} else {
+				others++
+			}
+		}
+	}
+	if others > 0 {
+		// Before the first commit the rollback target is the initial
+		// configuration, which survives any failure pattern (§IV).
+		if others >= e.group-1 && e.everCommitted {
+			e.res.Fatal = true
+			e.res.FatalTime = e.t
+			return true
+		}
+		e.res.FailuresInRisk++
+	}
+	e.compromised[node] = e.t + e.risk
+
+	// Union of risk windows, for the RiskTime metric.
+	start := math.Max(e.t, e.riskUntil)
+	if end := e.t + e.risk; end > start {
+		e.res.RiskTime += end - start
+		e.riskUntil = end
+	}
+
+	// First-order importance estimate of the fatal-chain probability
+	// opened by this failure (see Result.ImportanceFatalProb).
+	lr := e.p.Lambda() * e.risk
+	if e.group == 2 {
+		e.res.ImportanceFatalProb += lr
+	} else {
+		e.res.ImportanceFatalProb += 2 * lr * lr
+	}
+
+	// --- Rollback ----------------------------------------------------------
+	if e.md == modeSchedule {
+		// Decide where the schedule resumes, reproducing the model's
+		// per-phase rules (DESIGN.md).
+		switch e.phases.PhaseOf(e.offset) {
+		case 1:
+			e.resumeOffset = 0
+		case 2:
+			if e.pr.IsTriple() {
+				e.resumeOffset = e.phases.Ckpt1
+			} else {
+				e.resumeOffset = 0
+			}
+		default:
+			e.resumeOffset = e.offset
+		}
+	}
+	// else: a failure during failure handling keeps the previous
+	// resume target; the handling simply restarts.
+
+	e.work = e.snapshotWork
+	reexec := e.periodStartWork + e.scheduleWork(e.resumeOffset) - e.snapshotWork
+	if reexec < 0 {
+		reexec = 0
+	}
+	e.reexecRemaining = reexec
+
+	e.stallRemaining = e.p.D + e.p.R
+	if e.pr.BlocksOnFailure() {
+		e.stallRemaining += float64(e.images) * e.p.R
+		e.overlapRemain = 0
+	} else {
+		e.overlapRemain = float64(e.images) * e.theta
+	}
+	e.md = modeStall
+	return false
+}
+
+// faultFreeMakespan returns the time the fault-free schedule takes to
+// produce the given amount of work.
+func (e *engine) faultFreeMakespan(workTarget float64) float64 {
+	if workTarget <= 0 {
+		return 0
+	}
+	w := core.Work(e.pr, e.p, e.phi, e.period)
+	full := math.Floor(workTarget / w)
+	rem := workTarget - full*w
+	tm := full * e.period
+	if rem <= workEps {
+		return tm
+	}
+	// Walk the phases of the last, partial period.
+	c1, c2 := e.phases.Ckpt1, e.phases.Ckpt2
+	if e.pr.IsTriple() && e.exRate > 0 {
+		cap1 := c1 * e.exRate
+		if rem <= cap1 {
+			return tm + rem/e.exRate
+		}
+		rem -= cap1
+		tm += c1
+	} else {
+		tm += c1 // blocking local checkpoint contributes no work
+	}
+	cap2 := c2 * e.exRate
+	if e.exRate > 0 && rem <= cap2 {
+		return tm + rem/e.exRate
+	}
+	rem -= cap2
+	tm += c2
+	return tm + rem
+}
+
+// run executes the simulation loop.
+func (e *engine) run() Result {
+	horizon := e.cfg.MaxSimTime
+	if horizon == 0 {
+		horizon = 1000 * e.cfg.Tbase
+	}
+	for {
+		ev, ok := e.src.Next()
+		target := horizon
+		if ok && ev.Time < horizon {
+			target = ev.Time
+		}
+		if e.advanceUntil(target) {
+			e.res.Completed = true
+			break
+		}
+		if !ok || ev.Time >= horizon {
+			break // horizon reached (saturated) or trace exhausted
+		}
+		if e.applyFailure(ev.Node) {
+			break // fatal
+		}
+	}
+	e.res.Makespan = e.t
+	e.res.WorkDone = math.Min(e.work, e.cfg.Tbase)
+	if e.res.Makespan > 0 {
+		e.res.Waste = 1 - e.res.WorkDone/e.res.Makespan
+	}
+	e.res.LostTime = e.res.Makespan - e.faultFreeMakespan(e.res.WorkDone)
+	return e.res
+}

@@ -1,0 +1,458 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+)
+
+// baseParams mirrors the paper's Base scenario.
+func baseParams() core.Params {
+	return core.Params{D: 0, Delta: 2, R: 4, Alpha: 10, N: 324 * 32, M: 7 * 3600}
+}
+
+// singleFailure runs one execution with exactly one injected failure.
+func singleFailure(t *testing.T, pr core.Protocol, phi, period, tbase, failAt float64) Result {
+	t.Helper()
+	cfg := Config{
+		Protocol: pr,
+		Params:   baseParams(),
+		Phi:      phi,
+		Period:   period,
+		Tbase:    tbase,
+		Source:   failure.NewReplay([]failure.Event{{Time: failAt, Node: 0}}),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", res.Failures)
+	}
+	return res
+}
+
+func TestFaultFreeMakespan(t *testing.T) {
+	// Without failures the makespan must be exactly Tff = #periods·P.
+	for _, pr := range core.Protocols {
+		cfg := Config{
+			Protocol: pr,
+			Params:   baseParams(),
+			Phi:      1,
+			Period:   100,
+			Tbase:    0, // set below
+			Source:   failure.NewReplay(nil),
+		}
+		w := core.Work(pr, cfg.Params, core.EffectivePhi(pr, cfg.Params, 1), 100)
+		cfg.Tbase = 3 * w
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pr, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: did not complete", pr)
+		}
+		if math.Abs(res.Makespan-300) > 1e-6 {
+			t.Errorf("%s: fault-free makespan = %v, want 300", pr, res.Makespan)
+		}
+		if math.Abs(res.WorkDone-cfg.Tbase) > 1e-6 {
+			t.Errorf("%s: work done = %v, want %v", pr, res.WorkDone, cfg.Tbase)
+		}
+		if res.LostTime > 1e-6 {
+			t.Errorf("%s: fault-free lost time = %v, want 0", pr, res.LostTime)
+		}
+		// Measured waste must equal the analytic fault-free waste.
+		want := core.WasteFF(pr, cfg.Params, core.EffectivePhi(pr, cfg.Params, 1), 100)
+		if math.Abs(res.Waste-want) > 1e-9 {
+			t.Errorf("%s: fault-free waste = %v, want %v", pr, res.Waste, want)
+		}
+	}
+}
+
+// The next tests pin the failure-handling semantics to the model's
+// per-phase re-execution times: with Base parameters, φ = 1 (θ = 34)
+// and P = 100, a single failure must cost exactly D + R + RE_i(tlost).
+
+func TestDoubleNBLPhase3Failure(t *testing.T) {
+	// Failure in period 2's compute phase, 14 s in: offset 50 = 2+34+14.
+	res := singleFailure(t, core.DoubleNBL, 1, 100, 3*97, 150)
+	// extra = D + R + θ + tlost = 0 + 4 + 34 + 14 = 52.
+	if want := 300.0 + 52; math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+	if math.Abs(res.LostTime-52) > 1e-6 {
+		t.Fatalf("lost time = %v, want 52", res.LostTime)
+	}
+}
+
+func TestDoubleNBLPhase1Failure(t *testing.T) {
+	// Failure 1 s into period 2's local checkpoint (offset 1).
+	res := singleFailure(t, core.DoubleNBL, 1, 100, 3*97, 101)
+	// extra = D + R + (θ+σ) + t1 = 4 + 98 + 1 = 103.
+	if want := 300.0 + 103; math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestDoubleNBLPhase2Failure(t *testing.T) {
+	// Failure 18 s into period 2's exchange (offset 20).
+	res := singleFailure(t, core.DoubleNBL, 1, 100, 3*97, 120)
+	// extra = D + R + (θ+σ) + δ + t2 = 4 + 98 + 2 + 18 = 122.
+	if want := 300.0 + 122; math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestDoubleBoFPhase3Failure(t *testing.T) {
+	// Blocking on failure: extra = D + 2R + (θ−φ) + tlost = 8+33+14 = 55.
+	res := singleFailure(t, core.DoubleBoF, 1, 100, 3*97, 150)
+	if want := 300.0 + 55; math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestTriplePhase1Failure(t *testing.T) {
+	// Triple, φ=1: phases are 34, 34, 32 in a period of 100; W = 98.
+	// Failure at offset 10 of period 2 (t = 110).
+	res := singleFailure(t, core.TripleNBL, 1, 100, 3*98, 110)
+	// extra = D + R + (2θ+σ) + t1 = 4 + 100 + 10 = 114.
+	if want := 300.0 + 114; math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestTriplePhase2Failure(t *testing.T) {
+	// Failure at offset 40 of period 2 (t = 140, 6 s into phase 2).
+	res := singleFailure(t, core.TripleNBL, 1, 100, 3*98, 140)
+	// extra = D + R + θ + t2 = 4 + 34 + 6 = 44: only the preferred-
+	// buddy phase's work is re-executed, the aborted secondary
+	// exchange restarts in-schedule.
+	if want := 300.0 + 44; math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestTriplePhase3Failure(t *testing.T) {
+	// Failure at offset 80 of period 2 (t = 180, 12 s into compute).
+	res := singleFailure(t, core.TripleNBL, 1, 100, 3*98, 180)
+	// extra = D + R + 2θ + t3 = 4 + 68 + 12 = 84.
+	if want := 300.0 + 84; math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestTripleBoFPhase3Failure(t *testing.T) {
+	// extra = D + 3R + 2(θ−φ) + t3 = 12 + 66 + 12 = 90.
+	res := singleFailure(t, core.TripleBoF, 1, 100, 3*98, 180)
+	if want := 300.0 + 90; math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestDoubleBlockingFailure(t *testing.T) {
+	// DoubleBlocking pins φ = R = 4, θ = 4; P = 100 gives phases
+	// 2, 4, 94 and W = 94. Failure at offset 50 of period 2 (t = 150,
+	// tlost = 44): extra = D + 2R + (θ−φ) + tlost = 8 + 0 + 44 = 52.
+	res := singleFailure(t, core.DoubleBlocking, 0, 100, 3*94, 150)
+	if want := 300.0 + 52; math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestFailureDuringRecoveryRestartsHandling(t *testing.T) {
+	// A second failure in another pair while the first is being
+	// handled must roll back again without corrupting the timeline:
+	// failure 1 at t=150 (phase 3, offset 50), failure 2 at t=152
+	// (during the D+R stall). Handling restarts: extra stall 4, then
+	// re-execution of the same 47 work units (θ + 14 = 48 s).
+	cfg := Config{
+		Protocol: core.DoubleNBL,
+		Params:   baseParams(),
+		Phi:      1,
+		Period:   100,
+		Tbase:    3 * 97,
+		Source: failure.NewReplay([]failure.Event{
+			{Time: 150, Node: 0},
+			{Time: 152, Node: 100}, // different pair: not fatal
+		}),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Fatal {
+		t.Fatalf("unexpected outcome: %+v", res)
+	}
+	if res.Failures != 2 {
+		t.Fatalf("failures = %d, want 2", res.Failures)
+	}
+	// Timeline: t=150 fail; stall to 154, but second failure at 152
+	// restarts stall (to 156) and re-execution takes 48 s → resume
+	// schedule at offset 50 at t=204, i.e. 54 s of extra delay over
+	// the remaining 150 s of fault-free schedule.
+	if want := 150 + 2 + 4 + 48 + 150.0; math.Abs(res.Makespan-want) > 1e-6 {
+		t.Fatalf("makespan = %v, want %v", res.Makespan, want)
+	}
+}
+
+func TestFatalDoubleFailure(t *testing.T) {
+	// Node 1 is node 0's buddy: a failure of node 1 inside node 0's
+	// risk window (D+R+θ = 38 s) is fatal.
+	cfg := Config{
+		Protocol: core.DoubleNBL,
+		Params:   baseParams(),
+		Phi:      1,
+		Period:   100,
+		Tbase:    3 * 97,
+		Source: failure.NewReplay([]failure.Event{
+			{Time: 150, Node: 0},
+			{Time: 160, Node: 1},
+		}),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fatal {
+		t.Fatal("buddy failure inside the risk window should be fatal")
+	}
+	if res.FatalTime != 160 {
+		t.Fatalf("fatal time = %v, want 160", res.FatalTime)
+	}
+	if res.Completed {
+		t.Fatal("fatal run should not complete")
+	}
+}
+
+func TestBuddyFailureOutsideWindowNotFatal(t *testing.T) {
+	// Same pair, but the second failure lands after the risk window
+	// (38 s for DoubleNBL at φ=1) has closed.
+	cfg := Config{
+		Protocol: core.DoubleNBL,
+		Params:   baseParams(),
+		Phi:      1,
+		Period:   100,
+		Tbase:    3 * 97,
+		Source: failure.NewReplay([]failure.Event{
+			{Time: 150, Node: 0},
+			{Time: 150 + 39, Node: 1},
+		}),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fatal {
+		t.Fatal("failure outside the risk window must not be fatal")
+	}
+	if !res.Completed {
+		t.Fatal("run should complete")
+	}
+	if res.Failures != 2 {
+		t.Fatalf("failures = %d, want 2", res.Failures)
+	}
+}
+
+func TestBoFShrinksFatalWindow(t *testing.T) {
+	// The same failure pair separated by 20 s: fatal for DoubleNBL
+	// (window 38 s) but survivable for DoubleBoF (window D+2R = 8 s).
+	mk := func(pr core.Protocol) Result {
+		cfg := Config{
+			Protocol: pr,
+			Params:   baseParams(),
+			Phi:      1,
+			Period:   100,
+			Tbase:    3 * 97,
+			Source: failure.NewReplay([]failure.Event{
+				{Time: 150, Node: 0},
+				{Time: 170, Node: 1},
+			}),
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if !mk(core.DoubleNBL).Fatal {
+		t.Fatal("DoubleNBL should be fatal at Δt=20s")
+	}
+	if mk(core.DoubleBoF).Fatal {
+		t.Fatal("DoubleBoF should survive at Δt=20s")
+	}
+}
+
+func TestTripleNeedsThreeFailures(t *testing.T) {
+	// Two failures in a triple within the window: survivable.
+	// Three: fatal. Window for TripleNBL at φ=1 is D+R+2θ = 72 s.
+	base := []failure.Event{
+		{Time: 150, Node: 0},
+		{Time: 160, Node: 1},
+	}
+	mk := func(events []failure.Event) Result {
+		cfg := Config{
+			Protocol: core.TripleNBL,
+			Params:   baseParams(),
+			Phi:      1,
+			Period:   100,
+			Tbase:    3 * 98,
+			Source:   failure.NewReplay(events),
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := mk(base)
+	if res.Fatal {
+		t.Fatal("two failures in a triple should be survivable")
+	}
+	if res.FailuresInRisk != 1 {
+		t.Fatalf("FailuresInRisk = %d, want 1", res.FailuresInRisk)
+	}
+	res = mk(append(base[:2:2], failure.Event{Time: 170, Node: 2}))
+	if !res.Fatal {
+		t.Fatal("three failures in a triple inside the window should be fatal")
+	}
+}
+
+func TestSameNodeRefailureNotFatal(t *testing.T) {
+	// The replacement node failing again during its own restoration
+	// is not fatal (the buddy still holds the images).
+	cfg := Config{
+		Protocol: core.DoubleNBL,
+		Params:   baseParams(),
+		Phi:      1,
+		Period:   100,
+		Tbase:    3 * 97,
+		Source: failure.NewReplay([]failure.Event{
+			{Time: 150, Node: 0},
+			{Time: 155, Node: 0},
+		}),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fatal {
+		t.Fatal("re-failure of the same node must not be fatal")
+	}
+	if !res.Completed {
+		t.Fatal("run should complete")
+	}
+}
+
+func TestModelSaturationIsConservative(t *testing.T) {
+	// At M = 20 s the first-order model declares waste = 1 for
+	// DoubleNBL at φ = 2 (F > M at the minimum period), but the
+	// simulated application still crawls forward. The simulator must
+	// agree the platform is badly degraded without deadlocking.
+	p := baseParams().WithMTBF(20)
+	cfg := Config{
+		Protocol:   core.DoubleNBL,
+		Params:     p,
+		Phi:        2,
+		Tbase:      1000,
+		Seed:       1,
+		MaxSimTime: 50000,
+	}
+	if w := core.OptimalWaste(core.DoubleNBL, p, 2); w != 1 {
+		t.Fatalf("model waste = %v, want saturation (1)", w)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed && res.Waste < 0.7 {
+		t.Fatalf("simulated waste %v too low for a saturated platform", res.Waste)
+	}
+}
+
+func TestTrulySaturatedRunHitsHorizon(t *testing.T) {
+	// At M = 5 s failures strike faster than a single re-execution
+	// can finish (the exchange alone takes θ = 24 s), so the run must
+	// hit the horizon without completing.
+	p := baseParams().WithMTBF(5)
+	cfg := Config{
+		Protocol:   core.DoubleNBL,
+		Params:     p,
+		Phi:        2,
+		Tbase:      1000,
+		Seed:       1,
+		MaxSimTime: 20000,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatalf("run should not complete at M=5s: %+v", res)
+	}
+	// The run ends either at the horizon or by a fatal double failure
+	// (with failures every 5 s and a 28 s risk window, roughly two
+	// fatal chains are expected over this horizon).
+	if !res.Fatal && res.Makespan < 20000-1 {
+		t.Fatalf("non-fatal run stopped before the horizon: %+v", res)
+	}
+	if res.Fatal && res.FatalTime > 20000 {
+		t.Fatalf("fatal time %v beyond horizon", res.FatalTime)
+	}
+	if res.WorkDone >= cfg.Tbase {
+		t.Fatalf("work done = %v, want < Tbase", res.WorkDone)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{Protocol: core.DoubleNBL, Params: baseParams(), Phi: 1, Tbase: 100}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Protocol: core.Protocol(42), Params: baseParams(), Phi: 1, Tbase: 100},
+		{Protocol: core.DoubleNBL, Params: core.Params{}, Phi: 1, Tbase: 100},
+		{Protocol: core.DoubleNBL, Params: baseParams(), Phi: -1, Tbase: 100},
+		{Protocol: core.DoubleNBL, Params: baseParams(), Phi: 99, Tbase: 100},
+		{Protocol: core.DoubleNBL, Params: baseParams(), Phi: 1, Tbase: 0},
+		{Protocol: core.DoubleNBL, Params: baseParams(), Phi: 1, Tbase: 100, Period: -5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Protocol: core.DoubleNBL,
+		Params:   baseParams().WithMTBF(600),
+		Phi:      1,
+		Tbase:    50000,
+		Seed:     7,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 8
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds gave identical results")
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Aggregate summarizes a batch of independent runs of the same
+// configuration (differing only by seed).
+type Aggregate struct {
+	Runs      int
+	Waste     stats.Sample // waste of completed runs
+	Makespan  stats.Sample // makespan of completed runs
+	LossPerF  stats.Sample // mean lost time per failure (simulated F)
+	Failures  stats.Sample // failures per run
+	Fatal     stats.Proportion
+	Completed stats.Proportion
+	// ImportanceFatal averages the variance-reduced per-run fatal
+	// probability estimates (see Result.ImportanceFatalProb).
+	ImportanceFatal stats.Sample
+}
+
+// RunMany executes runs independent simulations in parallel (one
+// goroutine per CPU) and aggregates the results. Seeds are
+// cfg.Seed+0 .. cfg.Seed+runs-1, so results are reproducible and
+// independent of the worker count. Config.Source must be nil (a shared
+// source cannot be split across runs).
+func RunMany(cfg Config, runs int) (Aggregate, error) {
+	if err := cfg.Validate(); err != nil {
+		return Aggregate{}, err
+	}
+	if cfg.Source != nil {
+		cfg.Source = nil // sources are single-run; fall back to seeded generation
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]Result, runs)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < runs; i += workers {
+				c := cfg
+				c.Seed = cfg.Seed + uint64(i)
+				res, err := Run(c)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				results[i] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Aggregate{}, err
+		}
+	}
+
+	var agg Aggregate
+	agg.Runs = runs
+	for i := range results {
+		res := &results[i]
+		agg.Fatal.Add(res.Fatal)
+		agg.Completed.Add(res.Completed)
+		agg.ImportanceFatal.Add(res.ImportanceFatalProb)
+		if res.Completed {
+			agg.Waste.Add(res.Waste)
+			agg.Makespan.Add(res.Makespan)
+			agg.Failures.Add(float64(res.Failures))
+			if res.Failures > 0 {
+				agg.LossPerF.Add(res.LostTime / float64(res.Failures))
+			}
+		}
+	}
+	return agg, nil
+}

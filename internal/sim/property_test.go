@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/rng"
+)
+
+// TestRunInvariantsProperty fuzzes the fast engine across protocols,
+// overheads, MTBFs and seeds and checks the accounting identities that
+// must hold for every run:
+//
+//   - waste ∈ [0, 1];
+//   - completed ⇒ WorkDone = Tbase and Makespan ≥ fault-free makespan;
+//   - LostTime ≥ 0 and Makespan = faultFree(WorkDone) + LostTime;
+//   - no failures ⇒ LostTime = 0.
+func TestRunInvariantsProperty(t *testing.T) {
+	base := baseParams()
+	prop := func(rawPhi, rawM float64, rawProto, seed uint16) bool {
+		pr := core.Protocols[int(rawProto)%len(core.Protocols)]
+		phi := math.Mod(math.Abs(rawPhi), 1) * base.R
+		if math.IsNaN(phi) {
+			phi = 1
+		}
+		m := 120 + math.Mod(math.Abs(rawM), 7200)
+		if math.IsNaN(m) {
+			m = 600
+		}
+		cfg := Config{
+			Protocol:   pr,
+			Params:     base.WithMTBF(m),
+			Phi:        phi,
+			Tbase:      20000,
+			Seed:       uint64(seed),
+			MaxSimTime: 5e6,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		if res.Waste < 0 || res.Waste > 1 || math.IsNaN(res.Waste) {
+			return false
+		}
+		if res.Completed && math.Abs(res.WorkDone-cfg.Tbase) > 1e-6 {
+			return false
+		}
+		if res.LostTime < -1e-6 {
+			return false
+		}
+		if res.Failures == 0 && res.LostTime > 1e-6 {
+			return false
+		}
+		if res.Makespan < res.WorkDone-1e-6 {
+			return false // cannot do more work than wall-clock time
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMoreFailuresMoreWaste: with the same protocol and period, a
+// platform with a smaller MTBF never wastes less (in expectation over
+// a batch of seeds).
+func TestMoreFailuresMoreWaste(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo")
+	}
+	base := baseParams()
+	var prev float64 = -1
+	for _, m := range []float64{3600, 1800, 900, 450} {
+		agg, err := RunMany(Config{
+			Protocol: core.DoubleNBL,
+			Params:   base.WithMTBF(m),
+			Phi:      1,
+			Period:   100,
+			Tbase:    1e5,
+			Seed:     3,
+		}, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := agg.Waste.Mean()
+		if prev >= 0 && w < prev-0.005 {
+			t.Fatalf("waste decreased when MTBF shrank: %v after %v (M=%v)", w, prev, m)
+		}
+		prev = w
+	}
+}
+
+// TestProtocolOrderingUnderReplay: on the same failure sample with the
+// same period and φ < δ, Triple's makespan beats the double protocols'
+// (it skips the blocking local checkpoint), and DoubleNBL beats
+// DoubleBoF (BoF pays an extra R per failure).
+func TestProtocolOrderingUnderReplay(t *testing.T) {
+	p := baseParams().WithMTBF(600)
+	src := &failure.Recorder{Inner: failure.NewMerged(p.N, p.M, rng.New(17))}
+	run := func(pr core.Protocol, s failure.Source) Result {
+		res, err := Run(Config{
+			Protocol: pr,
+			Params:   p,
+			Phi:      1, // φ = 1 < δ = 2
+			Period:   120,
+			Tbase:    3e4,
+			Source:   s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s did not complete", pr)
+		}
+		return res
+	}
+	nbl := run(core.DoubleNBL, src)
+	bof := run(core.DoubleBoF, failure.NewReplay(src.Log))
+	tri := run(core.TripleNBL, failure.NewReplay(src.Log))
+	if nbl.Failures == 0 {
+		t.Skip("no failures sampled")
+	}
+	if bof.Makespan < nbl.Makespan {
+		t.Errorf("BoF makespan %v beat NBL %v on the same failures", bof.Makespan, nbl.Makespan)
+	}
+	if tri.Makespan >= nbl.Makespan {
+		t.Errorf("Triple makespan %v did not beat NBL %v at φ<δ", tri.Makespan, nbl.Makespan)
+	}
+}

@@ -1,0 +1,148 @@
+// Package sim is the Monte-Carlo simulator validating the paper's
+// analytical model. It simulates a coordinated application running one
+// of the buddy checkpointing protocols on a failure-prone platform and
+// measures the actual waste, the per-failure time loss, and fatal
+// failures (second/third failures inside a risk window).
+//
+// Because every protocol in the paper is coordinated — all nodes
+// checkpoint in the same global phases, and any failure rolls every
+// node back to the same snapshot — the application can be simulated as
+// a single global timeline annotated with which node each failure
+// strikes. That is what makes 10⁶-node platforms cheap to simulate.
+// The per-node structure still matters for risk: fatality depends on
+// whether a failure hits the buddy group of a node whose images are
+// being restored.
+//
+// The failure-handling semantics mirror the model's derivation of RE1,
+// RE2, RE3 (see DESIGN.md, "Simulator semantics"): the simulator never
+// quotes the closed forms; the agreement between its measured waste and
+// Eq. (5) is the validation result reproduced by cmd/simulate.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/rng"
+)
+
+// Config describes one simulated execution.
+type Config struct {
+	// Protocol selects the checkpointing protocol.
+	Protocol core.Protocol
+	// Params is the platform (Table I row plus MTBF).
+	Params core.Params
+	// Phi is the overhead point φ ∈ [0, R].
+	Phi float64
+	// Period is the checkpointing period; 0 selects the model-optimal
+	// period.
+	Period float64
+	// Tbase is the failure-free application duration (work units).
+	Tbase float64
+	// Seed seeds the failure process. Two runs with equal Config are
+	// identical.
+	Seed uint64
+	// Source optionally replaces the generated failure process (for
+	// trace replay). When set, Seed is ignored for failure sampling.
+	Source failure.Source
+	// Law optionally replaces the Exponential law in the node-level
+	// process. Setting Law forces the per-node renewal source even for
+	// exponential laws.
+	Law failure.Law
+	// MaxSimTime aborts runs that exceed this horizon (defence against
+	// saturated configurations where the application cannot finish).
+	// 0 means 1000×Tbase.
+	MaxSimTime float64
+}
+
+// Result aggregates the outcome of one simulated execution.
+type Result struct {
+	// Completed is false when the run hit MaxSimTime or a fatal
+	// failure terminated the application.
+	Completed bool
+	// Fatal is true when a failure chain exhausted a buddy group
+	// inside the risk window (application lost).
+	Fatal bool
+	// FatalTime is the time of the fatal failure (0 if none).
+	FatalTime float64
+	// Makespan is the total execution time (up to completion, fatal
+	// failure, or the horizon).
+	Makespan float64
+	// WorkDone is the work completed (equals Tbase on success).
+	WorkDone float64
+	// Waste is 1 − WorkDone/Makespan, comparable to core.Waste.
+	Waste float64
+	// Failures is the number of failures endured.
+	Failures int
+	// FailuresInRisk counts failures that landed inside some active
+	// risk window but did not complete a fatal chain.
+	FailuresInRisk int
+	// LostTime is the cumulative extra time attributed to failures
+	// (downtime, recovery, re-execution and re-spent schedule); its
+	// mean per failure is the simulated counterpart of F (Eq. 7/8/14).
+	LostTime float64
+	// RiskTime is the total time with at least one active risk window.
+	RiskTime float64
+	// ImportanceFatalProb is the variance-reduced estimate of the
+	// per-run fatal-failure probability: the sum over observed
+	// failures of the analytic probability that the rest of the group
+	// dies inside the window. It converges orders of magnitude faster
+	// than the raw Fatal frequency.
+	ImportanceFatalProb float64
+	// Period is the checkpointing period used.
+	Period float64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if !c.Protocol.Valid() {
+		return fmt.Errorf("sim: invalid protocol %d", int(c.Protocol))
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if err := c.Params.CheckPhi(c.Phi); err != nil && c.Protocol != core.DoubleBlocking {
+		return err
+	}
+	if c.Tbase <= 0 {
+		return errors.New("sim: Tbase must be positive")
+	}
+	if c.Period < 0 {
+		return errors.New("sim: negative period")
+	}
+	return nil
+}
+
+// Run simulates one execution.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	eng, err := newEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.run(), nil
+}
+
+// source builds the failure source for the run.
+func (c *Config) source() failure.Source {
+	if c.Source != nil {
+		return c.Source
+	}
+	stream := rng.New(c.Seed)
+	if c.Law != nil {
+		return failure.NewRenewal(lawsFor(c.Params.N, c.Law), stream)
+	}
+	return failure.NewMerged(c.Params.N, c.Params.M, stream)
+}
+
+func lawsFor(n int, law failure.Law) []failure.Law {
+	laws := make([]failure.Law, n)
+	for i := range laws {
+		laws[i] = law
+	}
+	return laws
+}

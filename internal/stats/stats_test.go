@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.N() != len(xs) {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if want := 32.0 / 7; math.Abs(s.Variance()-want) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", s.Variance(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.StdDev() != math.Sqrt(s.Variance()) {
+		t.Fatal("stddev mismatch")
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI95 should be positive")
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Variance() != 0 || s.StdErr() != 0 || s.Mean() != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	s.Add(42)
+	if s.Mean() != 42 || s.Variance() != 0 || s.Min() != 42 || s.Max() != 42 {
+		t.Fatal("single-observation sample wrong")
+	}
+}
+
+func TestSampleMatchesNaiveProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var s Sample
+		var sum float64
+		for _, x := range xs {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var sq float64
+		for _, x := range xs {
+			sq += (x - mean) * (x - mean)
+		}
+		naiveVar := sq / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(naiveVar))
+		return math.Abs(s.Mean()-mean) < 1e-9*math.Max(1, math.Abs(mean)) &&
+			math.Abs(s.Variance()-naiveVar) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	var p Proportion
+	for i := 0; i < 1000; i++ {
+		p.Add(i%10 == 0)
+	}
+	if math.Abs(p.Rate()-0.1) > 1e-12 {
+		t.Fatalf("rate = %v", p.Rate())
+	}
+	lo, hi := p.Wilson95()
+	if !(lo < 0.1 && 0.1 < hi) {
+		t.Fatalf("Wilson interval [%v, %v] should cover 0.1", lo, hi)
+	}
+	if lo < 0 || hi > 1 {
+		t.Fatalf("Wilson interval [%v, %v] outside [0,1]", lo, hi)
+	}
+	var empty Proportion
+	lo, hi = empty.Wilson95()
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty Wilson interval = [%v, %v]", lo, hi)
+	}
+	if empty.Rate() != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+}
+
+func TestWilsonNearZero(t *testing.T) {
+	// Zero hits out of many trials: the interval must stay tight near
+	// zero and must not include negative numbers.
+	p := Proportion{Hits: 0, Trials: 100000}
+	lo, hi := p.Wilson95()
+	if lo != 0 {
+		t.Fatalf("lo = %v, want 0", lo)
+	}
+	if hi > 1e-3 {
+		t.Fatalf("hi = %v, want < 1e-3", hi)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, want := range wantCounts {
+		if h.Counts[i] != want {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], want)
+		}
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("bin 0 center = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram should panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestSurface(t *testing.T) {
+	s := NewSurface("test", "x", "y", "z", []float64{0, 1, 2}, []float64{0, 10})
+	s.Fill(func(x, y float64) float64 { return x + y })
+	if s.At(2, 1) != 12 {
+		t.Fatalf("At(2,1) = %v", s.At(2, 1))
+	}
+	lo, hi := s.MinMax()
+	if lo != 0 || hi != 12 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteDat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 10 12") {
+		t.Fatalf("dat output missing row: %s", out)
+	}
+	// Blocks must be separated by blank lines for gnuplot splot.
+	if !strings.Contains(out, "\n\n") {
+		t.Fatal("dat output missing block separator")
+	}
+	ascii := s.RenderASCII()
+	if !strings.Contains(ascii, "test") || len(strings.Split(ascii, "\n")) < 4 {
+		t.Fatalf("ascii render too small:\n%s", ascii)
+	}
+}
+
+func TestSurfaceMinMaxSkipsNonFinite(t *testing.T) {
+	s := NewSurface("t", "x", "y", "z", []float64{0, 1}, []float64{0})
+	s.Z[0][0] = math.NaN()
+	s.Z[1][0] = 3
+	lo, hi := s.MinMax()
+	if lo != 3 || hi != 3 {
+		t.Fatalf("MinMax with NaN = %v, %v", lo, hi)
+	}
+}
+
+func TestSeriesAndWriteDat(t *testing.T) {
+	xs := []float64{0, 0.5, 1}
+	a := NewSeries("a", "phi", "ratio", xs, func(x float64) float64 { return 2 * x })
+	b := NewSeries("b", "phi", "ratio", xs, func(x float64) float64 { return x * x })
+	var buf bytes.Buffer
+	if err := WriteDat(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# phi a b\n") {
+		t.Fatalf("header: %s", out)
+	}
+	if !strings.Contains(out, "0.5 1 0.25") {
+		t.Fatalf("row missing: %s", out)
+	}
+	if err := WriteDat(&buf); err != nil {
+		t.Fatal("empty WriteDat should be a no-op")
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Surface is a 2-D table z = f(x, y): the data behind the paper's 3-D
+// waste and success-probability plots (Figures 4, 6, 7, 9).
+type Surface struct {
+	Name   string
+	XLabel string
+	YLabel string
+	ZLabel string
+	Xs     []float64
+	Ys     []float64
+	Z      [][]float64 // Z[i][j] = f(Xs[i], Ys[j])
+}
+
+// NewSurface allocates a surface over the given axes.
+func NewSurface(name, xlabel, ylabel, zlabel string, xs, ys []float64) *Surface {
+	z := make([][]float64, len(xs))
+	for i := range z {
+		z[i] = make([]float64, len(ys))
+	}
+	return &Surface{Name: name, XLabel: xlabel, YLabel: ylabel, ZLabel: zlabel, Xs: xs, Ys: ys, Z: z}
+}
+
+// Fill evaluates f over the grid.
+func (s *Surface) Fill(f func(x, y float64) float64) {
+	for i, x := range s.Xs {
+		for j, y := range s.Ys {
+			s.Z[i][j] = f(x, y)
+		}
+	}
+}
+
+// At returns Z at grid indexes (i, j).
+func (s *Surface) At(i, j int) float64 { return s.Z[i][j] }
+
+// MinMax returns the smallest and largest finite Z values.
+func (s *Surface) MinMax() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, row := range s.Z {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// WriteDat writes the surface in gnuplot splot format: blocks of
+// "x y z" lines separated by blank lines, with a comment header.
+func (s *Surface) WriteDat(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n# x=%s y=%s z=%s\n", s.Name, s.XLabel, s.YLabel, s.ZLabel); err != nil {
+		return err
+	}
+	for i, x := range s.Xs {
+		for j, y := range s.Ys {
+			if _, err := fmt.Fprintf(w, "%g %g %g\n", x, y, s.Z[i][j]); err != nil {
+				return err
+			}
+		}
+		if i < len(s.Xs)-1 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// asciiRamp maps a [0,1] intensity to a character, dark to bright.
+const asciiRamp = " .:-=+*#%@"
+
+// RenderASCII draws the surface as an ASCII heat map (rows = Ys from
+// high to low, columns = Xs), good enough to eyeball the shape of the
+// paper's figures in a terminal.
+func (s *Surface) RenderASCII() string {
+	lo, hi := s.MinMax()
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s: %s=%.3g..%.3g)\n", s.Name, s.ZLabel, asciiRamp, lo, hi)
+	for j := len(s.Ys) - 1; j >= 0; j-- {
+		fmt.Fprintf(&b, "%10.3g |", s.Ys[j])
+		for i := range s.Xs {
+			v := s.Z[i][j]
+			var ch byte = '?'
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				idx := int((v - lo) / span * float64(len(asciiRamp)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(asciiRamp) {
+					idx = len(asciiRamp) - 1
+				}
+				ch = asciiRamp[idx]
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10s  ", "")
+	fmt.Fprintf(&b, "%-.3g .. %.3g (%s)\n", s.Xs[0], s.Xs[len(s.Xs)-1], s.XLabel)
+	return b.String()
+}
+
+// Series is a named 1-D curve, the format of Figures 5 and 8.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Ys     []float64
+}
+
+// NewSeries evaluates f over xs.
+func NewSeries(name, xlabel, ylabel string, xs []float64, f func(x float64) float64) *Series {
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = f(x)
+	}
+	return &Series{Name: name, XLabel: xlabel, YLabel: ylabel, Xs: xs, Ys: ys}
+}
+
+// WriteDat writes columns "x y1 y2 ..." for the given series sharing
+// the same X axis, with a header naming each column.
+func WriteDat(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	if _, err := fmt.Fprintf(w, "# %s %s\n", series[0].XLabel, strings.Join(names, " ")); err != nil {
+		return err
+	}
+	for i, x := range series[0].Xs {
+		if _, err := fmt.Fprintf(w, "%g", x); err != nil {
+			return err
+		}
+		for _, s := range series {
+			if _, err := fmt.Fprintf(w, " %g", s.Ys[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
