@@ -1,0 +1,73 @@
+// Command serve exposes the evaluation service as an HTTP JSON API:
+// the closed-form waste, optimal-period and risk models on /v1/waste,
+// /v1/optimum and /v1/risk, and the cached parallel Monte-Carlo sweep
+// engine on /v1/sweep (NDJSON streaming with "Accept:
+// application/x-ndjson"). See README.md for curl examples and
+// DESIGN.md, "API request lifecycle", for the internals.
+//
+// Usage:
+//
+//	serve [-addr :8080] [-cache 4096] [-workers 0]
+//	      [-maxgrid 4096] [-maxruns 256]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 4096, "sweep-point LRU cache capacity (negative disables)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	maxGrid := flag.Int("maxgrid", 4096, "maximum sweep grid points per request")
+	maxRuns := flag.Int("maxruns", 256, "maximum Monte-Carlo runs per sweep point")
+	flag.Parse()
+
+	svc := api.NewService(api.Options{
+		CacheSize:     *cache,
+		Workers:       *workers,
+		MaxGridPoints: *maxGrid,
+		MaxRuns:       *maxRuns,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(api.NewServer(svc)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serve: listening on %s (cache=%d workers=%d)", *addr, *cache, *workers)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("serve: shut down")
+}
+
+// logRequests logs one line per request with its duration.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -5,9 +5,12 @@
 // with structural fatality verification, and the harness regenerating
 // every table and figure of the paper's evaluation.
 //
-// The library lives under internal/ (see DESIGN.md for the system
-// inventory); the executables under cmd/ and the runnable examples
-// under examples/ are the public surface. The benchmarks in
+// The library lives under internal/ (see DESIGN.md, "Package map",
+// for the system inventory); the executables under cmd/ and the
+// runnable examples under examples/ are the public surface. README.md
+// maps each cmd/ binary to the paper artifact it regenerates, and
+// cmd/serve exposes the model and simulator as an HTTP JSON service
+// (DESIGN.md, "API request lifecycle"). The benchmarks in
 // bench_test.go regenerate each figure and report its headline metric:
 //
 //	go test -bench=. -benchmem

@@ -1,0 +1,352 @@
+// Package api is the transport-agnostic evaluation service over the
+// paper's model: it turns JSON requests into calls on internal/core
+// (closed-form waste and risk), internal/optimize (numeric period
+// cross-check) and internal/sim (Monte-Carlo sweeps), and returns
+// plain response structs that any transport can encode. cmd/serve
+// mounts it behind HTTP via NewServer.
+//
+// The request lifecycle, the sweep engine's worker layout and the
+// cache-key canonicalization are documented in DESIGN.md, "API request
+// lifecycle". All responses are deterministic: for a fixed request
+// (including its seed) the encoded bytes are identical across calls,
+// worker counts and processes, which is what makes the sweep cache
+// sound.
+package api
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/scenario"
+)
+
+// Options configures a Service. The zero value selects sensible
+// defaults for every field.
+type Options struct {
+	// CacheSize bounds the sweep-point LRU cache (default 4096
+	// entries, <= -1 disables caching).
+	CacheSize int
+	// Workers bounds the sweep engine's concurrent grid-point
+	// evaluations, shared across all in-flight requests (default
+	// GOMAXPROCS).
+	Workers int
+	// MaxGridPoints rejects sweep requests whose expanded grid exceeds
+	// this size (default 4096).
+	MaxGridPoints int
+	// MaxRuns caps the Monte-Carlo runs per sweep point (default 256).
+	MaxRuns int
+}
+
+// Service evaluates model and simulation queries. It is safe for
+// concurrent use; the only mutable state is the sweep cache and the
+// simulation counter.
+type Service struct {
+	cache         *Cache
+	workers       int
+	maxGridPoints int
+	maxRuns       int
+	// sem bounds concurrent sweep-point evaluations SERVICE-wide, so
+	// N simultaneous sweep requests share the Workers budget instead
+	// of each claiming the whole machine.
+	sem chan struct{}
+	// simPoints counts sweep points actually simulated (cache misses);
+	// tests and the /healthz endpoint use it to prove cache hits skip
+	// the simulator.
+	simPoints atomic.Uint64
+}
+
+// NewService returns a Service with the given options.
+func NewService(opt Options) *Service {
+	if opt.CacheSize == 0 {
+		opt.CacheSize = 4096
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.MaxGridPoints <= 0 {
+		opt.MaxGridPoints = 4096
+	}
+	if opt.MaxRuns <= 0 {
+		opt.MaxRuns = 256
+	}
+	return &Service{
+		cache:         NewCache(opt.CacheSize),
+		workers:       opt.Workers,
+		maxGridPoints: opt.MaxGridPoints,
+		maxRuns:       opt.MaxRuns,
+		sem:           make(chan struct{}, opt.Workers),
+	}
+}
+
+// Cache returns the sweep-point cache (for stats reporting).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// SimPoints returns how many sweep points have been simulated (cache
+// misses) since the service started.
+func (s *Service) SimPoints() uint64 { return s.simPoints.Load() }
+
+// PointRequest is the JSON request shared by the closed-form
+// endpoints: a platform spec, a protocol, and the model coordinates.
+type PointRequest struct {
+	// Scenario describes the platform (Table I row plus overrides).
+	Scenario scenario.Spec `json:"scenario"`
+	// Protocol is the figure name: DoubleBlocking, DoubleNBL,
+	// DoubleBoF, Triple or TripleBoF.
+	Protocol string `json:"protocol"`
+	// PhiFrac is the overhead point φ/R in [0, 1].
+	PhiFrac float64 `json:"phiFrac"`
+	// Period is the checkpointing period in seconds; 0 selects the
+	// model-optimal period (Eq. 9/10/15).
+	Period float64 `json:"period,omitempty"`
+	// Tbase is the failure-free application duration, used by /v1/waste
+	// for the expected-runtime projection (Eq. 3). 0 omits it.
+	Tbase float64 `json:"tbase,omitempty"`
+	// Life is the horizon t of the success probability (Eq. 11/16),
+	// used by /v1/risk. 0 falls back to Tbase.
+	Life float64 `json:"life,omitempty"`
+}
+
+// resolve validates the request and returns the model coordinates.
+func (r *PointRequest) resolve() (core.Protocol, core.Params, float64, error) {
+	pr, err := core.ParseProtocol(r.Protocol)
+	if err != nil {
+		return 0, core.Params{}, 0, err
+	}
+	p, err := r.Scenario.Resolve()
+	if err != nil {
+		return 0, core.Params{}, 0, err
+	}
+	if r.PhiFrac < 0 || r.PhiFrac > 1 {
+		return 0, core.Params{}, 0, fmt.Errorf("api: phiFrac = %v must be in [0, 1]", r.PhiFrac)
+	}
+	if r.Period < 0 {
+		return 0, core.Params{}, 0, fmt.Errorf("api: period = %v must be >= 0", r.Period)
+	}
+	return pr, p, r.PhiFrac * p.R, nil
+}
+
+// ParamsJSON is the resolved platform echoed in every response, so a
+// client sees exactly which Table I row plus overrides was evaluated.
+type ParamsJSON struct {
+	D     float64 `json:"d"`
+	Delta float64 `json:"delta"`
+	R     float64 `json:"r"`
+	Alpha float64 `json:"alpha"`
+	N     int     `json:"n"`
+	MTBF  float64 `json:"mtbf"`
+}
+
+func paramsJSON(p core.Params) ParamsJSON {
+	return ParamsJSON{D: p.D, Delta: p.Delta, R: p.R, Alpha: p.Alpha, N: p.N, MTBF: p.M}
+}
+
+// PhasesJSON is the period split of Fig. 1/3.
+type PhasesJSON struct {
+	Ckpt1   float64 `json:"ckpt1"`
+	Ckpt2   float64 `json:"ckpt2"`
+	Compute float64 `json:"compute"`
+}
+
+// WasteResponse is the /v1/waste response: the full waste breakdown of
+// Eq. 4-8/13-14 at the requested (or optimal) period.
+type WasteResponse struct {
+	Protocol  string     `json:"protocol"`
+	Params    ParamsJSON `json:"params"`
+	Phi       float64    `json:"phi"`
+	Theta     float64    `json:"theta"`
+	Period    float64    `json:"period"`
+	Phases    PhasesJSON `json:"phases"`
+	WasteFF   float64    `json:"wasteFF"`
+	WasteFail float64    `json:"wasteFail"`
+	Waste     float64    `json:"waste"`
+	Loss      float64    `json:"loss"`
+	Feasible  bool       `json:"feasible"`
+	// ExpectedRuntime is Tbase/(1-WASTE) (Eq. 3), present when the
+	// request carries a tbase and the point is feasible.
+	ExpectedRuntime float64 `json:"expectedRuntime,omitempty"`
+}
+
+// Waste evaluates the closed-form waste model at one point.
+func (s *Service) Waste(req PointRequest) (WasteResponse, error) {
+	pr, p, phi, err := req.resolve()
+	if err != nil {
+		return WasteResponse{}, err
+	}
+	phi = core.EffectivePhi(pr, p, phi)
+	resp := WasteResponse{
+		Protocol: pr.String(),
+		Params:   paramsJSON(p),
+		Phi:      phi,
+		Theta:    p.Theta(phi),
+		Feasible: true,
+	}
+	period := req.Period
+	if period == 0 {
+		period, err = core.OptimalPeriod(pr, p, phi)
+		if err != nil {
+			if !errors.Is(err, core.ErrMTBFTooSmall) {
+				return WasteResponse{}, err
+			}
+			resp.Feasible = false
+		}
+	}
+	resp.Period = period
+	ph, err := core.PeriodPhases(pr, p, phi, period)
+	if err != nil {
+		return WasteResponse{}, fmt.Errorf("api: period %v: %w", period, err)
+	}
+	resp.Phases = PhasesJSON{Ckpt1: ph.Ckpt1, Ckpt2: ph.Ckpt2, Compute: ph.Compute}
+	resp.WasteFF = core.WasteFF(pr, p, phi, period)
+	resp.WasteFail = core.WasteFail(pr, p, phi, period)
+	resp.Loss = core.FailureLoss(pr, p, phi, period)
+	w, err := core.Waste(pr, p, phi, period)
+	if err != nil {
+		return WasteResponse{}, err
+	}
+	resp.Waste = w
+	if w >= 1 {
+		resp.Feasible = false
+	}
+	if req.Tbase > 0 && resp.Feasible {
+		resp.ExpectedRuntime = req.Tbase / (1 - w)
+	}
+	return resp, nil
+}
+
+// OptimumResponse is the /v1/optimum response: the closed-form optimal
+// period (Eq. 9/10/15) against its direct numeric minimization.
+type OptimumResponse struct {
+	Protocol string     `json:"protocol"`
+	Params   ParamsJSON `json:"params"`
+	Phi      float64    `json:"phi"`
+	// Period is the closed-form optimal period.
+	Period float64 `json:"period"`
+	// NumericPeriod minimizes Eq. 5 directly by golden section,
+	// standing in for the paper's Maple cross-check (§III.B).
+	NumericPeriod float64 `json:"numericPeriod"`
+	// PeriodGap is |Period-NumericPeriod|/NumericPeriod, the
+	// first-order approximation error of the closed form.
+	PeriodGap float64    `json:"periodGap"`
+	MinPeriod float64    `json:"minPeriod"`
+	Phases    PhasesJSON `json:"phases"`
+	Waste     float64    `json:"waste"`
+	// NumericWaste is the waste at NumericPeriod (always <= Waste up
+	// to the solver tolerance).
+	NumericWaste float64 `json:"numericWaste"`
+	Feasible     bool    `json:"feasible"`
+}
+
+// Optimum evaluates the optimal-period model at one point.
+func (s *Service) Optimum(req PointRequest) (OptimumResponse, error) {
+	pr, p, phi, err := req.resolve()
+	if err != nil {
+		return OptimumResponse{}, err
+	}
+	if req.Period != 0 {
+		return OptimumResponse{}, errors.New("api: optimum request must not fix a period")
+	}
+	phi = core.EffectivePhi(pr, p, phi)
+	resp := OptimumResponse{
+		Protocol:  pr.String(),
+		Params:    paramsJSON(p),
+		Phi:       phi,
+		MinPeriod: core.MinPeriod(pr, p, phi),
+		Feasible:  true,
+	}
+	period, err := core.OptimalPeriod(pr, p, phi)
+	resp.Period = period
+	if err != nil {
+		if !errors.Is(err, core.ErrMTBFTooSmall) {
+			return OptimumResponse{}, err
+		}
+		resp.Feasible = false
+		resp.NumericPeriod = period
+		resp.Waste = 1
+		resp.NumericWaste = 1
+		return resp, nil
+	}
+	// Cross-check the closed form by minimizing Eq. 5 directly: the
+	// waste is unimodal in the period, and the closed form is within a
+	// small factor of the true optimum wherever the model is feasible,
+	// so [MinPeriod, max(4·closed, 8·MinPeriod)] brackets it.
+	waste := func(period float64) float64 {
+		w, werr := core.Waste(pr, p, phi, period)
+		if werr != nil {
+			return 1
+		}
+		return w
+	}
+	numeric, numericWaste := optimize.MinimizeUnimodal(
+		waste, resp.MinPeriod, math.Max(4*period, 8*resp.MinPeriod))
+	resp.NumericPeriod = numeric
+	resp.NumericWaste = numericWaste
+	resp.PeriodGap = math.Abs(period-numeric) / numeric
+	if ph, err := core.PeriodPhases(pr, p, phi, period); err == nil {
+		resp.Phases = PhasesJSON{Ckpt1: ph.Ckpt1, Ckpt2: ph.Ckpt2, Compute: ph.Compute}
+	}
+	resp.Waste = core.OptimalWaste(pr, p, phi)
+	if resp.Waste >= 1 {
+		resp.Feasible = false
+	}
+	return resp, nil
+}
+
+// RiskResponse is the /v1/risk response: the risk-window and
+// success-probability model of §III.C/§V.C (Eq. 11, 12, 16).
+type RiskResponse struct {
+	Protocol string     `json:"protocol"`
+	Params   ParamsJSON `json:"params"`
+	Phi      float64    `json:"phi"`
+	// Life is the horizon t the probabilities refer to.
+	Life float64 `json:"life"`
+	// RiskWindow is the post-failure window during which a second
+	// (third) failure in the buddy group is fatal.
+	RiskWindow float64 `json:"riskWindow"`
+	// SuccessProb is Eq. 11 (double) or Eq. 16 (triple).
+	SuccessProb float64 `json:"successProb"`
+	FatalProb   float64 `json:"fatalProb"`
+	// RunsTolerated is the expected number of length-Life executions
+	// before the first fatal failure, 1/FatalProb. It is omitted when
+	// the fatal probability is 0 to working precision (the count is
+	// infinite, which JSON cannot carry).
+	RunsTolerated *float64 `json:"runsTolerated,omitempty"`
+	// BaseSuccessProb is the no-checkpointing baseline (Eq. 12), where
+	// any failure is fatal.
+	BaseSuccessProb float64 `json:"baseSuccessProb"`
+}
+
+// Risk evaluates the success-probability model at one point.
+func (s *Service) Risk(req PointRequest) (RiskResponse, error) {
+	pr, p, phi, err := req.resolve()
+	if err != nil {
+		return RiskResponse{}, err
+	}
+	life := req.Life
+	if life == 0 {
+		life = req.Tbase
+	}
+	if life <= 0 {
+		return RiskResponse{}, errors.New("api: risk request needs a positive life (or tbase) horizon")
+	}
+	phi = core.EffectivePhi(pr, p, phi)
+	success := core.SuccessProbability(pr, p, phi, life)
+	resp := RiskResponse{
+		Protocol:        pr.String(),
+		Params:          paramsJSON(p),
+		Phi:             phi,
+		Life:            life,
+		RiskWindow:      core.RiskWindow(pr, p, phi),
+		SuccessProb:     success,
+		FatalProb:       1 - success,
+		BaseSuccessProb: core.BaseSuccessProbability(p, life),
+	}
+	if runs := core.RunsTolerated(pr, p, phi, life); !math.IsInf(runs, 0) {
+		resp.RunsTolerated = &runs
+	}
+	return resp, nil
+}

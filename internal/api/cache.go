@@ -1,0 +1,84 @@
+package api
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded, thread-safe LRU of sweep-point results, keyed by
+// the canonical point key (see pointKey). Repeated hot queries — the
+// same grid point appearing in overlapping sweeps, or an identical
+// sweep re-submitted — are served from it without touching the
+// simulator.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	item SweepItem
+}
+
+// NewCache returns an LRU cache holding up to capacity entries.
+// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached item for key and marks it most recently used.
+func (c *Cache) Get(key string) (SweepItem, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return SweepItem{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).item, true
+}
+
+// Put stores the item under key, evicting the least recently used
+// entry when the cache is full.
+func (c *Cache) Put(key string, item SweepItem) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).item = item
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, item: item})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

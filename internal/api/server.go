@@ -1,0 +1,180 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Sweep metadata headers. They carry SweepStats out of band so that
+// repeated identical sweeps return byte-identical bodies (the
+// cache-determinism guarantee the tests pin down). On streaming
+// responses they are sent as HTTP trailers.
+const (
+	HeaderSweepPoints = "X-Sweep-Points"
+	HeaderSweepHits   = "X-Sweep-Cache-Hits"
+	HeaderSweepMisses = "X-Sweep-Cache-Misses"
+)
+
+// NDJSONContentType is the Accept value selecting the streaming
+// /v1/sweep response: one SweepItem JSON object per line, emitted in
+// grid order as points complete.
+const NDJSONContentType = "application/x-ndjson"
+
+// NewServer mounts the service's four endpoints plus /healthz on a new
+// mux. Every endpoint takes a POST with a JSON body and returns JSON;
+// errors are {"error": "..."} with a 4xx/5xx status.
+func NewServer(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/waste", handlePoint(s.Waste))
+	mux.HandleFunc("/v1/optimum", handlePoint(s.Optimum))
+	mux.HandleFunc("/v1/risk", handlePoint(s.Risk))
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+// writeJSON marshals v before touching the ResponseWriter, so an
+// encoding failure becomes a 500 error body instead of a silent empty
+// 200.
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding response: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// decodeRequest parses a JSON request body, rejecting unknown fields
+// so typos fail loudly. An empty body decodes to the zero request.
+func decodeRequest(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("invalid request: %w", err)
+	}
+	return nil
+}
+
+// handlePoint adapts a closed-form service method into an HTTP
+// handler.
+func handlePoint[T any](eval func(PointRequest) (T, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST with a JSON body"))
+			return
+		}
+		var req PointRequest
+		if err := decodeRequest(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := eval(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, resp)
+	}
+}
+
+// sweepResponse is the non-streaming /v1/sweep body.
+type sweepResponse struct {
+	Items []SweepItem `json:"items"`
+}
+
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST with a JSON body"))
+		return
+	}
+	var req SweepRequest
+	if err := decodeRequest(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.Header.Get("Accept") == NDJSONContentType {
+		s.streamSweep(w, r, req)
+		return
+	}
+	items, stats, err := s.Sweep(r.Context(), req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	setSweepHeaders(w.Header(), stats)
+	writeJSON(w, sweepResponse{Items: items})
+}
+
+// streamSweep writes one SweepItem per NDJSON line, flushing as points
+// complete, and reports SweepStats as HTTP trailers.
+func (s *Service) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest) {
+	w.Header().Set("Trailer", HeaderSweepPoints+", "+HeaderSweepHits+", "+HeaderSweepMisses)
+	w.Header().Set("Content-Type", NDJSONContentType)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	stats, err := s.SweepStream(r.Context(), req, func(item SweepItem) error {
+		if err := enc.Encode(item); err != nil {
+			return err
+		}
+		wrote = true
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		if !wrote {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Mid-stream failure: the status line is already sent, so the
+		// error becomes the final NDJSON line.
+		enc.Encode(errorResponse{Error: err.Error()})
+	}
+	setSweepHeaders(w.Header(), stats)
+}
+
+func setSweepHeaders(h http.Header, stats SweepStats) {
+	h.Set(HeaderSweepPoints, strconv.Itoa(stats.Points))
+	h.Set(HeaderSweepHits, strconv.Itoa(stats.CacheHits))
+	h.Set(HeaderSweepMisses, strconv.Itoa(stats.CacheMisses))
+}
+
+// healthResponse is the /healthz body: liveness plus the service's
+// cache and simulation counters.
+type healthResponse struct {
+	OK          bool   `json:"ok"`
+	CacheLen    int    `json:"cacheLen"`
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	SimPoints   uint64 `json:"simPoints"`
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	writeJSON(w, healthResponse{
+		OK:          true,
+		CacheLen:    s.cache.Len(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+		SimPoints:   s.SimPoints(),
+	})
+}

@@ -1,0 +1,383 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// SweepRequest is the /v1/sweep request: the cross product of the
+// protocol, φ/R and MTBF axes over one platform, simulated at the
+// model-optimal (or a fixed) period with a bounded worker pool.
+type SweepRequest struct {
+	// Scenario describes the platform; its MTBF is overridden by each
+	// point of the MTBFs axis.
+	Scenario scenario.Spec `json:"scenario"`
+	// Protocols lists figure names; empty selects every protocol.
+	Protocols []string `json:"protocols,omitempty"`
+	// PhiFracs lists overhead points φ/R in [0, 1]; empty selects
+	// {0, 0.25, 0.5, 0.75, 1}.
+	PhiFracs []float64 `json:"phiFracs,omitempty"`
+	// MTBFs lists platform MTBFs in seconds; empty keeps the
+	// scenario's MTBF as the single axis point.
+	MTBFs []float64 `json:"mtbfs,omitempty"`
+	// Tbase is the failure-free application duration (default 1e5 s).
+	Tbase float64 `json:"tbase,omitempty"`
+	// Period fixes the checkpointing period; 0 uses the model-optimal
+	// period at each point.
+	Period float64 `json:"period,omitempty"`
+	// Runs is the Monte-Carlo batch per point (default 8, capped by
+	// the service's MaxRuns).
+	Runs int `json:"runs,omitempty"`
+	// Seed is the base seed; per-point seeds are derived from it
+	// through an rng.Stream split keyed by the canonical point key, so
+	// a point's sample is independent of its position in the grid.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// SweepItem is one grid point of the /v1/sweep response: the model
+// evaluation and the Monte-Carlo aggregate at that point.
+type SweepItem struct {
+	Protocol string `json:"protocol"`
+	// PhiFrac is the effective φ/R of the point: the requested value,
+	// except for DoubleBlocking which always reports 1 (its exchange
+	// is fully blocking regardless of the request).
+	PhiFrac float64 `json:"phiFrac"`
+	MTBF    float64 `json:"mtbf"`
+	Seed    uint64  `json:"seed"`
+	Runs    int     `json:"runs"`
+	// Feasible is false when the MTBF is too small for the protocol to
+	// progress (M <= A); such points carry ModelWaste = 1 and no
+	// simulation results.
+	Feasible   bool    `json:"feasible"`
+	Period     float64 `json:"period"`
+	ModelWaste float64 `json:"modelWaste"`
+	ModelLoss  float64 `json:"modelLoss"`
+	RiskWindow float64 `json:"riskWindow"`
+	SimWaste   float64 `json:"simWaste"`
+	SimCI      float64 `json:"simCI"`
+	SimLoss    float64 `json:"simLoss"`
+	// FatalRate and CompletedRate are per-run frequencies;
+	// ImportanceFatal is the variance-reduced fatal-probability
+	// estimate.
+	FatalRate       float64 `json:"fatalRate"`
+	CompletedRate   float64 `json:"completedRate"`
+	ImportanceFatal float64 `json:"importanceFatal"`
+}
+
+// SweepStats summarizes one sweep execution. It travels in HTTP
+// headers (not the body) so that repeated identical sweeps return
+// byte-identical bodies.
+type SweepStats struct {
+	Points      int
+	CacheHits   int
+	CacheMisses int
+}
+
+// sweepPoint is one expanded grid point awaiting evaluation.
+type sweepPoint struct {
+	cfg     sim.Config
+	phiFrac float64
+	key     string
+}
+
+// defaultPhiFracs is the φ/R axis used when a sweep request leaves
+// PhiFracs empty.
+var defaultPhiFracs = []float64{0, 0.25, 0.5, 0.75, 1}
+
+// expand validates the request, fills its defaults in place (callers
+// rely on the normalized Runs), and returns the grid in deterministic
+// order: protocols × phiFracs × mtbfs.
+func (s *Service) expand(req *SweepRequest) ([]sweepPoint, error) {
+	base, err := req.Scenario.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	names := req.Protocols
+	if len(names) == 0 {
+		names = make([]string, len(core.Protocols))
+		for i, pr := range core.Protocols {
+			names[i] = pr.String()
+		}
+	}
+	protocols := make([]core.Protocol, len(names))
+	for i, name := range names {
+		if protocols[i], err = core.ParseProtocol(name); err != nil {
+			return nil, err
+		}
+	}
+	phiFracs := req.PhiFracs
+	if len(phiFracs) == 0 {
+		phiFracs = defaultPhiFracs
+	}
+	for _, f := range phiFracs {
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("api: phiFrac = %v must be in [0, 1]", f)
+		}
+	}
+	mtbfs := req.MTBFs
+	if len(mtbfs) == 0 {
+		mtbfs = []float64{base.M}
+	}
+	for _, m := range mtbfs {
+		if m <= 0 {
+			return nil, fmt.Errorf("api: mtbf = %v must be > 0", m)
+		}
+	}
+	if req.Tbase == 0 {
+		req.Tbase = 1e5
+	}
+	if req.Tbase < 0 || req.Period < 0 {
+		return nil, errors.New("api: tbase and period must be >= 0")
+	}
+	if req.Runs == 0 {
+		req.Runs = 8
+	}
+	if req.Runs < 1 || req.Runs > s.maxRuns {
+		return nil, fmt.Errorf("api: runs = %d must be in [1, %d]", req.Runs, s.maxRuns)
+	}
+	total := len(protocols) * len(phiFracs) * len(mtbfs)
+	if total > s.maxGridPoints {
+		return nil, fmt.Errorf("api: sweep grid has %d points, limit is %d", total, s.maxGridPoints)
+	}
+
+	baseStream := rng.New(req.Seed)
+	points := make([]sweepPoint, 0, total)
+	for _, pr := range protocols {
+		for _, frac := range phiFracs {
+			for _, m := range mtbfs {
+				p := base.WithMTBF(m)
+				// Canonicalize φ before keying: DoubleBlocking pins
+				// φ = R whatever the request asks, so its grid points
+				// collapse to one cache entry (and one simulation) per
+				// MTBF, and the cached item's content is fully
+				// determined by the key.
+				phi := core.EffectivePhi(pr, p, frac*p.R)
+				cfg := sim.Config{
+					Protocol: pr,
+					Params:   p,
+					Phi:      phi,
+					Period:   req.Period,
+					Tbase:    req.Tbase,
+				}
+				key := pointKey(cfg, req.Runs, req.Seed)
+				// The per-point seed depends only on the canonical key,
+				// never on the grid position, so overlapping sweeps
+				// resolve the same point to the same sample (and the
+				// same cache entry).
+				cfg.Seed = baseStream.Split(fnv64(key)).Uint64()
+				points = append(points, sweepPoint{cfg: cfg, phiFrac: phi / p.R, key: key})
+			}
+		}
+	}
+	return points, nil
+}
+
+// pointKey canonicalizes a sweep point into the cache key: every field
+// that influences the result, rendered with exact float encoding. Two
+// requests that resolve to the same physical point — whatever scenario
+// name, override set or grid shape produced it — share a key.
+func pointKey(cfg sim.Config, runs int, baseSeed uint64) string {
+	p := cfg.Params
+	var b strings.Builder
+	b.WriteString(cfg.Protocol.String())
+	for _, f := range []float64{p.D, p.Delta, p.R, p.Alpha, p.M, cfg.Phi, cfg.Period, cfg.Tbase} {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatFloat(f, 'x', -1, 64))
+	}
+	fmt.Fprintf(&b, "|n=%d|runs=%d|seed=%d", p.N, runs, baseSeed)
+	return b.String()
+}
+
+// fnv64 is the FNV-1a hash of s, used to key rng.Stream.Split.
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// evaluate computes one grid point, consulting the cache first.
+func (s *Service) evaluate(pt sweepPoint, runs, simWorkers int) (SweepItem, bool, error) {
+	if item, ok := s.cache.Get(pt.key); ok {
+		return item, true, nil
+	}
+	cfg, p, pr := pt.cfg, pt.cfg.Params, pt.cfg.Protocol
+	item := SweepItem{
+		Protocol:   pr.String(),
+		PhiFrac:    pt.phiFrac,
+		MTBF:       p.M,
+		Seed:       cfg.Seed,
+		Runs:       runs,
+		RiskWindow: core.RiskWindow(pr, p, cfg.Phi),
+	}
+	// Resolve the period up front so infeasible points — MTBF too
+	// small for any progress, or a fixed period below this protocol's
+	// MinPeriod — become Feasible=false items instead of either
+	// burning the full MaxSimTime horizon or aborting the rest of the
+	// grid.
+	period := cfg.Period
+	if period == 0 {
+		var err error
+		if period, err = core.OptimalPeriod(pr, p, cfg.Phi); err != nil {
+			item.Period = period
+			item.ModelWaste = 1
+			item.ModelLoss = core.FailureLoss(pr, p, cfg.Phi, period)
+			s.cache.Put(pt.key, item)
+			return item, false, nil
+		}
+	} else if _, err := core.PeriodPhases(pr, p, cfg.Phi, period); err != nil {
+		item.Period = period
+		item.ModelWaste = 1
+		item.ModelLoss = core.FailureLoss(pr, p, cfg.Phi, period)
+		s.cache.Put(pt.key, item)
+		return item, false, nil
+	}
+	cfg.Period = period
+	s.simPoints.Add(1)
+	row, err := experiments.ValidateConfig(cfg, runs, simWorkers)
+	if err != nil {
+		return SweepItem{}, false, fmt.Errorf("api: point %s: %w", pt.key, err)
+	}
+	item.Feasible = row.ModelWaste < 1
+	item.Period = row.Period
+	item.ModelWaste = row.ModelWaste
+	item.ModelLoss = row.ModelLoss
+	item.SimWaste = row.SimWaste
+	item.SimCI = row.SimCI
+	item.SimLoss = row.SimLoss
+	item.FatalRate = row.FatalRate
+	item.CompletedRate = row.CompletedRate
+	item.ImportanceFatal = row.ImportanceFatal
+	s.cache.Put(pt.key, item)
+	return item, false, nil
+}
+
+// SweepStream expands the request's grid, evaluates it across the
+// service's bounded worker pool, and emits the items in grid order as
+// each becomes ready (the first items of a large sweep stream while
+// the rest still compute). emit runs on the caller's goroutine; an
+// emit error or a cancelled ctx aborts the sweep, and the workers stop
+// picking up grid points (a disconnected client does not keep burning
+// CPU on the rest of the grid).
+func (s *Service) SweepStream(ctx context.Context, req SweepRequest, emit func(SweepItem) error) (SweepStats, error) {
+	points, err := s.expand(&req) // normalizes req.Runs for the workers below
+	if err != nil {
+		return SweepStats{}, err
+	}
+	stats := SweepStats{Points: len(points)}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	gridWorkers := s.workers
+	if gridWorkers > len(points) {
+		gridWorkers = len(points)
+	}
+	if gridWorkers < 1 {
+		gridWorkers = 1
+	}
+
+	type slot struct {
+		item   SweepItem
+		cached bool
+		err    error
+	}
+	slots := make([]slot, len(points))
+	ready := make([]chan struct{}, len(points))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range points {
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < gridWorkers; w++ {
+		go func() {
+			for i := range next {
+				// The semaphore is service-wide: concurrent sweep
+				// requests share the Workers budget instead of each
+				// claiming gridWorkers CPUs of their own. Each point
+				// blocks for one slot, then opportunistically grabs
+				// idle slots so sim.RunManyWorkers can fan the batch
+				// out on a quiet machine — the total concurrent
+				// simulation goroutines never exceed the budget.
+				select {
+				case s.sem <- struct{}{}:
+				case <-ctx.Done():
+					slots[i] = slot{err: ctx.Err()}
+					close(ready[i])
+					continue
+				}
+				held := 1
+				for held < req.Runs {
+					select {
+					case s.sem <- struct{}{}:
+						held++
+						continue
+					default:
+					}
+					break
+				}
+				item, cached, err := s.evaluate(points[i], req.Runs, held)
+				for j := 0; j < held; j++ {
+					<-s.sem
+				}
+				slots[i] = slot{item: item, cached: cached, err: err}
+				close(ready[i])
+			}
+		}()
+	}
+
+	for i := range points {
+		select {
+		case <-ready[i]:
+		case <-ctx.Done():
+			return stats, ctx.Err()
+		}
+		if slots[i].err != nil {
+			return stats, slots[i].err
+		}
+		if slots[i].cached {
+			stats.CacheHits++
+		} else {
+			stats.CacheMisses++
+		}
+		if err := emit(slots[i].item); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// Sweep is SweepStream collected into a slice, for the non-streaming
+// JSON response and for library callers.
+func (s *Service) Sweep(ctx context.Context, req SweepRequest) ([]SweepItem, SweepStats, error) {
+	items := make([]SweepItem, 0, 16)
+	stats, err := s.SweepStream(ctx, req, func(item SweepItem) error {
+		items = append(items, item)
+		return nil
+	}) // req is a value; SweepStream normalizes its own copy
+	if err != nil {
+		return nil, stats, err
+	}
+	return items, stats, nil
+}

@@ -71,6 +71,18 @@ func (pr Protocol) String() string {
 // Valid reports whether pr is a defined protocol.
 func (pr Protocol) Valid() bool { return pr >= 0 && int(pr) < numProtocols }
 
+// ParseProtocol returns the protocol with the given figure name (the
+// strings produced by Protocol.String, e.g. "DoubleNBL" or "Triple").
+// It is the inverse of String and the form accepted by the JSON API.
+func ParseProtocol(name string) (Protocol, error) {
+	for _, pr := range Protocols {
+		if pr.String() == name {
+			return pr, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown protocol %q (want one of %v)", name, Protocols)
+}
+
 // GroupSize returns the number of nodes per buddy group: 2 for the
 // double protocols, 3 for the triple protocols.
 func (pr Protocol) GroupSize() int {

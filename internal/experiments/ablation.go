@@ -93,11 +93,57 @@ func CentralizedSweep(sc scenario.Scenario, phiFrac float64, multipliers []float
 type ValidationRow struct {
 	Protocol   core.Protocol
 	PhiFrac    float64
+	Period     float64 // period actually simulated
+	Runs       int
 	ModelWaste float64
 	SimWaste   float64
 	SimCI      float64
 	ModelLoss  float64 // F at the optimal period
 	SimLoss    float64 // measured mean loss per failure
+	// FatalRate and CompletedRate are the per-run fractions of fatal
+	// failures and completions; ImportanceFatal is the variance-reduced
+	// fatal-probability estimate (sim.Result.ImportanceFatalProb).
+	FatalRate       float64
+	CompletedRate   float64
+	ImportanceFatal float64
+}
+
+// ValidateConfig runs the Monte-Carlo comparison for one prepared
+// configuration: the model waste and per-failure loss at cfg's period
+// (0 selects the optimal period, resolved into the returned row)
+// against the simulated batch. It is the shared kernel of Validate and
+// of the API sweep engine. workers <= 0 uses one goroutine per CPU.
+func ValidateConfig(cfg sim.Config, runs, workers int) (ValidationRow, error) {
+	p, pr := cfg.Params, cfg.Protocol
+	if cfg.Period == 0 {
+		period, err := core.OptimalPeriod(pr, p, cfg.Phi)
+		if err != nil {
+			return ValidationRow{}, fmt.Errorf("experiments: %s infeasible at M=%v: %w", pr, p.M, err)
+		}
+		cfg.Period = period
+	}
+	agg, err := sim.RunManyWorkers(cfg, runs, workers)
+	if err != nil {
+		return ValidationRow{}, err
+	}
+	modelWaste, err := core.Waste(pr, p, cfg.Phi, cfg.Period)
+	if err != nil {
+		return ValidationRow{}, err
+	}
+	return ValidationRow{
+		Protocol:        pr,
+		PhiFrac:         cfg.Phi / p.R,
+		Period:          cfg.Period,
+		Runs:            runs,
+		ModelWaste:      modelWaste,
+		SimWaste:        agg.Waste.Mean(),
+		SimCI:           agg.Waste.CI95(),
+		ModelLoss:       core.FailureLoss(pr, p, cfg.Phi, cfg.Period),
+		SimLoss:         agg.LossPerF.Mean(),
+		FatalRate:       agg.Fatal.Rate(),
+		CompletedRate:   agg.Completed.Rate(),
+		ImportanceFatal: agg.ImportanceFatal.Mean(),
+	}, nil
 }
 
 // Validate runs the Monte-Carlo validation for every protocol at the
@@ -107,31 +153,17 @@ func Validate(sc scenario.Scenario, mtbf, phiFrac, tbase float64, runs int, seed
 	p := sc.Params.WithMTBF(mtbf)
 	rows := make([]ValidationRow, 0, len(core.Protocols))
 	for _, pr := range core.Protocols {
-		phi := phiFrac * p.R
-		period, err := core.OptimalPeriod(pr, p, phi)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s infeasible at M=%v: %w", pr, mtbf, err)
-		}
-		agg, err := sim.RunMany(sim.Config{
+		row, err := ValidateConfig(sim.Config{
 			Protocol: pr,
 			Params:   p,
-			Phi:      phi,
-			Period:   period,
+			Phi:      phiFrac * p.R,
 			Tbase:    tbase,
 			Seed:     seed,
-		}, runs)
+		}, runs, 0)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, ValidationRow{
-			Protocol:   pr,
-			PhiFrac:    phiFrac,
-			ModelWaste: core.OptimalWaste(pr, p, phi),
-			SimWaste:   agg.Waste.Mean(),
-			SimCI:      agg.Waste.CI95(),
-			ModelLoss:  core.FailureLoss(pr, p, phi, period),
-			SimLoss:    agg.LossPerF.Mean(),
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -1,0 +1,15 @@
+package optimize
+
+// MinimizeUnimodal minimizes f over [a, b] by golden section with a
+// relative tolerance of 1e-6 of the bracket, returning both the argmin
+// and the minimum value. It is the entry point the API's /v1/optimum
+// endpoint uses to cross-check the closed-form periods (Eq. 9, 10, 15)
+// by direct minimization of the waste, the role the Maple computations
+// play in §III.B.
+func MinimizeUnimodal(f func(float64) float64, a, b float64) (x, fx float64) {
+	if b < a {
+		a, b = b, a
+	}
+	x = GoldenSection(f, a, b, 1e-6*(b-a))
+	return x, f(x)
+}

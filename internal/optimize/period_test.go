@@ -1,0 +1,21 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMinimizeUnimodal(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3) * (x - 3) }
+	x, fx := MinimizeUnimodal(f, 0, 10)
+	if math.Abs(x-3) > 1e-4 {
+		t.Errorf("argmin = %v, want 3", x)
+	}
+	if fx > 1e-8 {
+		t.Errorf("min = %v, want ~0", fx)
+	}
+	// Reversed bracket must work too.
+	if x, _ := MinimizeUnimodal(f, 10, 0); math.Abs(x-3) > 1e-4 {
+		t.Errorf("reversed bracket argmin = %v, want 3", x)
+	}
+}

@@ -1,0 +1,66 @@
+package scenario
+
+import "repro/internal/core"
+
+// Spec is the JSON description of a platform accepted by the service
+// API (DESIGN.md, "API request lifecycle"). It either names a Table I
+// scenario, optionally overriding individual parameters, or spells out
+// a fully custom platform when Name is empty.
+//
+// A zero Spec resolves to the Base scenario, so curl examples stay
+// short; every override is validated through core.Params.Validate
+// before it reaches the model.
+type Spec struct {
+	// Name selects the starting scenario ("Base" or "Exa"). Empty
+	// defaults to Base.
+	Name string `json:"name,omitempty"`
+	// D overrides the downtime, in seconds.
+	D *float64 `json:"d,omitempty"`
+	// Delta overrides the blocking local checkpoint time δ, in seconds.
+	Delta *float64 `json:"delta,omitempty"`
+	// R overrides the blocking buddy-transfer time, in seconds.
+	R *float64 `json:"r,omitempty"`
+	// Alpha overrides the overlap speedup factor α.
+	Alpha *float64 `json:"alpha,omitempty"`
+	// N overrides the platform size in nodes.
+	N *int `json:"n,omitempty"`
+	// MTBF overrides the platform MTBF M, in seconds.
+	MTBF *float64 `json:"mtbf,omitempty"`
+}
+
+// Resolve returns the platform parameters the spec describes: the named
+// scenario's Table I row with the overrides applied, validated through
+// core.Params.Validate.
+func (s Spec) Resolve() (core.Params, error) {
+	name := s.Name
+	if name == "" {
+		name = "Base"
+	}
+	sc, err := ByName(name)
+	if err != nil {
+		return core.Params{}, err
+	}
+	p := sc.Params
+	if s.D != nil {
+		p.D = *s.D
+	}
+	if s.Delta != nil {
+		p.Delta = *s.Delta
+	}
+	if s.R != nil {
+		p.R = *s.R
+	}
+	if s.Alpha != nil {
+		p.Alpha = *s.Alpha
+	}
+	if s.N != nil {
+		p.N = *s.N
+	}
+	if s.MTBF != nil {
+		p.M = *s.MTBF
+	}
+	if err := p.Validate(); err != nil {
+		return core.Params{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,38 @@
+package scenario
+
+import "testing"
+
+func TestSpecZeroValueIsBase(t *testing.T) {
+	p, err := Spec{}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != Base().Params {
+		t.Errorf("zero spec resolved to %+v, want Base %+v", p, Base().Params)
+	}
+}
+
+func TestSpecOverrides(t *testing.T) {
+	mtbf, n, delta := 3600.0, 1000, 5.0
+	p, err := Spec{Name: "Exa", MTBF: &mtbf, N: &n, Delta: &delta}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exa := Exa().Params
+	if p.M != mtbf || p.N != n || p.Delta != delta {
+		t.Errorf("overrides not applied: %+v", p)
+	}
+	if p.D != exa.D || p.R != exa.R || p.Alpha != exa.Alpha {
+		t.Errorf("non-overridden fields changed: %+v vs %+v", p, exa)
+	}
+}
+
+func TestSpecRejectsInvalid(t *testing.T) {
+	bad := -1.0
+	if _, err := (Spec{MTBF: &bad}).Resolve(); err == nil {
+		t.Error("negative MTBF must fail validation")
+	}
+	if _, err := (Spec{Name: "Peta"}).Resolve(); err == nil {
+		t.Error("unknown scenario name must fail")
+	}
+}

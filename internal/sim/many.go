@@ -28,13 +28,25 @@ type Aggregate struct {
 // independent of the worker count. Config.Source must be nil (a shared
 // source cannot be split across runs).
 func RunMany(cfg Config, runs int) (Aggregate, error) {
+	return RunManyWorkers(cfg, runs, runtime.GOMAXPROCS(0))
+}
+
+// RunManyWorkers is RunMany with an explicit worker budget, for
+// callers that already parallelize above the batch (the API sweep
+// engine gives each grid point a bounded slice of the machine instead
+// of letting every point claim all CPUs). workers <= 0 falls back to
+// one goroutine per CPU. The aggregate is identical for any worker
+// count.
+func RunManyWorkers(cfg Config, runs, workers int) (Aggregate, error) {
 	if err := cfg.Validate(); err != nil {
 		return Aggregate{}, err
 	}
 	if cfg.Source != nil {
 		cfg.Source = nil // sources are single-run; fall back to seeded generation
 	}
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > runs {
 		workers = runs
 	}
