@@ -239,8 +239,12 @@ func BenchmarkExtensionWeibull(b *testing.B) {
 	b.ReportMetric(points[0].BestMultiplier, "best-period-mult")
 }
 
-// BenchmarkEngineThroughput measures raw simulator speed: simulated
-// failures processed per benchmark op on a 30-minute-MTBF platform.
+// BenchmarkEngineThroughput measures raw simulator speed on a
+// 30-minute-MTBF platform. The headline metric is rate-based —
+// simulated failures processed per wall-clock second — alongside
+// allocations per run, so kernel regressions show up whether they cost
+// time or memory. cmd/bench runs the same configuration and records it
+// in the committed perf trajectory (BENCH_PR2.json).
 func BenchmarkEngineThroughput(b *testing.B) {
 	cfg := sim.Config{
 		Protocol: core.DoubleNBL,
@@ -248,7 +252,9 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		Phi:      1,
 		Tbase:    1e6,
 	}
+	b.ReportAllocs()
 	failures := 0
+	total := 0
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
 		res, err := sim.Run(cfg)
@@ -256,6 +262,36 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		failures = res.Failures
+		total += res.Failures
 	}
 	b.ReportMetric(float64(failures), "failures/run")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(total)/secs, "failures/sec")
+	}
+}
+
+// BenchmarkRunnerThroughput is BenchmarkEngineThroughput over the
+// compiled-batch path (sim.Compile + Runner): the per-run compile and
+// allocation cost disappears, which is the configuration RunMany and
+// the sweep engine actually execute.
+func BenchmarkRunnerThroughput(b *testing.B) {
+	batch, err := sim.Compile(sim.Config{
+		Protocol: core.DoubleNBL,
+		Params:   scenario.Base().Params.WithMTBF(1800),
+		Phi:      1,
+		Tbase:    1e6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := batch.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += r.Run(uint64(i)).Failures
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(total)/secs, "failures/sec")
+	}
 }

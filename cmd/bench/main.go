@@ -1,0 +1,322 @@
+// Command bench runs the repository's fixed performance suite — the
+// Monte-Carlo kernel, the streaming batch aggregation, and the API
+// sweep engine — and writes a machine-readable JSON report, so every
+// PR extends a comparable perf trajectory (BENCH_PR2.json is this
+// PR's committed snapshot).
+//
+// Usage:
+//
+//	go run ./cmd/bench [-short] [-out bench.json] \
+//	    [-baseline BENCH_PR2.json] [-max-regress 0.25]
+//
+// With -baseline, the measured engine-throughput ns/op is compared
+// against the committed report and the process exits non-zero when it
+// regressed by more than -max-regress (CI's regression gate).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Metric is one benchmark's result row.
+type Metric struct {
+	Name     string             `json:"name"`
+	NsOp     float64            `json:"ns_op"`
+	AllocsOp int64              `json:"allocs_op"`
+	BytesOp  int64              `json:"bytes_op"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the JSON document cmd/bench writes.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	Short      bool     `json:"short"`
+	Benchmarks []Metric `json:"benchmarks"`
+	// PR1Baseline records the seed engine's numbers (before this PR's
+	// zero-allocation kernel), measured interleaved with the new code
+	// on the same machine, so the report carries its own before/after.
+	PR1Baseline map[string]Metric `json:"pr1_baseline"`
+}
+
+// pr1Baseline is the historical record of the pre-optimization engine
+// (PR 1 state), measured with interleaved A/B runs on the machine that
+// produced the committed BENCH_PR2.json. It is embedded so the
+// before/after comparison travels with every report.
+var pr1Baseline = map[string]Metric{
+	"engine_throughput": {
+		Name:     "engine_throughput",
+		NsOp:     340831, // mean of 3 interleaved rounds
+		AllocsOp: 5,
+		BytesOp:  752,
+		Extra:    map[string]float64{"failures/sec": 1.68e6},
+	},
+	"batch_runmany_2048": {
+		Name:     "batch_runmany_2048",
+		NsOp:     71066345,
+		AllocsOp: 10247,
+		BytesOp:  1720609,
+	},
+}
+
+// throughputConfig is the fixed kernel workload, identical to
+// bench_test.go's BenchmarkEngineThroughput.
+func throughputConfig(short bool) sim.Config {
+	cfg := sim.Config{
+		Protocol: core.DoubleNBL,
+		Params:   scenario.Base().Params.WithMTBF(1800),
+		Phi:      1,
+		Tbase:    1e6,
+	}
+	if short {
+		cfg.Tbase = 1e5
+	}
+	return cfg
+}
+
+// metric converts a BenchmarkResult.
+func metric(name string, r testing.BenchmarkResult) Metric {
+	m := Metric{
+		Name:     name,
+		NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsOp: r.AllocsPerOp(),
+		BytesOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		m.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			m.Extra[k] = v
+		}
+	}
+	return m
+}
+
+// benchEngineThroughput measures sim.Run (compile + simulate per call).
+func benchEngineThroughput(short bool) Metric {
+	cfg := throughputConfig(short)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = uint64(i)
+			r, err := sim.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += r.Failures
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(total)/secs, "failures/sec")
+		}
+	})
+	return metric("engine_throughput", res)
+}
+
+// benchRunnerThroughput measures the compiled-batch kernel (the
+// steady-state zero-allocation path RunMany executes).
+func benchRunnerThroughput(short bool) Metric {
+	batch, err := sim.Compile(throughputConfig(short))
+	if err != nil {
+		fatal(err)
+	}
+	r := batch.NewRunner()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			total += r.Run(uint64(i)).Failures
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(total)/secs, "failures/sec")
+		}
+	})
+	return metric("runner_throughput", res)
+}
+
+// benchBatchRunMany measures the parallel streaming aggregation over a
+// 2048-run batch (256 with -short).
+func benchBatchRunMany(short bool) Metric {
+	cfg := throughputConfig(true) // Tbase 1e5 keeps the batch bounded
+	cfg.Seed = 42
+	runs := 2048
+	name := "batch_runmany_2048"
+	if short {
+		runs = 256
+		name = "batch_runmany_256"
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		failures := 0.0
+		for i := 0; i < b.N; i++ {
+			agg, err := sim.RunMany(cfg, runs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			failures += agg.Failures.Mean() * float64(agg.Failures.N())
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(runs*b.N)/secs, "runs/sec")
+			b.ReportMetric(failures/secs, "failures/sec")
+		}
+	})
+	return metric(name, res)
+}
+
+// benchSweep measures the API sweep engine end to end: grid expansion,
+// batch compilation (cache-cold per iteration thanks to a fresh seed),
+// parallel point evaluation and aggregation.
+func benchSweep(short bool) Metric {
+	svc := api.NewService(api.Options{})
+	runs := 8
+	if short {
+		runs = 2
+	}
+	seed := uint64(0)
+	const points = 8 // 2 protocols × 2 φ points × 2 MTBFs
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seed++ // new seed: every point misses the item cache
+			req := api.SweepRequest{
+				Protocols: []string{"DoubleNBL", "Triple"},
+				PhiFracs:  []float64{0.25, 0.75},
+				MTBFs:     []float64{1800, 3600},
+				Tbase:     2e4,
+				Runs:      runs,
+				Seed:      seed,
+			}
+			items, _, err := svc.Sweep(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(items) != points {
+				b.Fatalf("got %d points, want %d", len(items), points)
+			}
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(points*b.N)/secs, "points/sec")
+		}
+	})
+	return metric("sweep_points", res)
+}
+
+// gate compares the measured engine throughput against a committed
+// report and returns an error when it regressed beyond maxRegress.
+// ns/op is only comparable at equal workload sizes, so when the sizes
+// differ (a -short CI run against a committed full-size snapshot) the
+// headline benchmark is re-measured once at the baseline's size.
+// Allocations per op are hardware-independent and gate exactly.
+//
+// Caveat: the time gate compares against numbers measured on whatever
+// machine produced the committed report; across very different
+// hardware the threshold may need tuning (allocs/op never does).
+func gate(rep Report, baselinePath string, maxRegress float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench: reading baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench: parsing baseline: %w", err)
+	}
+	find := func(ms []Metric, name string) *Metric {
+		for i := range ms {
+			if ms[i].Name == name {
+				return &ms[i]
+			}
+		}
+		return nil
+	}
+	const headline = "engine_throughput"
+	want := find(base.Benchmarks, headline)
+	got := find(rep.Benchmarks, headline)
+	if want == nil || got == nil {
+		return fmt.Errorf("bench: %s missing from baseline or measurement", headline)
+	}
+	if rep.Short != base.Short {
+		fmt.Printf("gate: re-measuring %s at the baseline's workload size\n", headline)
+		m := benchEngineThroughput(base.Short)
+		got = &m
+	}
+	// Per-op alloc counts drift by a few across Go versions' inliner
+	// and escape analysis; real kernel regressions (an allocation back
+	// on the per-failure path) show up as hundreds per op.
+	const allocSlack = 8
+	if got.AllocsOp > want.AllocsOp+allocSlack {
+		return fmt.Errorf("bench: %s allocates %d/op, committed baseline is %d/op (+%d slack)",
+			headline, got.AllocsOp, want.AllocsOp, allocSlack)
+	}
+	limit := want.NsOp * (1 + maxRegress)
+	if got.NsOp > limit {
+		return fmt.Errorf("bench: %s regressed: %.0f ns/op > %.0f ns/op (baseline %.0f +%d%%)",
+			headline, got.NsOp, limit, want.NsOp, int(maxRegress*100))
+	}
+	fmt.Printf("gate ok: %s %.0f ns/op within %.0f ns/op (baseline %.0f +%d%%), %d allocs/op\n",
+		headline, got.NsOp, limit, want.NsOp, int(maxRegress*100), got.AllocsOp)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	short := flag.Bool("short", false, "smaller workloads (CI-sized)")
+	out := flag.String("out", "bench.json", "output JSON path")
+	baseline := flag.String("baseline", "", "committed report to gate engine_throughput against")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs -baseline")
+	flag.Parse()
+
+	rep := Report{
+		Schema:      "repro-bench/v1",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Short:       *short,
+		PR1Baseline: pr1Baseline,
+	}
+	for _, run := range []func(bool) Metric{
+		benchEngineThroughput,
+		benchRunnerThroughput,
+		benchBatchRunMany,
+		benchSweep,
+	} {
+		m := run(*short)
+		fmt.Printf("%-22s %14.0f ns/op %8d allocs/op", m.Name, m.NsOp, m.AllocsOp)
+		for k, v := range m.Extra {
+			fmt.Printf("  %s=%.4g", k, v)
+		}
+		fmt.Println()
+		rep.Benchmarks = append(rep.Benchmarks, m)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *baseline != "" {
+		if err := gate(rep, *baseline, *maxRegress); err != nil {
+			fatal(err)
+		}
+	}
+}

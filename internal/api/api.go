@@ -46,7 +46,10 @@ type Options struct {
 // concurrent use; the only mutable state is the sweep cache and the
 // simulation counter.
 type Service struct {
-	cache         *Cache
+	cache *Cache
+	// batches reuses compiled simulation batches across grid rows and
+	// requests that resolve to the same physical configuration.
+	batches       *batchCache
 	workers       int
 	maxGridPoints int
 	maxRuns       int
@@ -76,6 +79,7 @@ func NewService(opt Options) *Service {
 	}
 	return &Service{
 		cache:         NewCache(opt.CacheSize),
+		batches:       newBatchCache(opt.MaxGridPoints),
 		workers:       opt.Workers,
 		maxGridPoints: opt.MaxGridPoints,
 		maxRuns:       opt.MaxRuns,

@@ -182,11 +182,14 @@ func (s *Service) expand(req *SweepRequest) ([]sweepPoint, error) {
 	return points, nil
 }
 
-// pointKey canonicalizes a sweep point into the cache key: every field
-// that influences the result, rendered with exact float encoding. Two
-// requests that resolve to the same physical point — whatever scenario
-// name, override set or grid shape produced it — share a key.
-func pointKey(cfg sim.Config, runs int, baseSeed uint64) string {
+// batchKey canonicalizes the physical configuration of a sweep point:
+// every field that influences the simulation trajectory, rendered with
+// exact float encoding — but not the batch size or seed, so it also
+// keys the compiled-batch cache shared across sweeps. Law and
+// MaxSimTime are keyed only when set (today's sweep requests never set
+// them; keying defensively keeps a future failure-law axis from
+// silently reusing a batch compiled for a different process).
+func batchKey(cfg sim.Config) string {
 	p := cfg.Params
 	var b strings.Builder
 	b.WriteString(cfg.Protocol.String())
@@ -194,8 +197,24 @@ func pointKey(cfg sim.Config, runs int, baseSeed uint64) string {
 		b.WriteByte('|')
 		b.WriteString(strconv.FormatFloat(f, 'x', -1, 64))
 	}
-	fmt.Fprintf(&b, "|n=%d|runs=%d|seed=%d", p.N, runs, baseSeed)
+	fmt.Fprintf(&b, "|n=%d", p.N)
+	if cfg.Law != nil {
+		// %#v renders the concrete law with all its parameters (Name()
+		// alone omits the law's MTBF).
+		fmt.Fprintf(&b, "|law=%#v", cfg.Law)
+	}
+	if cfg.MaxSimTime != 0 {
+		fmt.Fprintf(&b, "|maxt=%s", strconv.FormatFloat(cfg.MaxSimTime, 'x', -1, 64))
+	}
 	return b.String()
+}
+
+// pointKey canonicalizes a sweep point into the cache key: the
+// physical configuration plus the batch shape. Two requests that
+// resolve to the same physical point — whatever scenario name,
+// override set or grid shape produced it — share a key.
+func pointKey(cfg sim.Config, runs int, baseSeed uint64) string {
+	return batchKey(cfg) + fmt.Sprintf("|runs=%d|seed=%d", runs, baseSeed)
 }
 
 // fnv64 is the FNV-1a hash of s, used to key rng.Stream.Split.
@@ -243,7 +262,15 @@ func (s *Service) evaluate(pt sweepPoint, runs, simWorkers int) (SweepItem, bool
 	}
 	cfg.Period = period
 	s.simPoints.Add(1)
-	row, err := experiments.ValidateConfig(cfg, runs, simWorkers)
+	// The compiled batch is keyed by the physical configuration (with
+	// the period resolved), so grid rows that collapse to one physical
+	// point and repeated sweeps with different seeds or batch sizes
+	// share one compilation.
+	b, err := s.batches.get(batchKey(cfg), cfg)
+	if err != nil {
+		return SweepItem{}, false, fmt.Errorf("api: point %s: %w", pt.key, err)
+	}
+	row, err := experiments.ValidateBatch(b, cfg.Seed, runs, simWorkers)
 	if err != nil {
 		return SweepItem{}, false, fmt.Errorf("api: point %s: %w", pt.key, err)
 	}

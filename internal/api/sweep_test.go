@@ -397,3 +397,31 @@ func TestCacheDisabled(t *testing.T) {
 		t.Error("disabled cache must not store")
 	}
 }
+
+// TestSweepReusesCompiledBatches pins the compiled-batch reuse: a
+// repeat of the same physical grid under a different seed misses the
+// item cache (the seed is part of the point key) and simulates again,
+// but compiles no new batches — the physical configurations are
+// already compiled.
+func TestSweepReusesCompiledBatches(t *testing.T) {
+	svc := NewService(Options{})
+	req := sweepRequest()
+	if _, _, err := svc.Sweep(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	compiled := svc.batches.len()
+	if compiled == 0 {
+		t.Fatal("first sweep compiled no batches")
+	}
+	req.Seed = 43 // fresh sample, same physical grid
+	_, stats, err := svc.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheMisses != 8 {
+		t.Errorf("re-seeded sweep stats %+v, want 8 item-cache misses", stats)
+	}
+	if got := svc.batches.len(); got != compiled {
+		t.Errorf("batch cache grew from %d to %d on a re-seeded sweep", compiled, got)
+	}
+}

@@ -1,113 +1,169 @@
 // Package eventq implements the discrete-event-simulation priority
-// queue used by the detailed simulator: a binary min-heap on event
-// time with stable FIFO ordering of simultaneous events and O(log n)
-// cancellation by handle.
+// queue used by the simulators: a binary min-heap on event time with
+// stable FIFO ordering of simultaneous events.
+//
+// The queue is generic over the payload type, so hot paths (the
+// renewal failure process schedules and pops one event per failure)
+// pay neither interface boxing nor a per-event heap-node allocation:
+// events are stored by value in a single slice whose capacity is
+// retained across Clear, giving allocation-free steady state.
 package eventq
 
-import "container/heap"
-
-// Event is a scheduled occurrence. The payload is an opaque value
-// interpreted by the simulator.
-type Event struct {
+// Event is a scheduled occurrence as returned by Pop.
+type Event[T any] struct {
 	Time    float64
-	Payload any
-
-	seq   uint64 // insertion sequence, breaks time ties FIFO
-	index int    // heap index, -1 once removed
+	Payload T
 }
 
-// Handle identifies a scheduled event for cancellation.
-type Handle struct{ ev *Event }
+// Handle identifies a scheduled event for cancellation. The zero
+// Handle is valid and never pending.
+type Handle[T any] struct {
+	q  *Queue[T]
+	id uint64 // seq of the scheduled event (always >= 1); 0 marks the zero Handle
+}
 
 // Queue is a time-ordered event queue. The zero value is ready to use.
-type Queue struct {
-	h   eventHeap
+// It is not safe for concurrent use.
+type Queue[T any] struct {
+	h   []event[T]
 	seq uint64
 }
 
+// event is a heap entry: (time, seq) orders the heap, seq breaks ties
+// FIFO and identifies the entry for cancellation.
+type event[T any] struct {
+	time    float64
+	seq     uint64
+	payload T
+}
+
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue[T]) Len() int { return len(q.h) }
 
 // Schedule inserts an event at the given time and returns a handle
 // that can cancel it. Events at equal times dequeue in insertion
-// order, which keeps detailed simulations deterministic.
-func (q *Queue) Schedule(time float64, payload any) Handle {
-	ev := &Event{Time: time, Payload: payload, seq: q.seq}
+// order, which keeps simulations deterministic. Scheduling is O(log n)
+// and allocation-free once the queue has reached its steady capacity.
+func (q *Queue[T]) Schedule(time float64, payload T) Handle[T] {
 	q.seq++
-	heap.Push(&q.h, ev)
-	return Handle{ev: ev}
+	q.h = append(q.h, event[T]{time: time, seq: q.seq, payload: payload})
+	q.up(len(q.h) - 1)
+	return Handle[T]{q: q, id: q.seq}
 }
 
 // PeekTime returns the time of the earliest pending event. ok is false
 // when the queue is empty.
-func (q *Queue) PeekTime() (time float64, ok bool) {
+func (q *Queue[T]) PeekTime() (time float64, ok bool) {
 	if len(q.h) == 0 {
 		return 0, false
 	}
-	return q.h[0].Time, true
+	return q.h[0].time, true
 }
 
 // Pop removes and returns the earliest pending event. ok is false when
 // the queue is empty.
-func (q *Queue) Pop() (ev Event, ok bool) {
+func (q *Queue[T]) Pop() (ev Event[T], ok bool) {
 	if len(q.h) == 0 {
-		return Event{}, false
+		return Event[T]{}, false
 	}
-	e := heap.Pop(&q.h).(*Event)
-	return *e, true
+	e := q.h[0]
+	q.removeAt(0)
+	return Event[T]{Time: e.time, Payload: e.payload}, true
 }
 
 // Cancel removes the event identified by h. It returns false if the
-// event already fired or was already cancelled. Cancelling is O(log n).
-func (q *Queue) Cancel(h Handle) bool {
-	if h.ev == nil || h.ev.index < 0 {
+// event already fired, was cancelled, or was dropped by Clear.
+// Cancellation is O(n) (it locates the entry by a linear scan); the
+// simulators' hot paths never cancel.
+func (q *Queue[T]) Cancel(h Handle[T]) bool {
+	if h.q != q || h.id == 0 {
 		return false
 	}
-	heap.Remove(&q.h, h.ev.index)
-	return true
+	for i := range q.h {
+		if q.h[i].seq == h.id {
+			q.removeAt(i)
+			return true
+		}
+	}
+	return false
 }
 
 // Pending reports whether the event identified by h is still queued.
-func (h Handle) Pending() bool { return h.ev != nil && h.ev.index >= 0 }
-
-// Clear drops every pending event.
-func (q *Queue) Clear() {
-	for _, ev := range q.h {
-		ev.index = -1
+func (h Handle[T]) Pending() bool {
+	if h.q == nil || h.id == 0 {
+		return false
 	}
+	for i := range h.q.h {
+		if h.q.h[i].seq == h.id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clear drops every pending event, retaining the backing capacity so a
+// reused queue does not reallocate.
+func (q *Queue[T]) Clear() {
+	clear(q.h) // release payload references to the GC
 	q.h = q.h[:0]
 }
 
-// eventHeap implements heap.Interface ordered by (Time, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+// removeAt deletes the entry at heap index i and restores the heap
+// invariant.
+func (q *Queue[T]) removeAt(i int) {
+	last := len(q.h) - 1
+	if i != last {
+		q.h[i] = q.h[last]
 	}
-	return h[i].seq < h[j].seq
+	q.h[last] = event[T]{}
+	q.h = q.h[:last]
+	if i < last {
+		if !q.up(i) {
+			q.down(i)
+		}
+	}
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// less orders entries by (time, seq).
+func (q *Queue[T]) less(i, j int) bool {
+	if q.h[i].time != q.h[j].time {
+		return q.h[i].time < q.h[j].time
+	}
+	return q.h[i].seq < q.h[j].seq
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// up sifts the entry at index i toward the root; it reports whether
+// the entry moved.
+func (q *Queue[T]) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+		moved = true
+	}
+	return moved
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// down sifts the entry at index i toward the leaves.
+func (q *Queue[T]) down(i int) {
+	n := len(q.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
 }

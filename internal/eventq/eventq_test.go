@@ -9,7 +9,7 @@ import (
 )
 
 func TestOrdering(t *testing.T) {
-	var q Queue
+	var q Queue[float64]
 	times := []float64{5, 1, 3, 2, 4}
 	for _, tm := range times {
 		q.Schedule(tm, tm)
@@ -28,20 +28,20 @@ func TestOrdering(t *testing.T) {
 }
 
 func TestFIFOAtEqualTimes(t *testing.T) {
-	var q Queue
+	var q Queue[int]
 	for i := 0; i < 10; i++ {
 		q.Schedule(1.0, i)
 	}
 	for i := 0; i < 10; i++ {
 		ev, _ := q.Pop()
-		if ev.Payload.(int) != i {
+		if ev.Payload != i {
 			t.Fatalf("tie-break not FIFO: got %v at position %d", ev.Payload, i)
 		}
 	}
 }
 
 func TestEmptyQueue(t *testing.T) {
-	var q Queue
+	var q Queue[int]
 	if _, ok := q.Pop(); ok {
 		t.Fatal("Pop on empty queue should fail")
 	}
@@ -54,7 +54,7 @@ func TestEmptyQueue(t *testing.T) {
 }
 
 func TestPeekMatchesPop(t *testing.T) {
-	var q Queue
+	var q Queue[string]
 	q.Schedule(3, "c")
 	q.Schedule(1, "a")
 	q.Schedule(2, "b")
@@ -68,7 +68,7 @@ func TestPeekMatchesPop(t *testing.T) {
 }
 
 func TestCancel(t *testing.T) {
-	var q Queue
+	var q Queue[string]
 	h1 := q.Schedule(1, "a")
 	h2 := q.Schedule(2, "b")
 	q.Schedule(3, "c")
@@ -103,17 +103,28 @@ func TestCancel(t *testing.T) {
 }
 
 func TestCancelZeroHandle(t *testing.T) {
-	var q Queue
-	if q.Cancel(Handle{}) {
+	var q Queue[int]
+	if q.Cancel(Handle[int]{}) {
 		t.Fatal("zero handle Cancel should fail")
 	}
-	if (Handle{}).Pending() {
+	if (Handle[int]{}).Pending() {
 		t.Fatal("zero handle should not be pending")
 	}
 }
 
+func TestCancelForeignQueue(t *testing.T) {
+	var a, b Queue[int]
+	h := a.Schedule(1, 7)
+	if b.Cancel(h) {
+		t.Fatal("a handle must not cancel events of another queue")
+	}
+	if !a.Cancel(h) {
+		t.Fatal("the owning queue should cancel its handle")
+	}
+}
+
 func TestClear(t *testing.T) {
-	var q Queue
+	var q Queue[*int]
 	h := q.Schedule(1, nil)
 	q.Schedule(2, nil)
 	q.Clear()
@@ -124,8 +135,9 @@ func TestClear(t *testing.T) {
 		t.Fatal("cleared event still pending")
 	}
 	// The queue must remain usable after Clear.
-	q.Schedule(5, "x")
-	if ev, ok := q.Pop(); !ok || ev.Payload != "x" {
+	x := 5
+	q.Schedule(5, &x)
+	if ev, ok := q.Pop(); !ok || ev.Payload != &x {
 		t.Fatal("queue unusable after Clear")
 	}
 }
@@ -134,14 +146,14 @@ func TestHeapProperty(t *testing.T) {
 	// Property: popping returns exactly the sorted sequence of the
 	// scheduled times, for arbitrary inputs.
 	f := func(raw []float64) bool {
-		var q Queue
+		var q Queue[struct{}]
 		times := make([]float64, 0, len(raw))
 		for _, v := range raw {
 			if v != v { // skip NaN: unordered values are out of contract
 				continue
 			}
 			times = append(times, v)
-			q.Schedule(v, nil)
+			q.Schedule(v, struct{}{})
 		}
 		sort.Float64s(times)
 		for _, want := range times {
@@ -163,9 +175,9 @@ func TestRandomCancellationProperty(t *testing.T) {
 	// survivors pop in order with none of the cancelled ones.
 	s := rng.New(99)
 	for trial := 0; trial < 50; trial++ {
-		var q Queue
+		var q Queue[int]
 		type rec struct {
-			h      Handle
+			h      Handle[int]
 			time   float64
 			cancel bool
 		}
@@ -197,11 +209,30 @@ func TestRandomCancellationProperty(t *testing.T) {
 	}
 }
 
+// TestScheduleAndPopAllocFree pins the steady-state allocation contract
+// the renewal failure process relies on: once the backing array has
+// grown, Schedule/Pop cycles allocate nothing.
+func TestScheduleAndPopAllocFree(t *testing.T) {
+	var q Queue[int]
+	s := rng.New(7)
+	for i := 0; i < 128; i++ {
+		q.Schedule(s.Float64(), i)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		ev, _ := q.Pop()
+		q.Schedule(ev.Time+s.Float64(), ev.Payload)
+	})
+	if avg != 0 {
+		t.Fatalf("Schedule/Pop allocates %v per cycle, want 0", avg)
+	}
+}
+
 func BenchmarkScheduleAndPop(b *testing.B) {
 	s := rng.New(1)
-	var q Queue
+	var q Queue[int]
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		q.Schedule(s.Float64(), nil)
+		q.Schedule(s.Float64(), i)
 		if q.Len() > 1024 {
 			q.Pop()
 		}

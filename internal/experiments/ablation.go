@@ -111,8 +111,10 @@ type ValidationRow struct {
 // ValidateConfig runs the Monte-Carlo comparison for one prepared
 // configuration: the model waste and per-failure loss at cfg's period
 // (0 selects the optimal period, resolved into the returned row)
-// against the simulated batch. It is the shared kernel of Validate and
-// of the API sweep engine. workers <= 0 uses one goroutine per CPU.
+// against the simulated batch. It is the shared kernel of Validate;
+// callers that evaluate the same physical configuration repeatedly
+// (the API sweep engine) should Compile once and use ValidateBatch.
+// workers <= 0 uses one goroutine per CPU.
 func ValidateConfig(cfg sim.Config, runs, workers int) (ValidationRow, error) {
 	p, pr := cfg.Params, cfg.Protocol
 	if cfg.Period == 0 {
@@ -122,7 +124,23 @@ func ValidateConfig(cfg sim.Config, runs, workers int) (ValidationRow, error) {
 		}
 		cfg.Period = period
 	}
-	agg, err := sim.RunManyWorkers(cfg, runs, workers)
+	b, err := sim.Compile(cfg)
+	if err != nil {
+		return ValidationRow{}, err
+	}
+	return ValidateBatch(b, cfg.Seed, runs, workers)
+}
+
+// ValidateBatch is ValidateConfig over a precompiled batch: seeds
+// seed+0 .. seed+runs-1 are simulated with the batch's reusable
+// engines and compared against the model. Reusing one *sim.Batch
+// across calls amortizes the per-batch precomputation — grid rows of a
+// sweep that resolve to the same physical configuration, or repeated
+// sweeps with different seeds, compile once.
+func ValidateBatch(b *sim.Batch, seed uint64, runs, workers int) (ValidationRow, error) {
+	cfg := b.Config()
+	p, pr := cfg.Params, cfg.Protocol
+	agg, err := b.RunManySeeded(seed, runs, workers)
 	if err != nil {
 		return ValidationRow{}, err
 	}

@@ -123,30 +123,48 @@ func NewMerged(n int, platformMTBF float64, stream *rng.Stream) *Merged {
 	return &Merged{n: n, rate: 1 / platformMTBF, stream: stream}
 }
 
-// Next draws the next platform failure.
+// Next draws the next platform failure. It never allocates, which
+// makes it the simulator's zero-allocation exponential fast path; the
+// engine calls it through the concrete *Merged (no interface dispatch).
 func (m *Merged) Next() (Event, bool) {
 	m.now += m.stream.Exponential(m.rate)
 	return Event{Time: m.now, Node: m.stream.Intn(m.n)}, true
+}
+
+// Reseed rewinds the merged process for a fresh run: the clock returns
+// to 0 and the underlying stream is reseeded in place, so one Merged
+// can serve an entire Monte-Carlo batch without per-run allocation.
+func (m *Merged) Reseed(seed uint64) {
+	m.now = 0
+	m.stream.Reseed(seed)
 }
 
 // Renewal is the node-level failure process: each node independently
 // draws inter-arrival times from its law. It supports non-memoryless
 // laws (Weibull, LogNormal) at O(log n) per failure.
 type Renewal struct {
-	q    eventq.Queue
+	q    eventq.Queue[int]
 	laws []Law
-	strs []*rng.Stream
+	strs []rng.Stream
 }
 
 // NewRenewal returns a renewal source where node i follows laws[i].
 // Each node gets an independent child stream of parent.
 func NewRenewal(laws []Law, parent *rng.Stream) *Renewal {
-	r := &Renewal{laws: laws, strs: make([]*rng.Stream, len(laws))}
-	for i, law := range laws {
-		r.strs[i] = parent.Split(uint64(i))
-		r.q.Schedule(law.Sample(r.strs[i]), i)
-	}
+	r := &Renewal{laws: laws, strs: make([]rng.Stream, len(laws))}
+	r.Reseed(parent)
 	return r
+}
+
+// Reseed rewinds the renewal process for a fresh run: every node's
+// child stream is re-derived from parent in place and its first
+// failure rescheduled, reusing the queue's and streams' storage.
+func (r *Renewal) Reseed(parent *rng.Stream) {
+	r.q.Clear()
+	for i, law := range r.laws {
+		r.strs[i].ReseedSplit(parent, uint64(i))
+		r.q.Schedule(law.Sample(&r.strs[i]), i)
+	}
 }
 
 // NewRenewalUniform returns a renewal source where every one of n
@@ -160,14 +178,16 @@ func NewRenewalUniform(n int, law Law, parent *rng.Stream) *Renewal {
 }
 
 // Next pops the earliest node failure and schedules that node's
-// subsequent failure.
+// subsequent failure. It is allocation-free in steady state: the queue
+// stores node indices by value, so no event object or interface box is
+// created per failure.
 func (r *Renewal) Next() (Event, bool) {
 	ev, ok := r.q.Pop()
 	if !ok {
 		return Event{}, false
 	}
-	node := ev.Payload.(int)
-	r.q.Schedule(ev.Time+r.laws[node].Sample(r.strs[node]), node)
+	node := ev.Payload
+	r.q.Schedule(ev.Time+r.laws[node].Sample(&r.strs[node]), node)
 	return Event{Time: ev.Time, Node: node}, true
 }
 

@@ -246,3 +246,66 @@ func TestWeibullScale(t *testing.T) {
 		t.Fatalf("shape-1 Weibull scale = %v, want mean %v", w.Scale(), 42.0)
 	}
 }
+
+// TestMergedNextZeroAllocs pins the exponential fast path's allocation
+// contract: drawing platform failures allocates nothing.
+func TestMergedNextZeroAllocs(t *testing.T) {
+	src := NewMerged(1024, 1800, rng.New(3))
+	avg := testing.AllocsPerRun(1000, func() {
+		src.Next()
+	})
+	if avg != 0 {
+		t.Fatalf("Merged.Next allocates %v per event, want 0", avg)
+	}
+}
+
+// TestMergedReseedReproduces checks the in-place reseed used by the
+// simulator's reusable engines: after Reseed(s), a Merged replays
+// exactly the sequence a fresh NewMerged with seed s produces.
+func TestMergedReseedReproduces(t *testing.T) {
+	reused := NewMerged(64, 120, rng.New(1))
+	for i := 0; i < 100; i++ { // advance past the initial state
+		reused.Next()
+	}
+	reused.Reseed(42)
+	fresh := NewMerged(64, 120, rng.New(42))
+	for i := 0; i < 1000; i++ {
+		a, _ := reused.Next()
+		b, _ := fresh.Next()
+		if a != b {
+			t.Fatalf("event %d: reseeded %+v != fresh %+v", i, a, b)
+		}
+	}
+}
+
+// TestRenewalReseedReproduces is the same contract for the renewal
+// process: an in-place Reseed replays a fresh construction bit for
+// bit, with the queue and per-node streams reused.
+func TestRenewalReseedReproduces(t *testing.T) {
+	law := Weibull{Shape: 0.7, MTBF: 3200}
+	reused := NewRenewalUniform(16, law, rng.New(1))
+	for i := 0; i < 100; i++ {
+		reused.Next()
+	}
+	reused.Reseed(rng.New(42))
+	fresh := NewRenewalUniform(16, law, rng.New(42))
+	for i := 0; i < 1000; i++ {
+		a, _ := reused.Next()
+		b, _ := fresh.Next()
+		if a != b {
+			t.Fatalf("event %d: reseeded %+v != fresh %+v", i, a, b)
+		}
+	}
+}
+
+// TestRenewalNextZeroAllocs pins the renewal path's steady-state
+// allocation contract (value-typed event queue, no boxing).
+func TestRenewalNextZeroAllocs(t *testing.T) {
+	ren := NewRenewalUniform(256, Weibull{Shape: 0.7, MTBF: 3200}, rng.New(9))
+	avg := testing.AllocsPerRun(1000, func() {
+		ren.Next()
+	})
+	if avg != 0 {
+		t.Fatalf("Renewal.Next allocates %v per event, want 0", avg)
+	}
+}

@@ -35,8 +35,16 @@ func splitMix64(state *uint64) uint64 {
 // New returns a stream seeded from the given seed. Distinct seeds give
 // statistically independent streams.
 func New(seed uint64) *Stream {
-	st := seed
 	var s Stream
+	s.Reseed(seed)
+	return &s
+}
+
+// Reseed reinitializes the stream in place to the state New(seed)
+// would produce, without allocating. It is the hot-path alternative to
+// New for callers that reuse one Stream across many runs.
+func (s *Stream) Reseed(seed uint64) {
+	st := seed
 	for i := range s.s {
 		s.s[i] = splitMix64(&st)
 	}
@@ -44,17 +52,26 @@ func New(seed uint64) *Stream {
 	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
 		s.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &s
+	s.cachedNorm = 0
+	s.hasCachedNorm = false
 }
 
 // Split derives an independent child stream identified by index. It
 // does not advance the parent. Typical use: one child per node.
 func (s *Stream) Split(index uint64) *Stream {
+	var child Stream
+	child.ReseedSplit(s, index)
+	return &child
+}
+
+// ReseedSplit reinitializes s in place to the state parent.Split(index)
+// would produce, without allocating.
+func (s *Stream) ReseedSplit(parent *Stream, index uint64) {
 	// Mix the parent state with the index through SplitMix64 so that
 	// children of distinct indices, and children of distinct parents,
 	// are decorrelated.
-	st := s.s[0] ^ (s.s[1] << 1) ^ (s.s[2] << 2) ^ (s.s[3] << 3) ^ (index * 0xd1342543de82ef95)
-	return New(splitMix64(&st))
+	st := parent.s[0] ^ (parent.s[1] << 1) ^ (parent.s[2] << 2) ^ (parent.s[3] << 3) ^ (index * 0xd1342543de82ef95)
+	s.Reseed(splitMix64(&st))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -69,7 +69,7 @@ type detailedEngine struct {
 
 	// incarnation[r] counts rank r's failures, to drop stale restores.
 	incarnation []int
-	restores    eventq.Queue
+	restores    eventq.Queue[restoreEvent]
 
 	res DetailedResult
 }
@@ -174,7 +174,7 @@ func (d *detailedEngine) processRestores(now float64) {
 			return
 		}
 		ev, _ := d.restores.Pop()
-		re := ev.Payload.(restoreEvent)
+		re := ev.Payload
 		if d.incarnation[re.holder] != re.holderIncarnation {
 			continue // the replacement failed again; restore is void
 		}
@@ -262,7 +262,7 @@ func (d *detailedEngine) run() (DetailedResult, error) {
 		horizon = 1000 * d.cfg.Tbase
 	}
 	for {
-		ev, ok := e.src.Next()
+		ev, ok := e.nextFailure()
 		target := horizon
 		if ok && ev.Time < horizon {
 			target = ev.Time

@@ -3,8 +3,8 @@ package sim
 import (
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/failure"
+	"repro/internal/rng"
 )
 
 type mode int
@@ -24,22 +24,49 @@ const (
 
 const workEps = 1e-9
 
-// engine is the state of one simulated execution.
+// fmin and fmax are branch-only float min/max for the hot path. Every
+// operand there is finite (and non-negative), so math.Min/Max's NaN
+// and signed-zero handling is dead weight; for such operands the
+// result is bit-identical to math.Min/Max.
+func fmin(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fmax(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// riskEntry records one node whose images are being restored: the
+// restoration (risk) window closes at end. The engine keeps these in a
+// small reusable slice — buddy groups have 2 or 3 members and risk
+// windows are short, so the set holds a handful of entries at most and
+// the old map was pure allocation and hashing overhead.
+type riskEntry struct {
+	node int
+	end  float64
+}
+
+// engine is the state of one simulated execution. The embedded
+// compiled block is the immutable per-batch precomputation; everything
+// else is per-run state rewound by reset, so one engine serves a whole
+// Monte-Carlo batch without allocating.
 type engine struct {
-	cfg Config
-	pr  core.Protocol
-	p   core.Params
+	compiled
 
-	phi    float64
-	theta  float64
-	phases core.Phases
-	period float64
-	exRate float64 // work rate during an overlapped exchange: 1 − φ/θ
-	images int     // buddy images to re-receive after a failure
-	risk   float64 // risk-window length
-	group  int     // buddy group size
-
-	src failure.Source
+	// Failure source: exactly one of merged / renewal / src is active.
+	// merged is the concrete exponential fast path (no interface
+	// dispatch, no per-run stream allocation); renewal covers Config.Law;
+	// src covers externally supplied sources (trace replay).
+	merged  *failure.Merged
+	renewal *failure.Renewal
+	src     failure.Source
+	stream  rng.Stream // owned stream backing merged / renewal
 
 	// timeline state
 	t               float64
@@ -53,9 +80,9 @@ type engine struct {
 	overlapRemain   float64 // time left in the reduced-rate window
 	resumeOffset    float64 // where the schedule resumes after re-execution
 
-	// risk state: node -> end of its restoration window
-	compromised map[int]float64
-	riskUntil   float64 // end of the current union of risk windows
+	// risk state: nodes inside their restoration window.
+	comp      []riskEntry
+	riskUntil float64 // end of the current union of risk windows
 	// everCommitted: a snapshot set has committed. Before that, the
 	// rollback target is the initial configuration, which the paper
 	// treats as "always successful": no failure chain is fatal yet.
@@ -63,62 +90,91 @@ type engine struct {
 
 	// onCommit, when set, is invoked at every snapshot commit with
 	// the current time (used by the detailed simulator to keep the
-	// checkpoint registry in lockstep).
+	// checkpoint registry in lockstep). Setting it disables the
+	// fault-free period fast-forward, so every commit is observed.
 	onCommit func(t float64)
 
 	res Result
 }
 
+// newEngine compiles cfg and builds a single-use engine honoring
+// cfg.Source (the path used by Run and the detailed simulator).
 func newEngine(cfg Config) (*engine, error) {
-	pr, p := cfg.Protocol, cfg.Params
-	phi := core.EffectivePhi(pr, p, cfg.Phi)
-	period := cfg.Period
-	if period == 0 {
-		var err error
-		period, err = core.OptimalPeriod(pr, p, phi)
-		if err != nil && err != core.ErrMTBFTooSmall {
-			return nil, err
-		}
-	}
-	phases, err := core.PeriodPhases(pr, p, phi, period)
+	c, err := compileConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	theta := p.Theta(phi)
-	images := 1
-	if pr.IsTriple() {
-		images = 2
-	}
-	e := &engine{
-		cfg:         cfg,
-		pr:          pr,
-		p:           p,
-		phi:         phi,
-		theta:       theta,
-		phases:      phases,
-		period:      period,
-		exRate:      (theta - phi) / theta,
-		images:      images,
-		risk:        core.RiskWindow(pr, p, phi),
-		group:       pr.GroupSize(),
-		src:         cfg.source(),
-		compromised: make(map[int]float64),
-	}
-	e.res.Period = period
+	e := &engine{compiled: c, comp: make([]riskEntry, 0, 16)}
+	e.initSource(cfg.Source)
+	e.reset(cfg.Seed)
 	return e, nil
+}
+
+// initSource installs the failure source: an external Source when
+// given, the per-node renewal process when a Law is set, and the
+// merged exponential process otherwise.
+func (e *engine) initSource(src failure.Source) {
+	switch {
+	case src != nil:
+		e.src = src
+	case e.law != nil:
+		e.renewal = failure.NewRenewalUniform(e.p.N, e.law, &e.stream)
+	default:
+		e.merged = failure.NewMerged(e.p.N, e.p.M, &e.stream)
+	}
+}
+
+// reset rewinds the engine to the start of a fresh run with the given
+// seed. It allocates nothing: the risk set keeps its backing array and
+// the failure source is reseeded in place.
+func (e *engine) reset(seed uint64) {
+	e.t = 0
+	e.work = 0
+	e.snapshotWork = 0
+	e.periodStartWork = 0
+	e.md = modeSchedule
+	e.offset = 0
+	e.stallRemaining = 0
+	e.reexecRemaining = 0
+	e.overlapRemain = 0
+	e.resumeOffset = 0
+	e.comp = e.comp[:0]
+	e.riskUntil = 0
+	e.everCommitted = false
+	e.res = Result{Period: e.period}
+	switch {
+	case e.merged != nil:
+		e.merged.Reseed(seed)
+	case e.renewal != nil:
+		e.stream.Reseed(seed)
+		e.renewal.Reseed(&e.stream)
+	}
+}
+
+// nextFailure draws the next failure from whichever source is active.
+// The merged exponential path is a concrete call the compiler can
+// devirtualize and inline.
+func (e *engine) nextFailure() (failure.Event, bool) {
+	if e.merged != nil {
+		return e.merged.Next()
+	}
+	if e.renewal != nil {
+		return e.renewal.Next()
+	}
+	return e.src.Next()
 }
 
 // scheduleWork returns the work accomplished by the schedule between
 // period offset 0 and the given offset, in a fault-free period.
-func (e *engine) scheduleWork(offset float64) float64 {
-	c1 := e.phases.Ckpt1
-	c2 := c1 + e.phases.Ckpt2
+func (c *compiled) scheduleWork(offset float64) float64 {
+	c1 := c.phases.Ckpt1
+	c2 := c1 + c.phases.Ckpt2
 	var w float64
-	if e.pr.IsTriple() {
-		w += math.Min(offset, c1) * e.exRate
+	if c.pr.IsTriple() {
+		w += fmin(offset, c1) * c.exRate
 	}
 	if offset > c1 {
-		w += (math.Min(offset, c2) - c1) * e.exRate
+		w += (fmin(offset, c2) - c1) * c.exRate
 	}
 	if offset > c2 {
 		w += offset - c2
@@ -128,19 +184,19 @@ func (e *engine) scheduleWork(offset float64) float64 {
 
 // segment returns the phase index (1..3), work rate and end offset of
 // the schedule segment containing the given period offset.
-func (e *engine) segment(offset float64) (idx int, rate, segEnd float64) {
-	c1 := e.phases.Ckpt1
-	c2 := c1 + e.phases.Ckpt2
+func (c *compiled) segment(offset float64) (idx int, rate, segEnd float64) {
+	c1 := c.phases.Ckpt1
+	c2 := c1 + c.phases.Ckpt2
 	switch {
 	case offset < c1:
-		if e.pr.IsTriple() {
-			return 1, e.exRate, c1
+		if c.pr.IsTriple() {
+			return 1, c.exRate, c1
 		}
 		return 1, 0, c1 // blocking local checkpoint
 	case offset < c2:
-		return 2, e.exRate, c2
+		return 2, c.exRate, c2
 	default:
-		return 3, 1, e.period
+		return 3, 1, c.period
 	}
 }
 
@@ -152,24 +208,41 @@ func (e *engine) advanceUntil(target float64) bool {
 		dt := target - e.t
 		switch e.md {
 		case modeSchedule:
+			// Fast-forward: at a period start with no open risk window
+			// and no commit observer, every full fault-free period until
+			// the target is pure schedule repetition — commit bookkeeping
+			// included — so it collapses to a handful of float additions
+			// per period. The additions replicate the stepwise walk's
+			// operations exactly (same operands, same order), so the
+			// trajectory is bitwise identical to the general loop; the
+			// saving is the per-segment dispatch, min/need guards and
+			// divisions, which is where the bulk of the simulated time
+			// goes on healthy platforms (failures are many periods
+			// apart).
+			if e.offset == 0 && e.onCommit == nil && e.riskUntil <= e.t &&
+				dt >= e.period+workEps {
+				if e.replayPeriods(target) {
+					continue
+				}
+			}
 			idx, rate, segEnd := e.segment(e.offset)
-			step := math.Min(dt, segEnd-e.offset)
+			step := fmin(dt, segEnd-e.offset)
 			if rate > 0 {
-				if need := (e.cfg.Tbase - e.work) / rate; need < step {
+				if need := (e.tbase - e.work) / rate; need < step {
 					step = need
 				}
 			}
 			e.t += step
 			e.offset += step
 			e.work += rate * step
-			if e.work >= e.cfg.Tbase-workEps {
+			if e.work >= e.tbase-workEps {
 				return true
 			}
 			if e.offset >= segEnd-workEps {
 				e.crossBoundary(idx, segEnd)
 			}
 		case modeStall:
-			step := math.Min(dt, e.stallRemaining)
+			step := fmin(dt, e.stallRemaining)
 			e.t += step
 			e.stallRemaining -= step
 			if e.stallRemaining <= workEps {
@@ -181,7 +254,7 @@ func (e *engine) advanceUntil(target float64) bool {
 			limit := dt
 			if e.overlapRemain > 0 {
 				rate = e.exRate
-				limit = math.Min(limit, e.overlapRemain)
+				limit = fmin(limit, e.overlapRemain)
 			}
 			if e.reexecRemaining <= workEps {
 				e.finishReexec()
@@ -192,7 +265,7 @@ func (e *engine) advanceUntil(target float64) bool {
 				if need := e.reexecRemaining / rate; need < step {
 					step = need
 				}
-				if need := (e.cfg.Tbase - e.work) / rate; need < step {
+				if need := (e.tbase - e.work) / rate; need < step {
 					step = need
 				}
 			}
@@ -205,7 +278,7 @@ func (e *engine) advanceUntil(target float64) bool {
 					e.overlapRemain = 0
 				}
 			}
-			if e.work >= e.cfg.Tbase-workEps {
+			if e.work >= e.tbase-workEps {
 				return true
 			}
 			if e.reexecRemaining <= workEps {
@@ -215,6 +288,52 @@ func (e *engine) advanceUntil(target float64) bool {
 	}
 	e.t = target
 	return false
+}
+
+// replayPeriods advances the timeline through as many full fault-free
+// periods as fit strictly before target without risking completion,
+// replicating the stepwise walk's float operations bit for bit: per
+// period, phase 1 (work only for the triple protocols), phase 2, the
+// snapshot commit, and phase 3. Each period fits the remaining time
+// with an eps to spare, so the stepwise walk would never have clamped
+// a segment inside it; the work budget keeps two full periods of
+// headroom below Tbase — far more than any rounding drift — so the
+// completion instant is always resolved by the stepwise walk. The
+// caller guarantees no open risk window and no commit observer, so the
+// skipped commits reduce to snapshot bookkeeping (pending risk entries
+// can only be expired ones; the first skipped commit would have
+// cleared them). It reports whether any period was replayed.
+func (e *engine) replayPeriods(target float64) bool {
+	if e.periodWork <= 0 {
+		return false
+	}
+	c1 := e.phases.Ckpt1
+	c2 := c1 + e.phases.Ckpt2
+	seg2 := c2 - c1
+	seg3 := e.period - c2
+	triple := e.pr.IsTriple()
+	workCap := e.tbase - 2*e.periodWork
+	replayed := false
+	for target-e.t >= e.period+workEps && e.work < workCap {
+		w0 := e.work
+		if triple {
+			e.work += e.exRate * c1
+		}
+		e.t += c1
+		e.t += seg2
+		e.work += e.exRate * seg2
+		e.snapshotWork = w0
+		e.t += seg3
+		e.work += seg3
+		e.periodStartWork = e.work
+		replayed = true
+	}
+	if replayed {
+		e.comp = e.comp[:0]
+		e.everCommitted = true
+		e.offset = 0
+	}
+	return replayed
 }
 
 // crossBoundary applies the schedule transition at the end of phase
@@ -250,9 +369,7 @@ func (e *engine) crossBoundary(idx int, segEnd float64) {
 func (e *engine) commit() {
 	e.snapshotWork = e.periodStartWork
 	e.everCommitted = true
-	for k := range e.compromised {
-		delete(e.compromised, k)
-	}
+	e.comp = e.comp[:0]
 	if e.riskUntil > e.t {
 		e.res.RiskTime -= e.riskUntil - e.t
 		e.riskUntil = e.t
@@ -280,17 +397,22 @@ func (e *engine) applyFailure(node int) bool {
 	// --- Risk bookkeeping -------------------------------------------------
 	gStart := (node / e.group) * e.group
 	others := 0
-	for m := gStart; m < gStart+e.group && m < e.p.N; m++ {
-		if m == node {
+	nodeAt := -1
+	for i := 0; i < len(e.comp); {
+		en := e.comp[i]
+		if en.end <= e.t {
+			// Expired window: drop the entry (swap-remove; set order is
+			// irrelevant).
+			e.comp[i] = e.comp[len(e.comp)-1]
+			e.comp = e.comp[:len(e.comp)-1]
 			continue
 		}
-		if end, ok := e.compromised[m]; ok {
-			if end <= e.t {
-				delete(e.compromised, m)
-			} else {
-				others++
-			}
+		if en.node == node {
+			nodeAt = i
+		} else if en.node >= gStart && en.node < gStart+e.group {
+			others++
 		}
+		i++
 	}
 	if others > 0 {
 		// Before the first commit the rollback target is the initial
@@ -302,10 +424,14 @@ func (e *engine) applyFailure(node int) bool {
 		}
 		e.res.FailuresInRisk++
 	}
-	e.compromised[node] = e.t + e.risk
+	if nodeAt >= 0 {
+		e.comp[nodeAt].end = e.t + e.risk
+	} else {
+		e.comp = append(e.comp, riskEntry{node: node, end: e.t + e.risk})
+	}
 
 	// Union of risk windows, for the RiskTime metric.
-	start := math.Max(e.t, e.riskUntil)
+	start := fmax(e.t, e.riskUntil)
 	if end := e.t + e.risk; end > start {
 		e.res.RiskTime += end - start
 		e.riskUntil = end
@@ -313,12 +439,7 @@ func (e *engine) applyFailure(node int) bool {
 
 	// First-order importance estimate of the fatal-chain probability
 	// opened by this failure (see Result.ImportanceFatalProb).
-	lr := e.p.Lambda() * e.risk
-	if e.group == 2 {
-		e.res.ImportanceFatalProb += lr
-	} else {
-		e.res.ImportanceFatalProb += 2 * lr * lr
-	}
+	e.res.ImportanceFatalProb += e.impFatal
 
 	// --- Rollback ----------------------------------------------------------
 	if e.md == modeSchedule {
@@ -364,7 +485,7 @@ func (e *engine) faultFreeMakespan(workTarget float64) float64 {
 	if workTarget <= 0 {
 		return 0
 	}
-	w := core.Work(e.pr, e.p, e.phi, e.period)
+	w := e.periodWork
 	full := math.Floor(workTarget / w)
 	rem := workTarget - full*w
 	tm := full * e.period
@@ -394,21 +515,17 @@ func (e *engine) faultFreeMakespan(workTarget float64) float64 {
 
 // run executes the simulation loop.
 func (e *engine) run() Result {
-	horizon := e.cfg.MaxSimTime
-	if horizon == 0 {
-		horizon = 1000 * e.cfg.Tbase
-	}
 	for {
-		ev, ok := e.src.Next()
-		target := horizon
-		if ok && ev.Time < horizon {
+		ev, ok := e.nextFailure()
+		target := e.horizon
+		if ok && ev.Time < e.horizon {
 			target = ev.Time
 		}
 		if e.advanceUntil(target) {
 			e.res.Completed = true
 			break
 		}
-		if !ok || ev.Time >= horizon {
+		if !ok || ev.Time >= e.horizon {
 			break // horizon reached (saturated) or trace exhausted
 		}
 		if e.applyFailure(ev.Node) {
@@ -416,7 +533,7 @@ func (e *engine) run() Result {
 		}
 	}
 	e.res.Makespan = e.t
-	e.res.WorkDone = math.Min(e.work, e.cfg.Tbase)
+	e.res.WorkDone = math.Min(e.work, e.tbase)
 	if e.res.Makespan > 0 {
 		e.res.Waste = 1 - e.res.WorkDone/e.res.Makespan
 	}

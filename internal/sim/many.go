@@ -3,6 +3,7 @@ package sim
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 )
@@ -22,6 +23,50 @@ type Aggregate struct {
 	ImportanceFatal stats.Sample
 }
 
+// Add folds one run into the aggregate.
+func (a *Aggregate) Add(res Result) {
+	a.Runs++
+	a.Fatal.Add(res.Fatal)
+	a.Completed.Add(res.Completed)
+	a.ImportanceFatal.Add(res.ImportanceFatalProb)
+	if res.Completed {
+		a.Waste.Add(res.Waste)
+		a.Makespan.Add(res.Makespan)
+		a.Failures.Add(float64(res.Failures))
+		if res.Failures > 0 {
+			a.LossPerF.Add(res.LostTime / float64(res.Failures))
+		}
+	}
+}
+
+// Merge folds another aggregate into a. Merging an empty aggregate is
+// a no-op and merging into an empty aggregate copies o exactly, so a
+// chunk-ordered merge of partial aggregates is independent of how many
+// workers produced them.
+func (a *Aggregate) Merge(o Aggregate) {
+	a.Runs += o.Runs
+	a.Waste.Merge(o.Waste)
+	a.Makespan.Merge(o.Makespan)
+	a.LossPerF.Merge(o.LossPerF)
+	a.Failures.Merge(o.Failures)
+	a.Fatal.Merge(o.Fatal)
+	a.Completed.Merge(o.Completed)
+	a.ImportanceFatal.Merge(o.ImportanceFatal)
+}
+
+// aggChunkSize is the fixed streaming-aggregation granularity: seeds
+// are grouped into chunks of this many consecutive runs, each chunk is
+// reduced to a partial Aggregate (by in-seed-order Adds over the
+// chunk's buffered results), and the partials are merged in chunk
+// order. The chunk boundaries and the per-chunk Add order depend only
+// on the run count — never on the worker count or scheduling — so the
+// final Aggregate is bitwise identical for any number of workers, and
+// a batch holds one chunk of Results plus O(1) aggregates instead of
+// materializing all runs. Within a chunk the runs themselves are
+// simulated in parallel, so batches as small as one chunk still use
+// the full worker budget.
+const aggChunkSize = 256
+
 // RunMany executes runs independent simulations in parallel (one
 // goroutine per CPU) and aggregates the results. Seeds are
 // cfg.Seed+0 .. cfg.Seed+runs-1, so results are reproducible and
@@ -38,63 +83,111 @@ func RunMany(cfg Config, runs int) (Aggregate, error) {
 // one goroutine per CPU. The aggregate is identical for any worker
 // count.
 func RunManyWorkers(cfg Config, runs, workers int) (Aggregate, error) {
-	if err := cfg.Validate(); err != nil {
-		return Aggregate{}, err
-	}
 	if cfg.Source != nil {
 		cfg.Source = nil // sources are single-run; fall back to seeded generation
+	}
+	b, err := Compile(cfg)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	return b.RunManySeeded(cfg.Seed, runs, workers)
+}
+
+// RunManySeeded executes runs simulations of the batch with seeds
+// base+0 .. base+runs-1 across the given worker budget, streaming
+// per-chunk partial aggregates instead of materializing per-run
+// Results. Each worker owns one reusable Runner (kept across chunks),
+// so the steady-state simulation loop allocates nothing, and the runs
+// of every chunk fan out across the whole worker budget.
+//
+// Compilation errors surface from Compile before any run starts; a
+// per-run error (impossible today — Runner.Run is total — but threaded
+// for future failure modes) cancels the remaining dispatch via
+// runChunks instead of letting the other workers finish the batch.
+func (b *Batch) RunManySeeded(base uint64, runs, workers int) (Aggregate, error) {
+	if runs <= 0 {
+		return Aggregate{}, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > runs {
-		workers = runs
-	}
+	workers = min(workers, runs)
 	if workers < 1 {
 		workers = 1
 	}
-
-	results := make([]Result, runs)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < runs; i += workers {
-				c := cfg
-				c.Seed = cfg.Seed + uint64(i)
-				res, err := Run(c)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				results[i] = res
-			}
-		}(w)
+	runners := make([]*Runner, workers)
+	for w := range runners {
+		runners[w] = b.NewRunner()
 	}
-	wg.Wait()
-	for _, err := range errs {
+	buf := make([]Result, min(aggChunkSize, runs))
+	var total Aggregate
+	for lo := 0; lo < runs; lo += aggChunkSize {
+		hi := min(lo+aggChunkSize, runs)
+		span := buf[:hi-lo]
+		err := runChunks(len(span), workers,
+			func(w int) *Runner { return runners[w] },
+			func(r *Runner, j int) error {
+				span[j] = r.Run(base + uint64(lo+j))
+				return nil
+			})
 		if err != nil {
 			return Aggregate{}, err
 		}
-	}
-
-	var agg Aggregate
-	agg.Runs = runs
-	for i := range results {
-		res := &results[i]
-		agg.Fatal.Add(res.Fatal)
-		agg.Completed.Add(res.Completed)
-		agg.ImportanceFatal.Add(res.ImportanceFatalProb)
-		if res.Completed {
-			agg.Waste.Add(res.Waste)
-			agg.Makespan.Add(res.Makespan)
-			agg.Failures.Add(float64(res.Failures))
-			if res.Failures > 0 {
-				agg.LossPerF.Add(res.LostTime / float64(res.Failures))
-			}
+		// The partial is built by in-order Adds over the chunk, so it —
+		// and therefore the chunk-ordered merge — is independent of how
+		// the parallel runs above were scheduled.
+		var part Aggregate
+		for j := range span {
+			part.Add(span[j])
 		}
+		total.Merge(part)
 	}
-	return agg, nil
+	return total, nil
+}
+
+// runChunks dispatches work-item indices [0, n) to a pool of workers;
+// worker w operates on the state newWorker(w) returns (a reusable
+// Runner in the batch path). The first error cancels the dispatch:
+// every worker observes the stop flag before claiming its next item,
+// so a failing batch aborts promptly instead of the surviving workers
+// simulating the rest of it.
+func runChunks[W any](n, workers int, newWorker func(w int) W, fn func(w W, item int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, n)
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := newWorker(i)
+			for !stop.Load() {
+				item := int(next.Add(1)) - 1
+				if item >= n {
+					return
+				}
+				if err := fn(w, item); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
 }

@@ -25,7 +25,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/failure"
-	"repro/internal/rng"
 )
 
 // Config describes one simulated execution.
@@ -115,34 +114,13 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// Run simulates one execution.
+// Run simulates one execution. Batch callers should Compile once and
+// reuse a Runner instead: Run pays the per-batch precomputation and
+// the engine allocation on every call.
 func Run(cfg Config) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
 	eng, err := newEngine(cfg)
 	if err != nil {
 		return Result{}, err
 	}
 	return eng.run(), nil
-}
-
-// source builds the failure source for the run.
-func (c *Config) source() failure.Source {
-	if c.Source != nil {
-		return c.Source
-	}
-	stream := rng.New(c.Seed)
-	if c.Law != nil {
-		return failure.NewRenewal(lawsFor(c.Params.N, c.Law), stream)
-	}
-	return failure.NewMerged(c.Params.N, c.Params.M, stream)
-}
-
-func lawsFor(n int, law failure.Law) []failure.Law {
-	laws := make([]failure.Law, n)
-	for i := range laws {
-		laws[i] = law
-	}
-	return laws
 }

@@ -37,6 +37,34 @@ func (s *Sample) Add(x float64) {
 	s.m2 += delta * (x - s.mean)
 }
 
+// Merge folds another sample into s, as if every observation of o had
+// been Added to s (Chan et al.'s pairwise update of the Welford
+// moments). Merging an empty sample is exact (a no-op), and merging
+// into an empty sample copies o bit-for-bit — the property the
+// streaming Monte-Carlo aggregation relies on for worker-count
+// independence.
+func (s *Sample) Merge(o Sample) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	na, nb, nn := float64(s.n), float64(o.n), float64(s.n+o.n)
+	delta := o.mean - s.mean
+	s.mean += delta * nb / nn
+	s.m2 += o.m2 + delta*delta*na*nb/nn
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return s.n }
 
@@ -90,6 +118,13 @@ func (p *Proportion) Add(hit bool) {
 	if hit {
 		p.Hits++
 	}
+}
+
+// Merge folds another proportion into p. Integer counters make the
+// merge exact for any grouping of the trials.
+func (p *Proportion) Merge(o Proportion) {
+	p.Hits += o.Hits
+	p.Trials += o.Trials
 }
 
 // Rate returns the observed proportion.

@@ -231,3 +231,93 @@ func TestSeriesAndWriteDat(t *testing.T) {
 		t.Fatal("empty WriteDat should be a no-op")
 	}
 }
+
+// TestSampleMergeMatchesSequential checks the streaming-aggregation
+// identities: merging into an empty sample is an exact copy, merging
+// an empty sample is a no-op, and a split-merge reproduces the
+// sequential moments to floating-point accuracy.
+func TestSampleMergeMatchesSequential(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9, -3, 12, 0.5}
+	for split := 0; split <= len(xs); split++ {
+		var a, b, seq Sample
+		for _, x := range xs[:split] {
+			a.Add(x)
+			seq.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+			seq.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != seq.N() || a.Min() != seq.Min() || a.Max() != seq.Max() {
+			t.Fatalf("split %d: counts/extrema differ: %+v vs %+v", split, a, seq)
+		}
+		if math.Abs(a.Mean()-seq.Mean()) > 1e-12 {
+			t.Fatalf("split %d: mean %v != %v", split, a.Mean(), seq.Mean())
+		}
+		if math.Abs(a.Variance()-seq.Variance()) > 1e-9 {
+			t.Fatalf("split %d: variance %v != %v", split, a.Variance(), seq.Variance())
+		}
+		// The boundary splits must be bitwise exact, not just close:
+		// that is what makes single-chunk streaming aggregation
+		// reproduce the legacy sequential aggregation byte for byte.
+		if split == 0 || split == len(xs) {
+			if a != seq {
+				t.Fatalf("split %d: empty-side merge not exact: %+v vs %+v", split, a, seq)
+			}
+		}
+	}
+}
+
+// TestSampleMergeProperty fuzzes Merge against sequential Add over
+// random splits.
+func TestSampleMergeProperty(t *testing.T) {
+	f := func(raw []float64, splitRaw uint8) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		split := int(splitRaw) % (len(xs) + 1)
+		var a, b, seq Sample
+		for _, x := range xs[:split] {
+			a.Add(x)
+			seq.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+			seq.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != seq.N() || a.Min() != seq.Min() || a.Max() != seq.Max() {
+			return false
+		}
+		scale := math.Max(1, math.Abs(seq.Mean()))
+		if math.Abs(a.Mean()-seq.Mean()) > 1e-9*scale {
+			return false
+		}
+		vscale := math.Max(1, seq.Variance())
+		return math.Abs(a.Variance()-seq.Variance()) <= 1e-6*vscale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProportionMerge(t *testing.T) {
+	var a, b Proportion
+	for i := 0; i < 10; i++ {
+		a.Add(i%3 == 0)
+	}
+	for i := 0; i < 7; i++ {
+		b.Add(i%2 == 0)
+	}
+	a.Merge(b)
+	if a.Trials != 17 || a.Hits != 4+4 {
+		t.Fatalf("merged proportion = %d/%d, want 8/17", a.Hits, a.Trials)
+	}
+}
