@@ -1,17 +1,19 @@
 // Command bench runs the repository's fixed performance suite — the
-// Monte-Carlo kernel, the streaming batch aggregation, and the API
+// Monte-Carlo kernel, the streaming batch aggregation, the detailed
+// substrate engine (per-run rebuild vs compiled batch), and the API
 // sweep engine — and writes a machine-readable JSON report, so every
-// PR extends a comparable perf trajectory (BENCH_PR2.json is this
+// PR extends a comparable perf trajectory (BENCH_PR3.json is this
 // PR's committed snapshot).
 //
 // Usage:
 //
 //	go run ./cmd/bench [-short] [-out bench.json] \
-//	    [-baseline BENCH_PR2.json] [-max-regress 0.25]
+//	    [-baseline BENCH_PR3.json] [-max-regress 0.25]
 //
-// With -baseline, the measured engine-throughput ns/op is compared
-// against the committed report and the process exits non-zero when it
-// regressed by more than -max-regress (CI's regression gate).
+// With -baseline, the measured engine-throughput and detailed-runner
+// ns/op are compared against the committed report and the process
+// exits non-zero when either regressed by more than -max-regress
+// (CI's regression gate).
 package main
 
 import (
@@ -176,6 +178,72 @@ func benchBatchRunMany(short bool) Metric {
 	return metric(name, res)
 }
 
+// detailedThroughputConfig is the fixed detailed-engine workload: a
+// moderate platform (the substrates are O(N) per failure) with enough
+// failures per run to exercise the cluster, registry and restore
+// queue.
+func detailedThroughputConfig(short bool) sim.DetailedConfig {
+	cfg := sim.DetailedConfig{
+		Protocol: core.DoubleNBL,
+		Params:   scenario.Base().Params.WithNodes(240).WithMTBF(600),
+		Phi:      1,
+		Tbase:    2e4,
+	}
+	if short {
+		cfg.Tbase = 5e3
+	}
+	return cfg
+}
+
+// benchDetailedRun measures per-call sim.RunDetailed: compilation plus
+// a full substrate rebuild (cluster, checkpoint registry, schedule)
+// on every run — the shape of the pre-batch detailed engine.
+func benchDetailedRun(short bool) Metric {
+	cfg := detailedThroughputConfig(short)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = uint64(i)
+			r, err := sim.RunDetailed(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += r.Failures
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(total)/secs, "failures/sec")
+		}
+	})
+	return metric("detailed_run", res)
+}
+
+// benchDetailedRunner measures the compiled detailed batch path: the
+// substrates are built once by CompileDetailed/NewRunner and rewound
+// in place between runs.
+func benchDetailedRunner(short bool) Metric {
+	batch, err := sim.CompileDetailed(detailedThroughputConfig(short))
+	if err != nil {
+		fatal(err)
+	}
+	r := batch.NewRunner()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			dr, err := r.Run(uint64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += dr.Failures
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(total)/secs, "failures/sec")
+		}
+	})
+	return metric("detailed_runner", res)
+}
+
 // benchSweep measures the API sweep engine end to end: grid expansion,
 // batch compilation (cache-cold per iteration thanks to a fresh seed),
 // parallel point evaluation and aggregation.
@@ -213,16 +281,34 @@ func benchSweep(short bool) Metric {
 	return metric("sweep_points", res)
 }
 
-// gate compares the measured engine throughput against a committed
-// report and returns an error when it regressed beyond maxRegress.
+// gatedBench describes one benchmark the regression gate checks. The
+// fast kernel's alloc gate is absolute (+allocSlack): its hot path is
+// allocation-free, so any per-run allocation is a regression. The
+// detailed engine allocates proportionally to the failure sample
+// (cluster Buddies slices, registry map growth), so its alloc gate is
+// relative, like the time gate.
+type gatedBench struct {
+	name      string
+	measure   func(short bool) Metric
+	required  bool // error when missing from the baseline
+	relAllocs bool // relative (1+maxRegress) alloc gate instead of +allocSlack
+}
+
+var gatedBenches = []gatedBench{
+	{name: "engine_throughput", measure: benchEngineThroughput, required: true},
+	{name: "detailed_runner", measure: benchDetailedRunner, relAllocs: true},
+}
+
+// gate compares the measured headline benchmarks against a committed
+// report and returns an error when any regressed beyond maxRegress.
 // ns/op is only comparable at equal workload sizes, so when the sizes
 // differ (a -short CI run against a committed full-size snapshot) the
-// headline benchmark is re-measured once at the baseline's size.
-// Allocations per op are hardware-independent and gate exactly.
+// gated benchmarks are re-measured once at the baseline's size.
 //
 // Caveat: the time gate compares against numbers measured on whatever
 // machine produced the committed report; across very different
-// hardware the threshold may need tuning (allocs/op never does).
+// hardware the threshold may need tuning (the fast kernel's absolute
+// allocs/op gate never does).
 func gate(rep Report, baselinePath string, maxRegress float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -240,32 +326,55 @@ func gate(rep Report, baselinePath string, maxRegress float64) error {
 		}
 		return nil
 	}
-	const headline = "engine_throughput"
-	want := find(base.Benchmarks, headline)
-	got := find(rep.Benchmarks, headline)
-	if want == nil || got == nil {
-		return fmt.Errorf("bench: %s missing from baseline or measurement", headline)
+	for _, gb := range gatedBenches {
+		want := find(base.Benchmarks, gb.name)
+		if want == nil {
+			if gb.required {
+				return fmt.Errorf("bench: %s missing from baseline", gb.name)
+			}
+			fmt.Printf("gate: %s not in baseline %s; skipping\n", gb.name, baselinePath)
+			continue
+		}
+		got := find(rep.Benchmarks, gb.name)
+		if got == nil {
+			return fmt.Errorf("bench: %s missing from measurement", gb.name)
+		}
+		if rep.Short != base.Short {
+			fmt.Printf("gate: re-measuring %s at the baseline's workload size\n", gb.name)
+			m := gb.measure(base.Short)
+			got = &m
+		}
+		if gb.relAllocs {
+			// Relative bound with a small absolute floor, so a tiny
+			// baseline (the batch runner is ~1 alloc/op) doesn't turn
+			// inliner jitter into a failure.
+			limit := int64(float64(want.AllocsOp) * (1 + maxRegress))
+			if floor := want.AllocsOp + 8; floor > limit {
+				limit = floor
+			}
+			if got.AllocsOp > limit {
+				return fmt.Errorf("bench: %s allocates %d/op, committed baseline is %d/op (limit %d)",
+					gb.name, got.AllocsOp, want.AllocsOp, limit)
+			}
+		} else {
+			// Per-op alloc counts drift by a few across Go versions'
+			// inliner and escape analysis; real kernel regressions (an
+			// allocation back on the per-failure path) show up as
+			// hundreds per op.
+			const allocSlack = 8
+			if got.AllocsOp > want.AllocsOp+allocSlack {
+				return fmt.Errorf("bench: %s allocates %d/op, committed baseline is %d/op (+%d slack)",
+					gb.name, got.AllocsOp, want.AllocsOp, allocSlack)
+			}
+		}
+		limit := want.NsOp * (1 + maxRegress)
+		if got.NsOp > limit {
+			return fmt.Errorf("bench: %s regressed: %.0f ns/op > %.0f ns/op (baseline %.0f +%d%%)",
+				gb.name, got.NsOp, limit, want.NsOp, int(maxRegress*100))
+		}
+		fmt.Printf("gate ok: %s %.0f ns/op within %.0f ns/op (baseline %.0f +%d%%), %d allocs/op\n",
+			gb.name, got.NsOp, limit, want.NsOp, int(maxRegress*100), got.AllocsOp)
 	}
-	if rep.Short != base.Short {
-		fmt.Printf("gate: re-measuring %s at the baseline's workload size\n", headline)
-		m := benchEngineThroughput(base.Short)
-		got = &m
-	}
-	// Per-op alloc counts drift by a few across Go versions' inliner
-	// and escape analysis; real kernel regressions (an allocation back
-	// on the per-failure path) show up as hundreds per op.
-	const allocSlack = 8
-	if got.AllocsOp > want.AllocsOp+allocSlack {
-		return fmt.Errorf("bench: %s allocates %d/op, committed baseline is %d/op (+%d slack)",
-			headline, got.AllocsOp, want.AllocsOp, allocSlack)
-	}
-	limit := want.NsOp * (1 + maxRegress)
-	if got.NsOp > limit {
-		return fmt.Errorf("bench: %s regressed: %.0f ns/op > %.0f ns/op (baseline %.0f +%d%%)",
-			headline, got.NsOp, limit, want.NsOp, int(maxRegress*100))
-	}
-	fmt.Printf("gate ok: %s %.0f ns/op within %.0f ns/op (baseline %.0f +%d%%), %d allocs/op\n",
-		headline, got.NsOp, limit, want.NsOp, int(maxRegress*100), got.AllocsOp)
 	return nil
 }
 
@@ -294,6 +403,8 @@ func main() {
 		benchEngineThroughput,
 		benchRunnerThroughput,
 		benchBatchRunMany,
+		benchDetailedRun,
+		benchDetailedRunner,
 		benchSweep,
 	} {
 		m := run(*short)

@@ -3,12 +3,16 @@
 // hierarchical combination the paper's conclusion proposes as future
 // work: it prints, per protocol, the optimized inner period, the
 // global-dump interval, the waste premium paid for the global level,
-// and the expected loss an unprotected deployment would suffer.
+// and the expected loss an unprotected deployment would suffer. With
+// -runs > 0 it cross-checks each plan by Monte-Carlo through the
+// unified multilevel evaluation backend (internal/engine) and appends
+// the simulated waste.
 //
 // Usage:
 //
 //	multilevel [-scenario Base|Exa] [-mtbf 300] [-phi 0]
 //	           [-g 200] [-rg 200] [-life 2592000]
+//	           [-runs 16] [-tbase 100000] [-seed 42]
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
 	"repro/internal/multilevel"
 	"repro/internal/scenario"
 )
@@ -29,6 +35,9 @@ func main() {
 	g := flag.Float64("g", 200, "global (whole-application) checkpoint duration in seconds")
 	rg := flag.Float64("rg", 200, "global recovery duration in seconds")
 	life := flag.Float64("life", 30*scenario.Day, "platform exploitation length in seconds")
+	runs := flag.Int("runs", 16, "Monte-Carlo cross-check runs per protocol (0 = analytic only)")
+	tbase := flag.Float64("tbase", 1e5, "failure-free application duration for the cross-check (s)")
+	seed := flag.Uint64("seed", 42, "base RNG seed for the cross-check")
 	flag.Parse()
 
 	sc, err := scenario.ByName(*scName)
@@ -39,7 +48,11 @@ func main() {
 
 	fmt.Printf("scenario %s, M = %.0fs, G = %.0fs, life = %.0fs\n\n", sc.Name, *mtbf, *g, *life)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "protocol\tinner P\tglobal every\tk\twaste\tpremium\tMTTI\tunprotected loss")
+	header := "protocol\tinner P\tglobal every\tk\twaste\tpremium\tMTTI\tunprotected loss"
+	if *runs > 0 {
+		header += "\tsim waste\tci95"
+	}
+	fmt.Fprintln(w, header)
 	for _, pr := range core.Protocols {
 		phi := *phiFrac * p.R
 		plan, err := multilevel.Optimize(multilevel.Config{
@@ -49,10 +62,28 @@ func main() {
 			fmt.Fprintf(w, "%s\tinfeasible (%v)\t\t\t\t\t\t\n", pr, err)
 			continue
 		}
-		fmt.Fprintf(w, "%s\t%.0fs\t%.0fs\t%d\t%.4f\t%.4f\t%.2gs\t%.4f\n",
+		fmt.Fprintf(w, "%s\t%.0fs\t%.0fs\t%d\t%.4f\t%.4f\t%.2gs\t%.4f",
 			pr, plan.Period, plan.GlobalPeriod, plan.K, plan.Waste,
 			plan.Waste-plan.InnerWaste, plan.MTTI,
 			multilevel.LossIfUnprotected(pr, p, phi, *life))
+		if *runs > 0 {
+			// Cross-check the analytic plan through the unified backend:
+			// the simulated two-level waste must track plan.Waste.
+			row, err := experiments.ValidateRequest(engine.Multilevel{}, engine.Request{
+				Protocol: pr,
+				Params:   p,
+				Phi:      phi,
+				Period:   plan.Period,
+				Tbase:    *tbase,
+				Global:   &engine.Global{G: *g, Rg: *rg, K: plan.K},
+			}, *seed, *runs, 0)
+			if err != nil {
+				fmt.Fprintf(w, "\t(%v)\t", err)
+			} else {
+				fmt.Fprintf(w, "\t%.4f\t%.4f", row.SimWaste, row.SimCI)
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	w.Flush()
 }

@@ -1,15 +1,19 @@
 // Command simulate validates the analytic model by Monte-Carlo
-// simulation: it runs every protocol on the chosen scenario and prints
-// model-vs-simulated waste and per-failure loss. It can also record
-// and replay failure traces, and run the substrate-backed detailed
-// simulator with its structural fatality cross-check.
+// simulation: it runs every protocol on the chosen scenario through
+// one of the unified evaluation backends (fast, detailed, multilevel)
+// and prints model-vs-simulated waste and per-failure loss. It can
+// also record and replay failure traces, and print the detailed
+// engine's substrate-level observations.
 //
 // Usage:
 //
 //	simulate [-scenario Base|Exa] [-mtbf 1800] [-phi 0.25]
 //	         [-tbase 2e5] [-runs 16] [-seed 42]
+//	         [-backend fast|detailed|multilevel]
+//	         [-law exponential|weibull|lognormal] [-shape 0.7]
+//	         [-g 200] [-rg 200] [-k 0]
 //	         [-record trace.json | -replay trace.json]
-//	         [-detailed] [-weibull 0.7]
+//	         [-substrate]
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/failure"
 	"repro/internal/rng"
@@ -32,10 +37,15 @@ func main() {
 	tbase := flag.Float64("tbase", 2e5, "failure-free application duration (s)")
 	runs := flag.Int("runs", 16, "Monte-Carlo runs per protocol")
 	seed := flag.Uint64("seed", 42, "base RNG seed")
+	backend := flag.String("backend", "fast", "evaluation backend: fast, detailed or multilevel")
+	lawName := flag.String("law", "", "failure law: exponential (default), weibull or lognormal")
+	shape := flag.Float64("shape", 0, "weibull shape / lognormal sigma for -law")
+	g := flag.Float64("g", 200, "multilevel: global checkpoint duration (s)")
+	rg := flag.Float64("rg", 200, "multilevel: global recovery duration (s)")
+	k := flag.Int("k", 0, "multilevel: inner periods per global checkpoint (0 = optimize)")
 	record := flag.String("record", "", "record a failure trace to this file and exit")
 	replay := flag.String("replay", "", "replay a failure trace (single DoubleNBL run)")
-	detailed := flag.Bool("detailed", false, "run the substrate-backed detailed simulator instead")
-	weibull := flag.Float64("weibull", 0, "use a Weibull failure law with this shape (0 = exponential)")
+	substrate := flag.Bool("substrate", false, "print the detailed engine's substrate observations instead of the table")
 	flag.Parse()
 
 	sc, err := scenario.ByName(*scName)
@@ -43,6 +53,7 @@ func main() {
 		fail(err)
 	}
 	p := sc.Params.WithMTBF(*mtbf)
+	spec := scenario.Spec{Law: *lawName, Shape: *shape}
 
 	switch {
 	case *record != "":
@@ -83,21 +94,14 @@ func main() {
 		fmt.Printf("replayed %d failures: %+v\n", len(tr.Events), res)
 		return
 
-	case *detailed:
-		// The detailed simulator needs a platform divisible by both
-		// group sizes; shrink the rank count accordingly.
-		n := p.N
-		if n > 600 {
-			n = 600
+	case *substrate:
+		q := shrinkForDetailed(p)
+		law, err := spec.ResolveLaw(q)
+		if err != nil {
+			fail(err)
 		}
-		n -= n % 6
-		q := p.WithNodes(n)
-		fmt.Printf("detailed run: %d ranks, M = %.0fs\n", n, q.M)
+		fmt.Printf("detailed substrate run: %d ranks, M = %.0fs\n", q.N, q.M)
 		for _, pr := range core.Protocols {
-			var law failure.Law
-			if *weibull > 0 {
-				law = failure.Weibull{Shape: *weibull, MTBF: failure.IndividualMTBF(q.M, q.N)}
-			}
 			res, err := sim.RunDetailed(sim.DetailedConfig{
 				Protocol: pr,
 				Params:   q,
@@ -116,13 +120,56 @@ func main() {
 		return
 	}
 
-	rows, err := experiments.Validate(sc, *mtbf, *phiFrac, *tbase, *runs, *seed)
+	eng, err := engine.ByName(*backend)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("scenario %s, M = %.0fs, Tbase = %.0fs, %d runs/protocol\n\n",
-		sc.Name, *mtbf, *tbase, *runs)
+	if eng.Name() == "detailed" {
+		// The detailed substrates are O(N) per failure; shrink the
+		// platform (preserving the platform MTBF) like the substrate
+		// report does.
+		p = shrinkForDetailed(p)
+	}
+	law, err := spec.ResolveLaw(p)
+	if err != nil {
+		fail(err)
+	}
+	rows := make([]experiments.ValidationRow, 0, len(core.Protocols))
+	for _, pr := range core.Protocols {
+		req := engine.Request{
+			Protocol: pr,
+			Params:   p,
+			Phi:      *phiFrac * p.R,
+			Tbase:    *tbase,
+			Law:      law,
+		}
+		if eng.Name() == "multilevel" {
+			req.Global = &engine.Global{G: *g, Rg: *rg, K: *k}
+		}
+		row, err := experiments.ValidateRequest(eng, req, *seed, *runs, 0)
+		if err != nil {
+			fail(err)
+		}
+		rows = append(rows, row)
+	}
+	lawLabel := "exponential"
+	if law != nil {
+		lawLabel = law.Name()
+	}
+	fmt.Printf("scenario %s, backend %s, law %s, M = %.0fs, Tbase = %.0fs, %d runs/protocol\n\n",
+		sc.Name, eng.Name(), lawLabel, p.M, *tbase, *runs)
 	fmt.Print(experiments.FormatValidation(rows))
+}
+
+// shrinkForDetailed caps the platform at 600 ranks, divisible by both
+// buddy-group sizes, preserving the platform MTBF.
+func shrinkForDetailed(p core.Params) core.Params {
+	n := p.N
+	if n > 600 {
+		n = 600
+	}
+	n -= n % 6
+	return p.WithNodes(n)
 }
 
 func fail(err error) {

@@ -238,6 +238,15 @@ func TestHandlerErrors(t *testing.T) {
 		{"get not allowed", "/v1/sweep", ``, http.MethodGet, http.StatusMethodNotAllowed},
 		{"grid too large", "/v1/sweep", `{"phiFracs": [0.1], "mtbfs": [` + bigMTBFList + `]}`, http.MethodPost, http.StatusBadRequest},
 		{"runs cap", "/v1/sweep", `{"runs": 100000}`, http.MethodPost, http.StatusBadRequest},
+		// Strict decoding: a typo'd backend selector must be a 400, not a
+		// silently ignored default that sweeps the wrong engine.
+		{"typo'd backend field", "/v1/sweep", `{"scenario": {"backned": "detailed"}, "runs": 2}`, http.MethodPost, http.StatusBadRequest},
+		{"typo'd nested global field", "/v1/sweep", `{"scenario": {"backend": "multilevel", "global": {"gee": 200}}, "runs": 2}`, http.MethodPost, http.StatusBadRequest},
+		{"unknown backend value", "/v1/sweep", `{"scenario": {"backend": "quantum"}, "runs": 2}`, http.MethodPost, http.StatusBadRequest},
+		{"unknown backend axis value", "/v1/sweep", `{"backends": ["fast", "quantum"], "runs": 2}`, http.MethodPost, http.StatusBadRequest},
+		{"unknown law", "/v1/sweep", `{"scenario": {"law": "gaussian", "shape": 1}, "runs": 2}`, http.MethodPost, http.StatusBadRequest},
+		{"weibull without shape", "/v1/sweep", `{"scenario": {"law": "weibull"}, "runs": 2}`, http.MethodPost, http.StatusBadRequest},
+		{"multilevel without global", "/v1/sweep", `{"scenario": {"backend": "multilevel"}, "runs": 2}`, http.MethodPost, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -291,4 +300,26 @@ var bigMTBFList = func() string {
 // specBase returns a Base-scenario spec with the given MTBF override.
 func specBase(mtbf float64) scenario.Spec {
 	return scenario.Spec{Name: "Base", MTBF: &mtbf}
+}
+
+// TestSweepBackendKnobsGateUpFront pins the point-independent knob
+// validation: a bad global level or substrate shape is a 400 before
+// any grid work, like the protocol and law axes — never a mid-stream
+// abort halfway through a multi-backend sweep.
+func TestSweepBackendKnobsGateUpFront(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []string{
+		`{"backends": ["fast", "multilevel"], "scenario": {"global": {"g": -5}}, "runs": 2}`,
+		`{"scenario": {"backend": "multilevel", "global": {"g": 200, "rg": -1}}, "runs": 2}`,
+		`{"scenario": {"backend": "multilevel", "global": {"g": 200, "k": -2}}, "runs": 2}`,
+		`{"scenario": {"backend": "detailed", "n": 96, "spares": -3}, "runs": 2}`,
+		`{"scenario": {"backend": "detailed", "n": 96, "imageBytes": -1}, "runs": 2}`,
+	}
+	for _, body := range cases {
+		resp := post(t, ts.URL+"/v1/sweep", body, nil)
+		got := readBody(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", body, resp.StatusCode, got)
+		}
+	}
 }

@@ -4,15 +4,16 @@ import (
 	"container/list"
 	"sync"
 
-	"repro/internal/sim"
+	"repro/internal/engine"
 )
 
-// batchCache is a bounded, thread-safe LRU of compiled simulation
-// batches (sim.Batch) keyed by the physical configuration — the point
-// key minus the runs and seed fields. Grid rows that collapse to the
-// same physical point (DoubleBlocking's pinned φ), and repeated sweeps
-// over the same grid with different seeds or batch sizes, reuse one
-// compilation (protocol phases, optimal period, risk window) instead
+// batchCache is a bounded, thread-safe LRU of compiled evaluation
+// batches (engine.Batch) keyed by the physical configuration — the
+// point key minus the runs and seed fields, plus the backend. Grid
+// rows that collapse to the same physical point (DoubleBlocking's
+// pinned φ), and repeated sweeps over the same grid with different
+// seeds or batch sizes, reuse one compilation (protocol phases,
+// optimal period, multilevel plan, detailed substrate shapes) instead
 // of recompiling per evaluation.
 type batchCache struct {
 	mu    sync.Mutex
@@ -23,7 +24,7 @@ type batchCache struct {
 
 type batchEntry struct {
 	key string
-	b   *sim.Batch
+	b   engine.Batch
 }
 
 // newBatchCache returns an LRU cache holding up to capacity compiled
@@ -36,11 +37,11 @@ func newBatchCache(capacity int) *batchCache {
 	}
 }
 
-// get returns the compiled batch for key, compiling cfg on a miss.
-// Compilation runs outside the lock; a concurrent double-compile of
-// the same key is benign (batches are immutable) and the first stored
-// entry wins.
-func (c *batchCache) get(key string, cfg sim.Config) (*sim.Batch, error) {
+// get returns the compiled batch for key, compiling req with eng on a
+// miss. Compilation runs outside the lock; a concurrent double-compile
+// of the same key is benign (batches are immutable) and the first
+// stored entry wins.
+func (c *batchCache) get(key string, eng engine.Engine, req engine.Request) (engine.Batch, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -50,7 +51,7 @@ func (c *batchCache) get(key string, cfg sim.Config) (*sim.Batch, error) {
 	}
 	c.mu.Unlock()
 
-	b, err := sim.Compile(cfg)
+	b, err := eng.Compile(req)
 	if err != nil {
 		return nil, err
 	}

@@ -9,19 +9,27 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/failure"
 	"repro/internal/rng"
 	"repro/internal/scenario"
-	"repro/internal/sim"
 )
 
 // SweepRequest is the /v1/sweep request: the cross product of the
-// protocol, φ/R and MTBF axes over one platform, simulated at the
-// model-optimal (or a fixed) period with a bounded worker pool.
+// backend, protocol, φ/R and MTBF axes over one platform, simulated at
+// the model-optimal (or a fixed) period with a bounded worker pool.
 type SweepRequest struct {
 	// Scenario describes the platform; its MTBF is overridden by each
-	// point of the MTBFs axis.
+	// point of the MTBFs axis. Its backend/law/substrate fields select
+	// the evaluation engine and failure law for every point (see
+	// Backends for a per-point backend axis).
 	Scenario scenario.Spec `json:"scenario"`
+	// Backends lists evaluation backends (fast, detailed, multilevel)
+	// as an additional, outermost grid axis; empty selects the
+	// scenario's backend (default fast). A multilevel point needs the
+	// scenario's global level.
+	Backends []string `json:"backends,omitempty"`
 	// Protocols lists figure names; empty selects every protocol.
 	Protocols []string `json:"protocols,omitempty"`
 	// PhiFracs lists overhead points φ/R in [0, 1]; empty selects
@@ -32,7 +40,7 @@ type SweepRequest struct {
 	MTBFs []float64 `json:"mtbfs,omitempty"`
 	// Tbase is the failure-free application duration (default 1e5 s).
 	Tbase float64 `json:"tbase,omitempty"`
-	// Period fixes the checkpointing period; 0 uses the model-optimal
+	// Period fixes the checkpointing period; 0 uses the backend-optimal
 	// period at each point.
 	Period float64 `json:"period,omitempty"`
 	// Runs is the Monte-Carlo batch per point (default 8, capped by
@@ -48,6 +56,12 @@ type SweepRequest struct {
 // evaluation and the Monte-Carlo aggregate at that point.
 type SweepItem struct {
 	Protocol string `json:"protocol"`
+	// Backend is the evaluation engine of the point; omitted for the
+	// default fast engine.
+	Backend string `json:"backend,omitempty"`
+	// Law is the failure law of the point; omitted for the default
+	// exponential law.
+	Law string `json:"law,omitempty"`
 	// PhiFrac is the effective φ/R of the point: the requested value,
 	// except for DoubleBlocking which always reports 1 (its exchange
 	// is fully blocking regardless of the request).
@@ -55,9 +69,11 @@ type SweepItem struct {
 	MTBF    float64 `json:"mtbf"`
 	Seed    uint64  `json:"seed"`
 	Runs    int     `json:"runs"`
-	// Feasible is false when the MTBF is too small for the protocol to
-	// progress (M <= A); such points carry ModelWaste = 1 and no
-	// simulation results.
+	// Feasible is false when the backend cannot make progress at the
+	// point (MTBF too small, fixed period below the protocol's
+	// MinPeriod, no multilevel plan, platform indivisible into the
+	// detailed substrate's buddy groups); such points carry
+	// ModelWaste = 1 and no simulation results.
 	Feasible   bool    `json:"feasible"`
 	Period     float64 `json:"period"`
 	ModelWaste float64 `json:"modelWaste"`
@@ -85,8 +101,12 @@ type SweepStats struct {
 
 // sweepPoint is one expanded grid point awaiting evaluation.
 type sweepPoint struct {
-	cfg     sim.Config
+	eng     engine.Engine
+	req     engine.Request
+	seed    uint64
 	phiFrac float64
+	backend string // item label: "" for the default fast engine
+	law     string // item label: "" for the default exponential law
 	key     string
 }
 
@@ -96,10 +116,43 @@ var defaultPhiFracs = []float64{0, 0.25, 0.5, 0.75, 1}
 
 // expand validates the request, fills its defaults in place (callers
 // rely on the normalized Runs), and returns the grid in deterministic
-// order: protocols × phiFracs × mtbfs.
+// order: backends × protocols × phiFracs × mtbfs.
 func (s *Service) expand(req *SweepRequest) ([]sweepPoint, error) {
 	base, err := req.Scenario.Resolve()
 	if err != nil {
+		return nil, err
+	}
+	backendNames := req.Backends
+	if len(backendNames) == 0 {
+		backendNames = []string{req.Scenario.Backend}
+	}
+	engines := make([]engine.Engine, len(backendNames))
+	for i, name := range backendNames {
+		if engines[i], err = engine.ByName(name); err != nil {
+			return nil, err
+		}
+		// Point-independent backend knobs are gated here, like the
+		// protocol and law axes: a bad global level or substrate shape
+		// is a 400 before any work, not a mid-stream abort.
+		switch engines[i].Name() {
+		case "multilevel":
+			if req.Scenario.Global == nil {
+				return nil, errors.New("api: multilevel backend needs scenario.global ({g, rg, k})")
+			}
+			g := engine.Global{G: req.Scenario.Global.G, Rg: req.Scenario.Global.Rg, K: req.Scenario.Global.K}
+			if err := g.Validate(); err != nil {
+				return nil, err
+			}
+		case "detailed":
+			if req.Scenario.Spares < 0 || req.Scenario.ImageBytes < 0 {
+				return nil, fmt.Errorf("api: detailed substrate knobs must be >= 0 (spares %d, imageBytes %d)",
+					req.Scenario.Spares, req.Scenario.ImageBytes)
+			}
+		}
+	}
+	// Validate the law shape once up front; the per-point law is
+	// re-resolved at each MTBF axis point below.
+	if _, err := req.Scenario.ResolveLaw(base); err != nil {
 		return nil, err
 	}
 	names := req.Protocols
@@ -145,66 +198,133 @@ func (s *Service) expand(req *SweepRequest) ([]sweepPoint, error) {
 	if req.Runs < 1 || req.Runs > s.maxRuns {
 		return nil, fmt.Errorf("api: runs = %d must be in [1, %d]", req.Runs, s.maxRuns)
 	}
-	total := len(protocols) * len(phiFracs) * len(mtbfs)
+	total := len(engines) * len(protocols) * len(phiFracs) * len(mtbfs)
 	if total > s.maxGridPoints {
 		return nil, fmt.Errorf("api: sweep grid has %d points, limit is %d", total, s.maxGridPoints)
 	}
 
 	baseStream := rng.New(req.Seed)
 	points := make([]sweepPoint, 0, total)
-	for _, pr := range protocols {
-		for _, frac := range phiFracs {
-			for _, m := range mtbfs {
-				p := base.WithMTBF(m)
-				// Canonicalize φ before keying: DoubleBlocking pins
-				// φ = R whatever the request asks, so its grid points
-				// collapse to one cache entry (and one simulation) per
-				// MTBF, and the cached item's content is fully
-				// determined by the key.
-				phi := core.EffectivePhi(pr, p, frac*p.R)
-				cfg := sim.Config{
-					Protocol: pr,
-					Params:   p,
-					Phi:      phi,
-					Period:   req.Period,
-					Tbase:    req.Tbase,
+	for _, eng := range engines {
+		for _, pr := range protocols {
+			for _, frac := range phiFracs {
+				for _, m := range mtbfs {
+					p := base.WithMTBF(m)
+					// Canonicalize φ before keying: DoubleBlocking pins
+					// φ = R whatever the request asks, so its grid points
+					// collapse to one cache entry (and one simulation) per
+					// MTBF, and the cached item's content is fully
+					// determined by the key.
+					phi := core.EffectivePhi(pr, p, frac*p.R)
+					law, lerr := req.Scenario.ResolveLaw(p)
+					if lerr != nil {
+						return nil, lerr
+					}
+					preq := engine.Request{
+						Protocol: pr,
+						Params:   p,
+						Phi:      phi,
+						Period:   req.Period,
+						Tbase:    req.Tbase,
+						Law:      law,
+					}
+					// Backend-specific knobs are threaded only into the
+					// backend that reads them, so a fast point's key never
+					// varies with, say, an irrelevant imageBytes override.
+					switch eng.Name() {
+					case "detailed":
+						// Normalized before keying: a spelled-out default
+						// and an omitted field are the same physical point
+						// (same key, same derived seed, same cache entry).
+						preq.Spares, preq.ImageBytes = engine.NormalizeSubstrate(
+							p, req.Scenario.Spares, req.Scenario.ImageBytes)
+					case "multilevel":
+						g := req.Scenario.Global
+						preq.Global = &engine.Global{G: g.G, Rg: g.Rg, K: g.K}
+					}
+					key := pointKey(eng.Name(), preq, req.Runs, req.Seed)
+					// The per-point seed depends only on the canonical key,
+					// never on the grid position, so overlapping sweeps
+					// resolve the same point to the same sample (and the
+					// same cache entry).
+					seed := baseStream.Split(fnv64(key)).Uint64()
+					points = append(points, sweepPoint{
+						eng:     eng,
+						req:     preq,
+						seed:    seed,
+						phiFrac: phi / p.R,
+						backend: backendLabel(eng),
+						law:     lawLabel(law),
+						key:     key,
+					})
 				}
-				key := pointKey(cfg, req.Runs, req.Seed)
-				// The per-point seed depends only on the canonical key,
-				// never on the grid position, so overlapping sweeps
-				// resolve the same point to the same sample (and the
-				// same cache entry).
-				cfg.Seed = baseStream.Split(fnv64(key)).Uint64()
-				points = append(points, sweepPoint{cfg: cfg, phiFrac: phi / p.R, key: key})
 			}
 		}
 	}
 	return points, nil
 }
 
+// backendLabel is the item's backend echo: the canonical engine name,
+// with the default fast engine rendered as the empty string (omitted
+// from the JSON) so that default requests keep their historical wire
+// format and the label is a pure function of the point key.
+func backendLabel(eng engine.Engine) string {
+	if eng.Name() == "fast" {
+		return ""
+	}
+	return eng.Name()
+}
+
+// lawLabel is the item's law echo, empty (omitted) for the default
+// exponential law — including an explicitly requested "exponential",
+// which resolves to the same nil-law fast path and must share its
+// cache entries.
+func lawLabel(law failure.Law) string {
+	if law == nil {
+		return ""
+	}
+	return law.Name()
+}
+
 // batchKey canonicalizes the physical configuration of a sweep point:
 // every field that influences the simulation trajectory, rendered with
 // exact float encoding — but not the batch size or seed, so it also
-// keys the compiled-batch cache shared across sweeps. Law and
-// MaxSimTime are keyed only when set (today's sweep requests never set
-// them; keying defensively keeps a future failure-law axis from
-// silently reusing a batch compiled for a different process).
-func batchKey(cfg sim.Config) string {
-	p := cfg.Params
+// keys the compiled-batch cache shared across sweeps. The
+// backend-specific fields (law, backend name, substrate shape, global
+// level, horizon) are keyed only when they differ from the defaults,
+// so the historical fast/exponential keys — and therefore the derived
+// per-point seeds and golden responses — are unchanged.
+func batchKey(backend string, req engine.Request) string {
+	p := req.Params
 	var b strings.Builder
-	b.WriteString(cfg.Protocol.String())
-	for _, f := range []float64{p.D, p.Delta, p.R, p.Alpha, p.M, cfg.Phi, cfg.Period, cfg.Tbase} {
+	b.WriteString(req.Protocol.String())
+	for _, f := range []float64{p.D, p.Delta, p.R, p.Alpha, p.M, req.Phi, req.Period, req.Tbase} {
 		b.WriteByte('|')
 		b.WriteString(strconv.FormatFloat(f, 'x', -1, 64))
 	}
 	fmt.Fprintf(&b, "|n=%d", p.N)
-	if cfg.Law != nil {
+	if req.Law != nil {
 		// %#v renders the concrete law with all its parameters (Name()
 		// alone omits the law's MTBF).
-		fmt.Fprintf(&b, "|law=%#v", cfg.Law)
+		fmt.Fprintf(&b, "|law=%#v", req.Law)
 	}
-	if cfg.MaxSimTime != 0 {
-		fmt.Fprintf(&b, "|maxt=%s", strconv.FormatFloat(cfg.MaxSimTime, 'x', -1, 64))
+	if req.MaxSimTime != 0 {
+		fmt.Fprintf(&b, "|maxt=%s", strconv.FormatFloat(req.MaxSimTime, 'x', -1, 64))
+	}
+	if backend != "" && backend != "fast" {
+		fmt.Fprintf(&b, "|backend=%s", backend)
+	}
+	if req.ImageBytes != 0 {
+		fmt.Fprintf(&b, "|img=%d", req.ImageBytes)
+	}
+	if req.Spares != 0 {
+		fmt.Fprintf(&b, "|spares=%d", req.Spares)
+	}
+	if req.Global != nil {
+		fmt.Fprintf(&b, "|g=%s|rg=%s|k=%d",
+			strconv.FormatFloat(req.Global.G, 'x', -1, 64),
+			strconv.FormatFloat(req.Global.Rg, 'x', -1, 64),
+			req.Global.K)
 	}
 	return b.String()
 }
@@ -213,8 +333,8 @@ func batchKey(cfg sim.Config) string {
 // physical configuration plus the batch shape. Two requests that
 // resolve to the same physical point — whatever scenario name,
 // override set or grid shape produced it — share a key.
-func pointKey(cfg sim.Config, runs int, baseSeed uint64) string {
-	return batchKey(cfg) + fmt.Sprintf("|runs=%d|seed=%d", runs, baseSeed)
+func pointKey(backend string, req engine.Request, runs int, baseSeed uint64) string {
+	return batchKey(backend, req) + fmt.Sprintf("|runs=%d|seed=%d", runs, baseSeed)
 }
 
 // fnv64 is the FNV-1a hash of s, used to key rng.Stream.Split.
@@ -229,48 +349,43 @@ func (s *Service) evaluate(pt sweepPoint, runs, simWorkers int) (SweepItem, bool
 	if item, ok := s.cache.Get(pt.key); ok {
 		return item, true, nil
 	}
-	cfg, p, pr := pt.cfg, pt.cfg.Params, pt.cfg.Protocol
+	p, pr := pt.req.Params, pt.req.Protocol
 	item := SweepItem{
 		Protocol:   pr.String(),
+		Backend:    pt.backend,
+		Law:        pt.law,
 		PhiFrac:    pt.phiFrac,
 		MTBF:       p.M,
-		Seed:       cfg.Seed,
+		Seed:       pt.seed,
 		Runs:       runs,
-		RiskWindow: core.RiskWindow(pr, p, cfg.Phi),
+		RiskWindow: core.RiskWindow(pr, p, pt.req.Phi),
 	}
-	// Resolve the period up front so infeasible points — MTBF too
-	// small for any progress, or a fixed period below this protocol's
-	// MinPeriod — become Feasible=false items instead of either
-	// burning the full MaxSimTime horizon or aborting the rest of the
-	// grid.
-	period := cfg.Period
-	if period == 0 {
-		var err error
-		if period, err = core.OptimalPeriod(pr, p, cfg.Phi); err != nil {
-			item.Period = period
+	// Resolve the period (and, for multilevel, the plan) up front so
+	// infeasible points — MTBF too small for any progress, a fixed
+	// period below this protocol's MinPeriod, no feasible two-level
+	// plan — become Feasible=false items instead of either burning the
+	// full MaxSimTime horizon or aborting the rest of the grid.
+	resolved, err := pt.eng.Resolve(pt.req)
+	if err != nil {
+		if errors.Is(err, engine.ErrInfeasible) {
+			item.Period = resolved.Period
 			item.ModelWaste = 1
-			item.ModelLoss = core.FailureLoss(pr, p, cfg.Phi, period)
+			item.ModelLoss = core.FailureLoss(pr, p, pt.req.Phi, resolved.Period)
 			s.cache.Put(pt.key, item)
 			return item, false, nil
 		}
-	} else if _, err := core.PeriodPhases(pr, p, cfg.Phi, period); err != nil {
-		item.Period = period
-		item.ModelWaste = 1
-		item.ModelLoss = core.FailureLoss(pr, p, cfg.Phi, period)
-		s.cache.Put(pt.key, item)
-		return item, false, nil
+		return SweepItem{}, false, fmt.Errorf("api: point %s: %w", pt.key, err)
 	}
-	cfg.Period = period
 	s.simPoints.Add(1)
 	// The compiled batch is keyed by the physical configuration (with
-	// the period resolved), so grid rows that collapse to one physical
-	// point and repeated sweeps with different seeds or batch sizes
-	// share one compilation.
-	b, err := s.batches.get(batchKey(cfg), cfg)
+	// the period and plan resolved), so grid rows that collapse to one
+	// physical point and repeated sweeps with different seeds or batch
+	// sizes share one compilation — whatever the backend.
+	b, err := s.batches.get(batchKey(pt.eng.Name(), resolved), pt.eng, resolved)
 	if err != nil {
 		return SweepItem{}, false, fmt.Errorf("api: point %s: %w", pt.key, err)
 	}
-	row, err := experiments.ValidateBatch(b, cfg.Seed, runs, simWorkers)
+	row, err := experiments.ValidateBatch(b, pt.seed, runs, simWorkers)
 	if err != nil {
 		return SweepItem{}, false, fmt.Errorf("api: point %s: %w", pt.key, err)
 	}
@@ -344,7 +459,7 @@ func (s *Service) SweepStream(ctx context.Context, req SweepRequest, emit func(S
 				// requests share the Workers budget instead of each
 				// claiming gridWorkers CPUs of their own. Each point
 				// blocks for one slot, then opportunistically grabs
-				// idle slots so sim.RunManyWorkers can fan the batch
+				// idle slots so the batch executor can fan the runs
 				// out on a quiet machine — the total concurrent
 				// simulation goroutines never exceed the budget.
 				select {

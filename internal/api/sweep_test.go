@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/scenario"
 )
 
 // sweepBody is the fixed sweep request shared by the determinism and
@@ -423,5 +425,266 @@ func TestSweepReusesCompiledBatches(t *testing.T) {
 	}
 	if got := svc.batches.len(); got != compiled {
 		t.Errorf("batch cache grew from %d to %d on a re-seeded sweep", compiled, got)
+	}
+}
+
+// detailedSweepBody is a small detailed-backend sweep: the platform is
+// shrunk to 96 ranks so the substrate-backed runs stay cheap.
+const detailedSweepBody = `{
+	"scenario": {"name": "Base", "n": 96, "backend": "detailed"},
+	"protocols": ["DoubleNBL", "Triple"],
+	"phiFracs": [0.25],
+	"mtbfs": [900],
+	"tbase": 10000,
+	"runs": 2,
+	"seed": 42
+}`
+
+// TestSweepDetailedBackend runs the acceptance sweep on the detailed
+// engine: points simulate, the backend is echoed per item, and
+// repeated requests are byte-identical and cache-served.
+func TestSweepDetailedBackend(t *testing.T) {
+	svc, ts := newTestServer(t)
+	first := post(t, ts.URL+"/v1/sweep", detailedSweepBody, nil)
+	firstBody := readBody(t, first)
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", first.StatusCode, firstBody)
+	}
+	var out sweepResponse
+	if err := json.Unmarshal(firstBody, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 2 {
+		t.Fatalf("got %d items, want 2", len(out.Items))
+	}
+	for _, item := range out.Items {
+		if item.Backend != "detailed" {
+			t.Errorf("item backend = %q, want detailed", item.Backend)
+		}
+		if !item.Feasible || item.SimWaste <= 0 {
+			t.Errorf("detailed point did not simulate: %+v", item)
+		}
+	}
+	if svc.SimPoints() != 2 {
+		t.Errorf("simulated %d points, want 2", svc.SimPoints())
+	}
+
+	second := post(t, ts.URL+"/v1/sweep", detailedSweepBody, nil)
+	secondBody := readBody(t, second)
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Errorf("repeated detailed sweep is not byte-identical")
+	}
+	if got, want := second.Header.Get(HeaderSweepHits), "2"; got != want {
+		t.Errorf("second sweep cache hits = %s, want %s", got, want)
+	}
+	if svc.SimPoints() != 2 {
+		t.Errorf("second sweep ran the simulator")
+	}
+}
+
+// TestSweepBackendsAxis pins the backend grid axis: a fast+detailed
+// sweep evaluates each physical point once per backend, in backend-
+// outermost order, and the fast half is identical — seeds, samples and
+// bytes — to a plain fast-only sweep of the same grid (the backend
+// leaves the fast point keys untouched).
+func TestSweepBackendsAxis(t *testing.T) {
+	svc := NewService(Options{})
+	req := SweepRequest{
+		Backends:  []string{"fast", "detailed"},
+		Protocols: []string{"DoubleNBL"},
+		PhiFracs:  []float64{0.25, 0.75},
+		MTBFs:     []float64{900},
+		Tbase:     10000,
+		Runs:      2,
+		Seed:      7,
+	}
+	n := 96
+	req.Scenario.N = &n
+	items, stats, err := svc.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 || stats.Points != 4 {
+		t.Fatalf("got %d items, stats %+v, want 4 points", len(items), stats)
+	}
+	fastOnly := req
+	fastOnly.Backends = nil
+	fastItems, _, err := svc.Sweep(context.Background(), fastOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(items[:2], fastItems) {
+		t.Errorf("fast half of the backends axis differs from a fast-only sweep:\n%+v\n%+v",
+			items[:2], fastItems)
+	}
+	for i, item := range items {
+		want := ""
+		if i >= 2 {
+			want = "detailed"
+		}
+		if item.Backend != want {
+			t.Errorf("item %d backend = %q, want %q", i, item.Backend, want)
+		}
+	}
+	// The detailed engine shares the fast timeline, so at equal seeds
+	// the measured waste agrees exactly; the seeds ARE equal only if the
+	// keys differ per backend — which the distinct cache misses prove.
+	if stats.CacheMisses != 4 {
+		t.Errorf("stats %+v, want 4 distinct misses", stats)
+	}
+}
+
+// TestSweepMultilevelBackend checks the two-level backend through the
+// service: a hostile MTBF where the buddy protocols suffer fatal
+// chains yields complete, non-fatal multilevel items.
+func TestSweepMultilevelBackend(t *testing.T) {
+	svc := NewService(Options{})
+	req := SweepRequest{
+		Protocols: []string{"DoubleNBL"},
+		PhiFracs:  []float64{0.25},
+		MTBFs:     []float64{300},
+		Tbase:     5000,
+		Runs:      4,
+		Seed:      11,
+	}
+	req.Scenario.Backend = "multilevel"
+	req.Scenario.Global = &scenario.GlobalSpec{G: 50, Rg: 50}
+	items, _, err := svc.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 {
+		t.Fatalf("got %d items", len(items))
+	}
+	item := items[0]
+	if item.Backend != "multilevel" || !item.Feasible {
+		t.Fatalf("unexpected multilevel item: %+v", item)
+	}
+	if item.FatalRate != 0 || item.CompletedRate != 1 {
+		t.Errorf("multilevel item should absorb fatal failures: %+v", item)
+	}
+	if item.ModelWaste <= 0 || item.ModelWaste >= 1 {
+		t.Errorf("multilevel model waste %v out of (0, 1)", item.ModelWaste)
+	}
+
+	// Without a global level the backend is a request error, not a 500.
+	bad := req
+	bad.Scenario.Global = nil
+	if _, _, err := svc.Sweep(context.Background(), bad); err == nil {
+		t.Error("multilevel sweep without scenario.global must fail")
+	}
+}
+
+// TestSweepWeibullLaw checks the law axis: a Weibull sweep is keyed
+// separately from the exponential one (distinct samples), echoes the
+// law per item, and stays deterministic.
+func TestSweepWeibullLaw(t *testing.T) {
+	svc := NewService(Options{})
+	req := SweepRequest{
+		Protocols: []string{"DoubleNBL"},
+		PhiFracs:  []float64{0.25},
+		MTBFs:     []float64{900},
+		Tbase:     10000,
+		Runs:      4,
+		Seed:      9,
+	}
+	n := 128 // renewal sources are O(n) per run; keep the platform small
+	req.Scenario.N = &n
+	expItems, _, err := svc.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wei := req
+	wei.Scenario.Law = "weibull"
+	wei.Scenario.Shape = 0.7
+	weiItems, stats, err := svc.Sweep(context.Background(), wei)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheMisses != 1 {
+		t.Errorf("weibull point must miss the exponential cache entry: %+v", stats)
+	}
+	if weiItems[0].Law != "weibull(0.7)" {
+		t.Errorf("law echo = %q, want weibull(0.7)", weiItems[0].Law)
+	}
+	if expItems[0].Law != "" {
+		t.Errorf("exponential law echo = %q, want omitted", expItems[0].Law)
+	}
+	if weiItems[0].SimWaste == expItems[0].SimWaste {
+		t.Errorf("weibull sample equals exponential sample: %+v", weiItems[0])
+	}
+	again, _, err := svc.Sweep(context.Background(), wei)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(weiItems, again) {
+		t.Errorf("repeated weibull sweep differs")
+	}
+}
+
+// TestSweepDetailedIndivisiblePlatform checks graceful degradation: a
+// triple-protocol detailed point on a platform not divisible into
+// triples is a Feasible=false item, not an aborted grid.
+func TestSweepDetailedIndivisiblePlatform(t *testing.T) {
+	svc := NewService(Options{})
+	req := SweepRequest{
+		Protocols: []string{"DoubleNBL", "Triple"},
+		PhiFracs:  []float64{0.25},
+		MTBFs:     []float64{900},
+		Tbase:     10000,
+		Runs:      2,
+		Seed:      3,
+	}
+	n := 100 // divisible by 2, not by 3
+	req.Scenario.N = &n
+	req.Scenario.Backend = "detailed"
+	items, _, err := svc.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("got %d items, want 2", len(items))
+	}
+	if !items[0].Feasible || items[0].SimWaste <= 0 {
+		t.Errorf("DoubleNBL on 100 ranks should simulate: %+v", items[0])
+	}
+	if items[1].Feasible || items[1].ModelWaste != 1 {
+		t.Errorf("Triple on 100 ranks should be infeasible: %+v", items[1])
+	}
+}
+
+// TestSweepDetailedDefaultKnobsShareKeys pins the substrate-default
+// normalization: spelling out the default spares/imageBytes values is
+// the same physical point as omitting them — same derived seed, same
+// cache entry, identical items.
+func TestSweepDetailedDefaultKnobsShareKeys(t *testing.T) {
+	svc := NewService(Options{})
+	req := SweepRequest{
+		Protocols: []string{"DoubleNBL"},
+		PhiFracs:  []float64{0.25},
+		MTBFs:     []float64{900},
+		Tbase:     10000,
+		Runs:      2,
+		Seed:      42,
+	}
+	n := 96
+	req.Scenario.N = &n
+	req.Scenario.Backend = "detailed"
+	implicit, _, err := svc.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled := req
+	spelled.Scenario.Spares = 96/10 + 1
+	spelled.Scenario.ImageBytes = 512 << 20
+	explicit, stats, err := svc.Sweep(context.Background(), spelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 1 {
+		t.Errorf("explicit-default sweep should hit the implicit point's cache entry: %+v", stats)
+	}
+	if !reflect.DeepEqual(implicit, explicit) {
+		t.Errorf("explicit defaults diverge from omitted defaults:\n%+v\n%+v", implicit, explicit)
 	}
 }

@@ -9,6 +9,15 @@
 // queries to decide, structurally, whether a rank is recoverable. Its
 // answer must agree with the analytic risk windows; the test suite
 // asserts that agreement.
+//
+// Replicas are indexed twice — by owner and by holder — so that every
+// per-failure operation (Recoverable, InvalidateHolder, MemoryUse)
+// touches only the handful of replicas actually involved: buddy groups
+// have 2 or 3 members, so the per-rank lists stay O(1). Only the
+// wave-granularity operations (commit, abort) walk all ranks, and they
+// are O(N) by nature. The backing slices survive Reset, so the
+// detailed batch path reuses one Registry across a whole Monte-Carlo
+// batch without reallocating.
 package checkpoint
 
 import (
@@ -29,12 +38,17 @@ type Image struct {
 	Bytes   int64
 }
 
-// replicaKey locates a replica: whose image, which version, stored on
-// which rank.
-type replicaKey struct {
-	owner   int
+// replica is one stored copy of an owner's image: the version and the
+// rank holding it (holder == owner for a local copy).
+type replica struct {
 	version Version
 	holder  int
+}
+
+// heldImage is the holder-side view: whose image of which version.
+type heldImage struct {
+	owner   int
+	version Version
 }
 
 // Registry tracks every image replica in the system and the commit
@@ -43,9 +57,11 @@ type Registry struct {
 	ranks     int
 	imageSize int64
 
-	// replicas holds live replicas, including each rank's local copy
-	// (holder == owner for a local image).
-	replicas map[replicaKey]struct{}
+	// byOwner[r] lists the live replicas of rank r's images, including
+	// r's local copy; byHolder[r] mirrors it from the holder's side.
+	// The two indexes are updated together.
+	byOwner  [][]replica
+	byHolder [][]heldImage
 
 	// committed is the last snapshot version for which EVERY rank's
 	// image reached its required replica set.
@@ -66,8 +82,26 @@ func NewRegistry(ranks int, imageSize int64) *Registry {
 	return &Registry{
 		ranks:     ranks,
 		imageSize: imageSize,
-		replicas:  make(map[replicaKey]struct{}),
+		byOwner:   make([][]replica, ranks),
+		byHolder:  make([][]heldImage, ranks),
 		done:      make([]bool, ranks),
+	}
+}
+
+// Reset rewinds the registry in place to the state NewRegistry
+// returned: no replicas, version 0 committed, no wave in flight. It
+// keeps every backing slice, so one Registry can serve an entire
+// Monte-Carlo batch of detailed runs.
+func (r *Registry) Reset() {
+	for i := range r.byOwner {
+		r.byOwner[i] = r.byOwner[i][:0]
+		r.byHolder[i] = r.byHolder[i][:0]
+	}
+	r.committed = 0
+	r.current = 0
+	r.pending = 0
+	for i := range r.done {
+		r.done[i] = false
 	}
 }
 
@@ -97,9 +131,39 @@ func (r *Registry) BeginWave() Version {
 }
 
 // AddReplica records that holder now stores owner's image of the
-// given version.
+// given version. Re-adding an existing replica is a no-op.
 func (r *Registry) AddReplica(owner int, v Version, holder int) {
-	r.replicas[replicaKey{owner, v, holder}] = struct{}{}
+	for _, rep := range r.byOwner[owner] {
+		if rep.version == v && rep.holder == holder {
+			return
+		}
+	}
+	r.byOwner[owner] = append(r.byOwner[owner], replica{version: v, holder: holder})
+	r.byHolder[holder] = append(r.byHolder[holder], heldImage{owner: owner, version: v})
+}
+
+// removeOwnerEntry deletes (v, holder) from owner's replica list.
+func (r *Registry) removeOwnerEntry(owner int, v Version, holder int) {
+	list := r.byOwner[owner]
+	for i, rep := range list {
+		if rep.version == v && rep.holder == holder {
+			list[i] = list[len(list)-1]
+			r.byOwner[owner] = list[:len(list)-1]
+			return
+		}
+	}
+}
+
+// removeHolderEntry deletes (owner, v) from holder's held-image list.
+func (r *Registry) removeHolderEntry(holder int, owner int, v Version) {
+	list := r.byHolder[holder]
+	for i, h := range list {
+		if h.owner == owner && h.version == v {
+			list[i] = list[len(list)-1]
+			r.byHolder[holder] = list[:len(list)-1]
+			return
+		}
+	}
 }
 
 // RankComplete marks the owner's current-version replica set complete
@@ -123,33 +187,42 @@ func (r *Registry) RankComplete(owner int) (committedNow bool) {
 	return true
 }
 
-// dropVersion removes every replica of a version.
+// dropVersion removes every replica of a version. It walks all ranks —
+// the wave granularity — but each rank's list is O(1).
 func (r *Registry) dropVersion(v Version) {
-	for k := range r.replicas {
-		if k.version == v {
-			delete(r.replicas, k)
+	for owner := range r.byOwner {
+		list := r.byOwner[owner]
+		for i := 0; i < len(list); {
+			if list[i].version == v {
+				r.removeHolderEntry(list[i].holder, owner, v)
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				continue
+			}
+			i++
 		}
+		r.byOwner[owner] = list
 	}
 }
 
 // InvalidateHolder removes every replica stored on the given rank
 // (the rank's machine failed: its memory content is gone, including
-// its own local copies and the buddy images it was holding).
+// its own local copies and the buddy images it was holding). It is
+// O(images on the holder) — a buddy group's worth.
 func (r *Registry) InvalidateHolder(holder int) {
-	for k := range r.replicas {
-		if k.holder == holder {
-			delete(r.replicas, k)
-		}
+	for _, h := range r.byHolder[holder] {
+		r.removeOwnerEntry(h.owner, h.version, holder)
 	}
+	r.byHolder[holder] = r.byHolder[holder][:0]
 }
 
 // Holders returns the ranks currently holding a replica of owner's
 // image at the given version, sorted ascending.
 func (r *Registry) Holders(owner int, v Version) []int {
 	var out []int
-	for k := range r.replicas {
-		if k.owner == owner && k.version == v {
-			out = append(out, k.holder)
+	for _, rep := range r.byOwner[owner] {
+		if rep.version == v {
+			out = append(out, rep.holder)
 		}
 	}
 	sort.Ints(out)
@@ -164,8 +237,8 @@ func (r *Registry) Recoverable(owner int) bool {
 	if r.committed == 0 {
 		return true
 	}
-	for k := range r.replicas {
-		if k.owner == owner && k.version == r.committed && k.holder != owner {
+	for _, rep := range r.byOwner[owner] {
+		if rep.version == r.committed && rep.holder != owner {
 			return true
 		}
 	}
@@ -177,13 +250,7 @@ func (r *Registry) Recoverable(owner int) bool {
 // requirement (2 for double, 2 for triple — own + one buddy image per
 // committed set, transiently more while a wave is in flight).
 func (r *Registry) MemoryUse(holder int) int {
-	n := 0
-	for k := range r.replicas {
-		if k.holder == holder {
-			n++
-		}
-	}
-	return n
+	return len(r.byHolder[holder])
 }
 
 // MemoryBytes returns MemoryUse in bytes.
@@ -193,20 +260,49 @@ func (r *Registry) MemoryBytes(holder int) int64 {
 
 // CheckInvariants verifies the registry's structural invariants:
 // a committed set never coexists with more than one other version,
-// and committed > current never happens.
+// committed > current never happens, and the owner and holder indexes
+// mirror each other exactly.
 func (r *Registry) CheckInvariants() error {
 	if r.current < r.committed {
 		return fmt.Errorf("checkpoint: current %d < committed %d", r.current, r.committed)
 	}
-	versions := make(map[Version]bool)
-	for k := range r.replicas {
-		versions[k.version] = true
+	for owner, list := range r.byOwner {
+		for _, rep := range list {
+			if rep.version != r.committed && rep.version != r.current {
+				return fmt.Errorf("checkpoint: stray replicas of version %d (committed %d, current %d)",
+					rep.version, r.committed, r.current)
+			}
+			if !r.holderHas(rep.holder, owner, rep.version) {
+				return fmt.Errorf("checkpoint: replica (owner %d, v%d, holder %d) missing from holder index",
+					owner, rep.version, rep.holder)
+			}
+		}
 	}
-	for v := range versions {
-		if v != r.committed && v != r.current {
-			return fmt.Errorf("checkpoint: stray replicas of version %d (committed %d, current %d)",
-				v, r.committed, r.current)
+	for holder, list := range r.byHolder {
+		for _, h := range list {
+			if !r.ownerHas(h.owner, h.version, holder) {
+				return fmt.Errorf("checkpoint: held image (owner %d, v%d) on %d missing from owner index",
+					h.owner, h.version, holder)
+			}
 		}
 	}
 	return nil
+}
+
+func (r *Registry) holderHas(holder, owner int, v Version) bool {
+	for _, h := range r.byHolder[holder] {
+		if h.owner == owner && h.version == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Registry) ownerHas(owner int, v Version, holder int) bool {
+	for _, rep := range r.byOwner[owner] {
+		if rep.version == v && rep.holder == holder {
+			return true
+		}
+	}
+	return false
 }

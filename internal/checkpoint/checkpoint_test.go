@@ -231,9 +231,45 @@ func TestConstantMemoryProperty(t *testing.T) {
 func TestCheckInvariantsDetectsStrays(t *testing.T) {
 	r := NewRegistry(2, 1)
 	commitWave(r)
-	// Forge a stray replica of a long-gone version.
-	r.replicas[replicaKey{owner: 0, version: 99, holder: 0}] = struct{}{}
+	// Forge a stray replica of a long-gone version (both indexes, so
+	// only the version check can catch it).
+	r.byOwner[0] = append(r.byOwner[0], replica{version: 99, holder: 0})
+	r.byHolder[0] = append(r.byHolder[0], heldImage{owner: 0, version: 99})
 	if err := r.CheckInvariants(); err == nil {
 		t.Fatal("stray version should fail invariants")
+	}
+}
+
+// TestRegistryReset checks the in-place rewind the detailed batch path
+// relies on: after arbitrary waves, commits and invalidations, a Reset
+// registry is indistinguishable from a fresh one.
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry(4, 1)
+	v := r.BeginWave()
+	for rank := 0; rank < 4; rank++ {
+		r.AddReplica(rank, v, (rank+1)%4)
+		r.RankComplete(rank)
+	}
+	r.BeginWave() // leave a wave in flight
+	r.AddReplica(0, r.Current(), 1)
+	r.InvalidateHolder(2)
+	r.Reset()
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed() != 0 || r.Current() != 0 {
+		t.Errorf("versions after reset: committed %d, current %d", r.Committed(), r.Current())
+	}
+	for rank := 0; rank < 4; rank++ {
+		if use := r.MemoryUse(rank); use != 0 {
+			t.Errorf("rank %d holds %d replicas after reset", rank, use)
+		}
+		if !r.Recoverable(rank) {
+			t.Errorf("rank %d not recoverable at version 0", rank)
+		}
+	}
+	// The next wave numbering restarts like a fresh registry's.
+	if v := r.BeginWave(); v != 1 {
+		t.Errorf("first wave after reset = %d, want 1", v)
 	}
 }

@@ -98,6 +98,27 @@ func New(ranks, spares, groupSize int) (*Cluster, error) {
 	return c, nil
 }
 
+// Reset rewinds the cluster in place to the state New returned:
+// rank i active on physical node i, every extra node back in the spare
+// pool, no repairs in flight. It allocates nothing, so one Cluster can
+// serve an entire Monte-Carlo batch of detailed runs.
+func (c *Cluster) Reset() {
+	ranks := len(c.rankHost)
+	for i := range c.nodes {
+		c.nodes[i] = Node{ID: i, State: Spare, Rank: -1}
+	}
+	for r := 0; r < ranks; r++ {
+		c.nodes[r].State = Active
+		c.nodes[r].Rank = r
+		c.rankHost[r] = r
+	}
+	c.sparePool = c.sparePool[:0]
+	for s := ranks; s < len(c.nodes); s++ {
+		c.sparePool = append(c.sparePool, s)
+	}
+	clear(c.repairs)
+}
+
 // Ranks returns the number of application ranks.
 func (c *Cluster) Ranks() int { return len(c.rankHost) }
 

@@ -159,3 +159,41 @@ func TestStateString(t *testing.T) {
 		t.Error("unknown state formatting")
 	}
 }
+
+// TestReset checks that a heavily mutated cluster rewinds to its
+// initial state in place (the detailed batch path reuses one Cluster
+// across a whole Monte-Carlo batch).
+func TestReset(t *testing.T) {
+	c, err := New(8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RepairTime = 5
+	for _, rank := range []int{0, 3, 0} {
+		if _, err := c.Fail(rank, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Fail(5, 2); err != ErrNoSpares {
+		t.Fatalf("4th failure with 3 spares: err = %v, want ErrNoSpares", err)
+	}
+	c.Reset()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Spares() != 3 {
+		t.Errorf("spares after reset = %d, want 3", c.Spares())
+	}
+	for r := 0; r < 8; r++ {
+		if c.Host(r) != r {
+			t.Errorf("rank %d hosted by node %d after reset", r, c.Host(r))
+		}
+	}
+	// A reset cluster must behave exactly like a fresh one.
+	fresh, _ := New(8, 3, 2)
+	a, errA := c.Fail(2, 0)
+	b, errB := fresh.Fail(2, 0)
+	if a != b || (errA == nil) != (errB == nil) {
+		t.Errorf("reset cluster diverges from fresh: (%d, %v) vs (%d, %v)", a, errA, b, errB)
+	}
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/sim"
+)
+
+// TestCrossEngineAgreement is the acceptance check for the unified
+// backend layer: the fast and detailed engines, driven through the
+// same interface on the Base scenario, agree on the measured waste and
+// fatal rate within the Monte-Carlo confidence bounds — for both the
+// exponential law and a Weibull law with decreasing hazard. (The
+// detailed engine shares the fast timeline, so the agreement is in
+// fact exact; the CI-bound comparison is what a third, independent
+// backend would have to pass.)
+func TestCrossEngineAgreement(t *testing.T) {
+	req := baseRequest()
+	req.Params = req.Params.WithMTBF(600)
+	req.Tbase = 1e4
+	const runs = 24
+
+	for _, law := range []struct {
+		name string
+		law  failure.Law
+	}{
+		{"exponential", nil},
+		{"weibull", failure.Weibull{Shape: 0.7, MTBF: failure.IndividualMTBF(req.Params.M, req.Params.N)}},
+	} {
+		t.Run(law.name, func(t *testing.T) {
+			r := req
+			r.Law = law.law
+			aggs := make(map[string]sim.Aggregate)
+			for _, eng := range []Engine{Fast{}, Detailed{}} {
+				b := mustCompile(t, eng, r)
+				agg, err := RunMany(b, 42, runs, 4)
+				if err != nil {
+					t.Fatalf("%s: %v", eng.Name(), err)
+				}
+				if agg.Runs != runs {
+					t.Fatalf("%s: aggregated %d runs, want %d", eng.Name(), agg.Runs, runs)
+				}
+				aggs[eng.Name()] = agg
+			}
+			fast, det := aggs["fast"], aggs["detailed"]
+			// Waste: within the union of the two 95% confidence bounds
+			// (plus an epsilon for a zero-CI degenerate sample).
+			bound := fast.Waste.CI95() + det.Waste.CI95() + 1e-9
+			if diff := math.Abs(fast.Waste.Mean() - det.Waste.Mean()); diff > bound {
+				t.Errorf("waste disagrees: fast %v vs detailed %v (|Δ| %v > CI bound %v)",
+					fast.Waste.Mean(), det.Waste.Mean(), diff, bound)
+			}
+			// Fatal rate: a per-run Bernoulli; bound by the binomial
+			// standard error of the pooled sample.
+			p := (fast.Fatal.Rate() + det.Fatal.Rate()) / 2
+			se := 2*math.Sqrt(2*p*(1-p)/runs) + 1e-9
+			if diff := math.Abs(fast.Fatal.Rate() - det.Fatal.Rate()); diff > se {
+				t.Errorf("fatal rate disagrees: fast %v vs detailed %v (|Δ| %v > %v)",
+					fast.Fatal.Rate(), det.Fatal.Rate(), diff, se)
+			}
+			if fast.Completed.Rate() == 0 {
+				t.Error("no run completed; the regime is too hostile for the agreement check")
+			}
+		})
+	}
+}

@@ -1,0 +1,301 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// baseRequest is the shared test point: Base scenario at a 1 h MTBF,
+// shrunk to 96 nodes (divisible by both group sizes) so the detailed
+// substrates stay cheap.
+func baseRequest() Request {
+	p := scenario.Base().Params.WithNodes(96).WithMTBF(3600)
+	return Request{
+		Protocol: core.DoubleNBL,
+		Params:   p,
+		Phi:      0.25 * p.R,
+		Tbase:    2e4,
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "fast", "detailed", "multilevel"} {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if name != "" && e.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, e.Name())
+		}
+	}
+	if _, err := ByName("backned"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if e, _ := ByName(""); e.Name() != "fast" {
+		t.Errorf("empty backend resolves to %q, want fast", e.Name())
+	}
+}
+
+// TestFastBatchMatchesSim pins the adapter: the fast backend is the
+// sim kernel, bit for bit.
+func TestFastBatchMatchesSim(t *testing.T) {
+	req, eng := baseRequest(), Fast{}
+	resolved, err := eng.Resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Compile(resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b.NewRunner()
+	cfg := resolved.simConfig()
+	for seed := uint64(0); seed < 8; seed++ {
+		got, err := r.Run(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = seed
+		want, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: engine %+v != sim %+v", seed, got, want)
+		}
+	}
+}
+
+// TestDetailedBatchMatchesRunDetailed pins the compiled detailed path:
+// a reused DetailedRunner produces the same results as per-run
+// RunDetailed (which rebuilds the substrates every call), across
+// interleaved seeds.
+func TestDetailedBatchMatchesRunDetailed(t *testing.T) {
+	req := baseRequest()
+	req.Params = req.Params.WithMTBF(600) // enough failures to stress the substrates
+	resolved, err := Detailed{}.Resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Detailed{}.Compile(resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b.NewRunner()
+	for _, seed := range []uint64{3, 0, 7, 3, 1} { // repeats catch stale substrate state
+		got, err := r.Run(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sim.RunDetailed(sim.DetailedConfig{
+			Protocol: req.Protocol, Params: req.Params, Phi: req.Phi,
+			Tbase: req.Tbase, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want.Result {
+			t.Fatalf("seed %d: batch %+v != RunDetailed %+v", seed, got, want.Result)
+		}
+	}
+}
+
+// TestRunManyWorkerIndependence pins the cross-backend determinism
+// guarantee: every backend's aggregate is bitwise independent of the
+// worker count.
+func TestRunManyWorkerIndependence(t *testing.T) {
+	for _, eng := range backends {
+		req := baseRequest()
+		req.Params = req.Params.WithMTBF(900)
+		req.Tbase = 1e4
+		if eng.Name() == "multilevel" {
+			req.Global = &Global{G: 50, Rg: 50}
+		}
+		resolved, err := eng.Resolve(req)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		b, err := eng.Compile(resolved)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		serial, err := RunMany(b, 42, 16, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		wide, err := RunMany(b, 42, 16, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if !reflect.DeepEqual(serial, wide) {
+			t.Errorf("%s: aggregate differs between 1 and 8 workers:\n%+v\n%+v",
+				eng.Name(), serial, wide)
+		}
+		if serial.Runs != 16 {
+			t.Errorf("%s: %d runs aggregated, want 16", eng.Name(), serial.Runs)
+		}
+	}
+}
+
+// TestResolveInfeasible checks the ErrInfeasible mapping on each
+// backend: saturated MTBFs (and indivisible detailed platforms) are
+// infeasible, not request errors.
+func TestResolveInfeasible(t *testing.T) {
+	req := baseRequest()
+	req.Params = req.Params.WithMTBF(15) // no protocol progresses at 15 s
+	for _, eng := range backends {
+		r := req
+		if eng.Name() == "multilevel" {
+			r.Global = &Global{G: 50, Rg: 50}
+		}
+		if _, err := eng.Resolve(r); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("%s at M=15s: err = %v, want ErrInfeasible", eng.Name(), err)
+		}
+	}
+	// Detailed: 100 ranks are not divisible into triples.
+	r := baseRequest()
+	r.Protocol = core.TripleNBL
+	r.Params = r.Params.WithNodes(100)
+	if _, err := (Detailed{}).Resolve(r); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("indivisible detailed platform: err = %v, want ErrInfeasible", err)
+	}
+	// A bad request is NOT infeasible: it must surface as a hard error.
+	bad := baseRequest()
+	bad.Tbase = -1
+	if _, err := (Fast{}).Resolve(bad); err == nil || errors.Is(err, ErrInfeasible) {
+		t.Errorf("negative Tbase: err = %v, want a non-infeasible error", err)
+	}
+	// Multilevel without a global level is a request error.
+	if _, err := (Multilevel{}).Resolve(baseRequest()); err == nil || errors.Is(err, ErrInfeasible) {
+		t.Errorf("multilevel without global: err = %v, want a non-infeasible error", err)
+	}
+}
+
+// TestMultilevelRescuesFatalRuns is the backend's semantic pin: in a
+// regime where the inner protocol suffers fatal buddy-group failures,
+// the two-level composition completes every run anyway (the global
+// level absorbs the fatality as a rollback), trading extra makespan.
+func TestMultilevelRescuesFatalRuns(t *testing.T) {
+	req := baseRequest()
+	req.Params = req.Params.WithMTBF(120) // hostile: fatal chains happen
+	req.Tbase = 5e3
+
+	fast, err := Fast{}.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastAgg, err := RunMany(fast, 7, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastAgg.Fatal.Rate() == 0 {
+		t.Skip("regime produced no inner fatal failures; nothing to rescue")
+	}
+
+	req.Global = &Global{G: 20, Rg: 20}
+	resolved, err := Multilevel{}.Resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Global.K < 1 || resolved.Period <= 0 {
+		t.Fatalf("unresolved plan: %+v", resolved.Global)
+	}
+	ml, err := Multilevel{}.Compile(resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlAgg, err := RunMany(ml, 7, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlAgg.Fatal.Rate() != 0 {
+		t.Errorf("multilevel runs report fatal failures: rate %v", mlAgg.Fatal.Rate())
+	}
+	if mlAgg.Completed.Rate() != 1 {
+		t.Errorf("multilevel completion rate %v, want 1", mlAgg.Completed.Rate())
+	}
+	if w := mlAgg.Waste.Mean(); w <= 0 || w >= 1 {
+		t.Errorf("multilevel waste %v out of (0, 1)", w)
+	}
+	if math.IsNaN(ml.Model().Waste) || ml.Model().Waste >= 1 {
+		t.Errorf("multilevel model waste %v", ml.Model().Waste)
+	}
+}
+
+// TestMultilevelRunWorkIdentity pins the composition's base case: with
+// no fatal failures the multilevel result is the inner result plus the
+// global dump time.
+func TestMultilevelRunWorkIdentity(t *testing.T) {
+	req := baseRequest()
+	req.Params = req.Params.WithMTBF(1e9) // effectively failure-free
+	req.Global = &Global{G: 30, Rg: 30, K: 4}
+	resolved, err := Multilevel{}.Resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Multilevel{}.Compile(resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.NewRunner().Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Fatal {
+		t.Fatalf("failure-free run: %+v", res)
+	}
+	mb := b.(*mlBatch)
+	inner := mb.inner.FaultFreeMakespan(req.Tbase)
+	wantDumps := math.Floor(req.Tbase / mb.globalWork)
+	want := inner + 30*wantDumps
+	if math.Abs(res.Makespan-want) > 1e-6 {
+		t.Errorf("makespan %v, want inner %v + %v dumps × G", res.Makespan, inner, wantDumps)
+	}
+	if res.WorkDone != req.Tbase {
+		t.Errorf("work done %v, want %v", res.WorkDone, req.Tbase)
+	}
+}
+
+// TestWeibullLawThreadsThrough checks that a non-exponential law
+// reaches the kernel on the fast and detailed backends (the sample
+// differs from the exponential one at equal seed and mean).
+func TestWeibullLawThreadsThrough(t *testing.T) {
+	for _, eng := range []Engine{Fast{}, Detailed{}} {
+		req := baseRequest()
+		req.Params = req.Params.WithMTBF(900)
+		expB := mustCompile(t, eng, req)
+		req.Law = failure.Weibull{Shape: 0.7, MTBF: failure.IndividualMTBF(req.Params.M, req.Params.N)}
+		weiB := mustCompile(t, eng, req)
+		expRes, err := expB.NewRunner().Run(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weiRes, err := weiB.NewRunner().Run(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if expRes == weiRes {
+			t.Errorf("%s: Weibull law did not change the trajectory", eng.Name())
+		}
+	}
+}
+
+func mustCompile(t *testing.T, eng Engine, req Request) Batch {
+	t.Helper()
+	resolved, err := eng.Resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Compile(resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+package engine
+
+import "repro/internal/sim"
+
+// Fast is the default backend: the zero-allocation coordinated-
+// timeline kernel of sim.Compile/Runner. It simulates the global
+// checkpoint schedule with analytic risk-window bookkeeping, which is
+// what makes 10⁶-node platforms cheap.
+type Fast struct{}
+
+// Name returns "fast".
+func (Fast) Name() string { return "fast" }
+
+// Resolve fills the optimal period and gates feasibility.
+func (Fast) Resolve(req Request) (Request, error) { return resolvePeriod(req) }
+
+// Compile precomputes the shared batch state via sim.Compile.
+func (Fast) Compile(req Request) (Batch, error) {
+	b, err := sim.Compile(req.simConfig())
+	if err != nil {
+		return nil, err
+	}
+	req.Period = b.Period()
+	model, err := singleLevelModel(req)
+	if err != nil {
+		return nil, err
+	}
+	return &fastBatch{req: req, b: b, model: model}, nil
+}
+
+type fastBatch struct {
+	req   Request
+	b     *sim.Batch
+	model Model
+}
+
+func (b *fastBatch) Request() Request { return b.req }
+func (b *fastBatch) Model() Model     { return b.model }
+func (b *fastBatch) NewRunner() Runner {
+	return fastRunner{r: b.b.NewRunner()}
+}
+
+type fastRunner struct{ r *sim.Runner }
+
+func (f fastRunner) Run(seed uint64) (sim.Result, error) {
+	return f.r.Run(seed), nil
+}

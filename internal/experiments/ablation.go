@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/optimize"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -109,54 +111,68 @@ type ValidationRow struct {
 }
 
 // ValidateConfig runs the Monte-Carlo comparison for one prepared
-// configuration: the model waste and per-failure loss at cfg's period
-// (0 selects the optimal period, resolved into the returned row)
-// against the simulated batch. It is the shared kernel of Validate;
-// callers that evaluate the same physical configuration repeatedly
-// (the API sweep engine) should Compile once and use ValidateBatch.
-// workers <= 0 uses one goroutine per CPU.
+// configuration on the fast backend: the model waste and per-failure
+// loss at cfg's period (0 selects the optimal period, resolved into
+// the returned row) against the simulated batch. It is the shared
+// kernel of Validate; callers that evaluate the same physical
+// configuration repeatedly (the API sweep engine) should compile once
+// and use ValidateBatch. workers <= 0 uses one goroutine per CPU.
 func ValidateConfig(cfg sim.Config, runs, workers int) (ValidationRow, error) {
-	p, pr := cfg.Params, cfg.Protocol
-	if cfg.Period == 0 {
-		period, err := core.OptimalPeriod(pr, p, cfg.Phi)
-		if err != nil {
-			return ValidationRow{}, fmt.Errorf("experiments: %s infeasible at M=%v: %w", pr, p.M, err)
-		}
-		cfg.Period = period
-	}
-	b, err := sim.Compile(cfg)
-	if err != nil {
-		return ValidationRow{}, err
-	}
-	return ValidateBatch(b, cfg.Seed, runs, workers)
+	return ValidateRequest(engine.Fast{}, engine.Request{
+		Protocol:   cfg.Protocol,
+		Params:     cfg.Params,
+		Phi:        cfg.Phi,
+		Period:     cfg.Period,
+		Tbase:      cfg.Tbase,
+		Law:        cfg.Law,
+		MaxSimTime: cfg.MaxSimTime,
+	}, cfg.Seed, runs, workers)
 }
 
-// ValidateBatch is ValidateConfig over a precompiled batch: seeds
+// ValidateRequest is ValidateConfig over an arbitrary evaluation
+// backend: the request is resolved and compiled by eng, simulated, and
+// compared against that backend's analytic model (the single-level
+// Eq. 5 waste for the fast and detailed engines, the two-level
+// composition for the multilevel one).
+func ValidateRequest(eng engine.Engine, req engine.Request, seed uint64, runs, workers int) (ValidationRow, error) {
+	resolved, err := eng.Resolve(req)
+	if err != nil {
+		if errors.Is(err, engine.ErrInfeasible) {
+			return ValidationRow{}, fmt.Errorf("experiments: %s infeasible at M=%v: %w",
+				req.Protocol, req.Params.M, err)
+		}
+		return ValidationRow{}, err
+	}
+	b, err := eng.Compile(resolved)
+	if err != nil {
+		return ValidationRow{}, err
+	}
+	return ValidateBatch(b, seed, runs, workers)
+}
+
+// ValidateBatch is ValidateRequest over a precompiled batch: seeds
 // seed+0 .. seed+runs-1 are simulated with the batch's reusable
-// engines and compared against the model. Reusing one *sim.Batch
-// across calls amortizes the per-batch precomputation — grid rows of a
-// sweep that resolve to the same physical configuration, or repeated
-// sweeps with different seeds, compile once.
-func ValidateBatch(b *sim.Batch, seed uint64, runs, workers int) (ValidationRow, error) {
-	cfg := b.Config()
-	p, pr := cfg.Params, cfg.Protocol
-	agg, err := b.RunManySeeded(seed, runs, workers)
+// per-worker runners and compared against the backend's model. Reusing
+// one engine.Batch across calls amortizes the per-batch precomputation
+// — grid rows of a sweep that resolve to the same physical
+// configuration, or repeated sweeps with different seeds, compile
+// once, whatever the backend.
+func ValidateBatch(b engine.Batch, seed uint64, runs, workers int) (ValidationRow, error) {
+	req := b.Request()
+	agg, err := engine.RunMany(b, seed, runs, workers)
 	if err != nil {
 		return ValidationRow{}, err
 	}
-	modelWaste, err := core.Waste(pr, p, cfg.Phi, cfg.Period)
-	if err != nil {
-		return ValidationRow{}, err
-	}
+	model := b.Model()
 	return ValidationRow{
-		Protocol:        pr,
-		PhiFrac:         cfg.Phi / p.R,
-		Period:          cfg.Period,
+		Protocol:        req.Protocol,
+		PhiFrac:         req.Phi / req.Params.R,
+		Period:          req.Period,
 		Runs:            runs,
-		ModelWaste:      modelWaste,
+		ModelWaste:      model.Waste,
 		SimWaste:        agg.Waste.Mean(),
 		SimCI:           agg.Waste.CI95(),
-		ModelLoss:       core.FailureLoss(pr, p, cfg.Phi, cfg.Period),
+		ModelLoss:       model.Loss,
 		SimLoss:         agg.LossPerF.Mean(),
 		FatalRate:       agg.Fatal.Rate(),
 		CompletedRate:   agg.Completed.Rate(),

@@ -106,40 +106,22 @@ type Plan struct {
 	MTTI float64
 }
 
-// Optimize searches the (P, k) space for the minimal-waste plan. The
-// inner period starts from the protocol's single-level optimum; k is
-// scanned geometrically and the period refined by golden section for
-// each k.
-func Optimize(c Config) (Plan, error) {
-	if err := c.Validate(); err != nil {
-		return Plan{}, err
-	}
-	minP := core.MinPeriod(c.Protocol, c.Params, c.Phi)
-	// Upper bound of the period search: beyond P = 2(M−A) the
-	// per-failure loss F = A + P/2 exceeds the MTBF and the waste
-	// saturates at 1; a flat saturated plateau would defeat a
-	// unimodal search, so exclude it up front.
+// periodBounds returns the inner-period search interval [minP, maxP).
+// Beyond P = 2(M−A) the per-failure loss F = A + P/2 exceeds the MTBF
+// and the waste saturates at 1; a flat saturated plateau would defeat
+// a unimodal search, so it is excluded up front.
+func periodBounds(c Config) (minP, maxP float64, err error) {
+	minP = core.MinPeriod(c.Protocol, c.Params, c.Phi)
 	a := core.FailureLoss(c.Protocol, c.Params, c.Phi, 0)
-	maxP := 2 * (c.Params.M - a)
+	maxP = 2 * (c.Params.M - a)
 	if maxP <= minP {
-		return Plan{}, fmt.Errorf("multilevel: no feasible plan (M = %v too small)", c.Params.M)
+		return 0, 0, fmt.Errorf("multilevel: no feasible plan (M = %v too small)", c.Params.M)
 	}
-	best := Plan{Waste: 2}
-	for k := 1; k <= 1<<20; k *= 2 {
-		waste := func(p float64) float64 {
-			w, err := Waste(c, p, k)
-			if err != nil {
-				return 2
-			}
-			return w
-		}
-		// GridRefine tolerates the residual flat spots near the
-		// boundaries that golden section cannot.
-		p := optimize.GridRefine(waste, minP, maxP, 64, 4)
-		if w := waste(p); w < best.Waste {
-			best = Plan{Period: p, K: k, Waste: w}
-		}
-	}
+	return minP, maxP, nil
+}
+
+// finish fills the derived Plan fields shared by every optimizer.
+func finish(c Config, best Plan) (Plan, error) {
 	if best.Waste >= 1 {
 		return Plan{}, fmt.Errorf("multilevel: no feasible plan (M = %v too small)", c.Params.M)
 	}
@@ -155,6 +137,79 @@ func Optimize(c Config) (Plan, error) {
 		best.MTTI = math.Inf(1)
 	}
 	return best, nil
+}
+
+// OptimizeForK returns the minimal-waste plan for a fixed global
+// interval of k inner periods: only the inner period is searched.
+func OptimizeForK(c Config, k int) (Plan, error) {
+	if err := c.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if k < 1 {
+		return Plan{}, fmt.Errorf("multilevel: k = %d", k)
+	}
+	minP, maxP, err := periodBounds(c)
+	if err != nil {
+		return Plan{}, err
+	}
+	waste := func(p float64) float64 {
+		w, err := Waste(c, p, k)
+		if err != nil {
+			return 2
+		}
+		return w
+	}
+	// GridRefine tolerates the residual flat spots near the
+	// boundaries that golden section cannot.
+	p := optimize.GridRefine(waste, minP, maxP, 64, 4)
+	return finish(c, Plan{Period: p, K: k, Waste: waste(p)})
+}
+
+// OptimizeInterval returns the minimal-waste plan for a fixed inner
+// period: only the global interval k is searched (geometrically — the
+// waste's k-dependence G/(kP) + r·kP/2 is shallow around its optimum,
+// so the best power of two is within a few percent of the true best).
+func OptimizeInterval(c Config, period float64) (Plan, error) {
+	if err := c.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if period <= 0 || math.IsNaN(period) {
+		return Plan{}, fmt.Errorf("multilevel: period = %v", period)
+	}
+	best := Plan{Waste: 2}
+	for k := 1; k <= 1<<20; k *= 2 {
+		w, err := Waste(c, period, k)
+		if err != nil {
+			return Plan{}, err
+		}
+		if w < best.Waste {
+			best = Plan{Period: period, K: k, Waste: w}
+		}
+	}
+	return finish(c, best)
+}
+
+// Optimize searches the (P, k) space for the minimal-waste plan. The
+// inner period starts from the protocol's single-level optimum; k is
+// scanned geometrically and the period refined for each k.
+func Optimize(c Config) (Plan, error) {
+	if err := c.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if _, _, err := periodBounds(c); err != nil {
+		return Plan{}, err
+	}
+	best := Plan{Waste: 2}
+	for k := 1; k <= 1<<20; k *= 2 {
+		plan, err := OptimizeForK(c, k)
+		if err != nil {
+			continue // this k saturates; a larger interval may not
+		}
+		if plan.Waste < best.Waste {
+			best = plan
+		}
+	}
+	return finish(c, best)
 }
 
 // LossIfUnprotected returns the expected fraction of a platform life

@@ -196,3 +196,46 @@ func TestLossIfUnprotectedClamp(t *testing.T) {
 		t.Fatalf("zero-life loss = %v", got)
 	}
 }
+
+// TestOptimizeForKConsistency pins the fixed-axis planners against the
+// full search: Optimize's plan is reproduced by OptimizeForK at its
+// own k, and OptimizeInterval at the plan's period finds a plan no
+// worse than the full optimum up to its geometric k grid.
+func TestOptimizeForKConsistency(t *testing.T) {
+	c := Config{
+		Protocol: core.DoubleNBL,
+		Params:   baseParams().WithMTBF(300),
+		Phi:      0,
+		G:        200,
+		Rg:       200,
+	}
+	full, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atK, err := OptimizeForK(c, full.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atK.Waste != full.Waste || atK.Period != full.Period {
+		t.Errorf("OptimizeForK(%d) = %+v, want the full optimum %+v", full.K, atK, full)
+	}
+	atP, err := OptimizeInterval(c, full.Period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atP.K != full.K || atP.Waste != full.Waste {
+		t.Errorf("OptimizeInterval(%v) = %+v, want the full optimum %+v", full.Period, atP, full)
+	}
+	// A deliberately bad k must cost waste.
+	worse, err := OptimizeForK(c, full.K*64)
+	if err == nil && worse.Waste < full.Waste {
+		t.Errorf("k=%d beats the optimum: %v < %v", full.K*64, worse.Waste, full.Waste)
+	}
+	if _, err := OptimizeForK(c, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := OptimizeInterval(c, 0); err == nil {
+		t.Error("period=0 accepted")
+	}
+}

@@ -1,6 +1,11 @@
 package scenario
 
-import "repro/internal/core"
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+)
 
 // Spec is the JSON description of a platform accepted by the service
 // API (DESIGN.md, "API request lifecycle"). It either names a Table I
@@ -10,6 +15,14 @@ import "repro/internal/core"
 // A zero Spec resolves to the Base scenario, so curl examples stay
 // short; every override is validated through core.Params.Validate
 // before it reaches the model.
+//
+// Beyond the platform parameters, a Spec selects the evaluation
+// backend and failure law (DESIGN.md, "Evaluation backends"): Backend
+// names the engine, Law/Shape the inter-arrival distribution,
+// ImageBytes/Spares the detailed engine's substrate shape, and Global
+// the multilevel engine's stable-storage level. The zero value of each
+// keeps the paper's defaults: the fast coordinated-timeline engine
+// under Exponential failures.
 type Spec struct {
 	// Name selects the starting scenario ("Base" or "Exa"). Empty
 	// defaults to Base.
@@ -26,6 +39,35 @@ type Spec struct {
 	N *int `json:"n,omitempty"`
 	// MTBF overrides the platform MTBF M, in seconds.
 	MTBF *float64 `json:"mtbf,omitempty"`
+
+	// Backend selects the evaluation engine: "fast" (default),
+	// "detailed" or "multilevel".
+	Backend string `json:"backend,omitempty"`
+	// Law selects the failure law: "exponential" (default), "weibull"
+	// or "lognormal". The non-exponential laws need Shape.
+	Law string `json:"law,omitempty"`
+	// Shape is the Weibull shape parameter k (< 1 for the decreasing
+	// hazard observed on production machines) or the LogNormal sigma.
+	Shape float64 `json:"shape,omitempty"`
+	// ImageBytes is the detailed engine's checkpoint image size
+	// (0 → 512 MB, the Base scenario's value).
+	ImageBytes int64 `json:"imageBytes,omitempty"`
+	// Spares is the detailed engine's spare-node pool size
+	// (0 → N/10+1).
+	Spares int `json:"spares,omitempty"`
+	// Global describes the multilevel engine's global checkpoint level;
+	// required when Backend is "multilevel".
+	Global *GlobalSpec `json:"global,omitempty"`
+}
+
+// GlobalSpec is the multilevel backend's global (stable-storage)
+// checkpoint level: a blocking whole-application dump of duration G
+// every K inner periods, reloaded in Rg after a fatal in-memory
+// failure. K = 0 lets the planner optimize the interval.
+type GlobalSpec struct {
+	G  float64 `json:"g"`
+	Rg float64 `json:"rg,omitempty"`
+	K  int     `json:"k,omitempty"`
 }
 
 // Resolve returns the platform parameters the spec describes: the named
@@ -63,4 +105,35 @@ func (s Spec) Resolve() (core.Params, error) {
 		return core.Params{}, err
 	}
 	return p, nil
+}
+
+// ResolveLaw returns the node-level failure law the spec selects for
+// the given (resolved) platform, with the individual MTBF derived from
+// the platform MTBF p.M. It returns nil for the exponential default:
+// a nil law selects the merged-superposition fast path, which is
+// statistically identical to per-node Exponential renewal processes
+// and orders of magnitude cheaper.
+//
+// The law depends on p.M, so sweep engines must re-resolve it at every
+// MTBF axis point.
+func (s Spec) ResolveLaw(p core.Params) (failure.Law, error) {
+	switch s.Law {
+	case "", "exponential":
+		if s.Shape != 0 {
+			return nil, fmt.Errorf("scenario: shape = %v is meaningless for the exponential law", s.Shape)
+		}
+		return nil, nil
+	case "weibull":
+		if s.Shape <= 0 {
+			return nil, fmt.Errorf("scenario: weibull law needs shape > 0, got %v", s.Shape)
+		}
+		return failure.Weibull{Shape: s.Shape, MTBF: failure.IndividualMTBF(p.M, p.N)}, nil
+	case "lognormal":
+		if s.Shape <= 0 {
+			return nil, fmt.Errorf("scenario: lognormal law needs shape (sigma) > 0, got %v", s.Shape)
+		}
+		return failure.LogNormal{MTBF: failure.IndividualMTBF(p.M, p.N), Sigma: s.Shape}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown failure law %q (want exponential, weibull or lognormal)", s.Law)
+	}
 }

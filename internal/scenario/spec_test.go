@@ -1,6 +1,9 @@
 package scenario
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+)
 
 func TestSpecZeroValueIsBase(t *testing.T) {
 	p, err := Spec{}.Resolve()
@@ -34,5 +37,77 @@ func TestSpecRejectsInvalid(t *testing.T) {
 	}
 	if _, err := (Spec{Name: "Peta"}).Resolve(); err == nil {
 		t.Error("unknown scenario name must fail")
+	}
+}
+
+// TestSpecResolveLaw covers the law selector added for the evaluation
+// backends.
+func TestSpecResolveLaw(t *testing.T) {
+	p := Base().Params.WithMTBF(3600)
+	cases := []struct {
+		name    string
+		spec    Spec
+		want    string // law Name(), "" for the nil exponential fast path
+		wantErr bool
+	}{
+		{"default", Spec{}, "", false},
+		{"explicit exponential", Spec{Law: "exponential"}, "", false},
+		{"exponential with shape", Spec{Law: "exponential", Shape: 0.5}, "", true},
+		{"weibull", Spec{Law: "weibull", Shape: 0.7}, "weibull(0.7)", false},
+		{"weibull no shape", Spec{Law: "weibull"}, "", true},
+		{"lognormal", Spec{Law: "lognormal", Shape: 1.5}, "lognormal(1.5)", false},
+		{"unknown", Spec{Law: "gaussian", Shape: 1}, "", true},
+	}
+	for _, tc := range cases {
+		law, err := tc.spec.ResolveLaw(p)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr %v", tc.name, err, tc.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		got := ""
+		if law != nil {
+			got = law.Name()
+		}
+		if got != tc.want {
+			t.Errorf("%s: law = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	// The law's individual MTBF must track the platform MTBF.
+	law, err := (Spec{Law: "weibull", Shape: 0.7}).ResolveLaw(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := law.Mean(), p.M*float64(p.N); got != want {
+		t.Errorf("individual MTBF = %v, want platform M × N = %v", got, want)
+	}
+}
+
+// TestSpecBackendFieldsRoundTrip pins the JSON names of the backend
+// selector fields.
+func TestSpecBackendFieldsRoundTrip(t *testing.T) {
+	in := `{"name": "Base", "backend": "multilevel", "law": "weibull", "shape": 0.7,
+		"imageBytes": 1048576, "spares": 4, "global": {"g": 200, "rg": 100, "k": 8}}`
+	var s Spec
+	if err := json.Unmarshal([]byte(in), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Backend != "multilevel" || s.Law != "weibull" || s.Shape != 0.7 ||
+		s.ImageBytes != 1<<20 || s.Spares != 4 {
+		t.Errorf("decoded %+v", s)
+	}
+	if s.Global == nil || s.Global.G != 200 || s.Global.Rg != 100 || s.Global.K != 8 {
+		t.Errorf("decoded global %+v", s.Global)
+	}
+	// The zero spec still marshals to the empty object, keeping default
+	// requests minimal.
+	data, err := json.Marshal(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{}" {
+		t.Errorf("zero spec marshals to %s, want {}", data)
 	}
 }

@@ -112,6 +112,18 @@ func Compile(cfg Config) (*Batch, error) {
 // model-optimal period when the Config left it 0).
 func (b *Batch) Period() float64 { return b.c.period }
 
+// PeriodWork returns the work accomplished by one full fault-free
+// period of the schedule. The multilevel composition uses it to convert
+// a global-checkpoint interval of k periods into preserved work.
+func (b *Batch) PeriodWork() float64 { return b.c.periodWork }
+
+// FaultFreeMakespan returns the time the fault-free schedule needs to
+// produce the given amount of work, the baseline of the LostTime
+// metric.
+func (b *Batch) FaultFreeMakespan(work float64) float64 {
+	return b.c.faultFreeMakespan(work)
+}
+
 // Config returns the batch configuration with the period resolved.
 func (b *Batch) Config() Config {
 	cfg := b.cfg
@@ -143,4 +155,19 @@ type Runner struct {
 func (r *Runner) Run(seed uint64) Result {
 	r.e.reset(seed)
 	return r.e.run()
+}
+
+// RunWork simulates one execution with the given seed and a work
+// target overriding the batch's Tbase; the simulation horizon stays the
+// batch's. The multilevel composition uses it to resume an execution
+// after a global rollback (the remaining work shrinks, the compiled
+// schedule does not), without recompiling or allocating per attempt.
+// RunWork(seed, batch Tbase) is identical to Run(seed).
+func (r *Runner) RunWork(seed uint64, tbase float64) Result {
+	saved := r.e.tbase
+	r.e.tbase = tbase
+	r.e.reset(seed)
+	res := r.e.run()
+	r.e.tbase = saved
+	return res
 }

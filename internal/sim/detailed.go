@@ -35,6 +35,23 @@ type DetailedConfig struct {
 	MaxSimTime float64
 }
 
+// Normalize returns the config with the documented substrate defaults
+// applied: Spares → N/10+1, ImageBytes → 512 MB. It is the single
+// source of those defaults — CompileDetailed, the engine backend's
+// Resolve and the API sweep's point keying all share it, so an
+// explicitly spelled-out default and an omitted field describe the
+// same physical configuration everywhere (same cache keys, same
+// derived seeds).
+func (c DetailedConfig) Normalize() DetailedConfig {
+	if c.Spares == 0 {
+		c.Spares = c.Params.N/10 + 1
+	}
+	if c.ImageBytes == 0 {
+		c.ImageBytes = 512 << 20
+	}
+	return c
+}
+
 // DetailedResult extends Result with substrate-level observations.
 type DetailedResult struct {
 	Result
@@ -66,6 +83,8 @@ type detailedEngine struct {
 	reg  *checkpoint.Registry
 	plan protocol.FailurePlan
 	sch  protocol.Schedule
+	// buddies is the batch's precomputed static buddy topology.
+	buddies [][]int
 
 	// incarnation[r] counts rank r's failures, to drop stale restores.
 	incarnation []int
@@ -92,54 +111,148 @@ type restoreEvent struct {
 	holderIncarnation int
 }
 
-// RunDetailed executes one substrate-backed simulation.
+// RunDetailed executes one substrate-backed simulation. Batch callers
+// should CompileDetailed once and reuse a DetailedRunner instead:
+// RunDetailed rebuilds the cluster, checkpoint registry and schedule on
+// every call.
 func RunDetailed(cfg DetailedConfig) (DetailedResult, error) {
+	b, err := CompileDetailed(cfg)
+	if err != nil {
+		return DetailedResult{}, err
+	}
+	return b.NewRunner().Run(cfg.Seed)
+}
+
+// DetailedBatch is a compiled detailed-simulation configuration,
+// immutable and safe for concurrent use. It is the detailed engine's
+// counterpart of Compile: the protocol schedule, failure plan, fast
+// timeline precomputation and substrate shapes are computed once, and
+// each DetailedRunner reuses one cluster and one checkpoint registry
+// across every seed of a Monte-Carlo batch instead of rebuilding the
+// substrates per run.
+type DetailedBatch struct {
+	cfg  DetailedConfig // normalized: Spares/ImageBytes defaults applied
+	c    compiled
+	plan protocol.FailurePlan
+	sch  protocol.Schedule
+	// buddies[r] is rank r's buddy list (cluster.Buddies precomputed:
+	// the topology is static, and per-call slices were the detailed
+	// engine's dominant steady-state allocation — one per rank per
+	// committed wave).
+	buddies [][]int
+}
+
+// CompileDetailed validates cfg, applies its defaults (Spares →
+// N/10+1, ImageBytes → 512 MB) and precomputes the batch state shared
+// by all seeds. cfg.Seed is ignored (seeds are per run).
+func CompileDetailed(cfg DetailedConfig) (*DetailedBatch, error) {
 	fast := Config{
 		Protocol:   cfg.Protocol,
 		Params:     cfg.Params,
 		Phi:        cfg.Phi,
 		Period:     cfg.Period,
 		Tbase:      cfg.Tbase,
-		Seed:       cfg.Seed,
 		Law:        cfg.Law,
 		MaxSimTime: cfg.MaxSimTime,
 	}
 	if err := fast.Validate(); err != nil {
-		return DetailedResult{}, err
+		return nil, err
 	}
 	if cfg.Params.N%cfg.Protocol.GroupSize() != 0 {
-		return DetailedResult{}, fmt.Errorf("sim: %d ranks not divisible by group size %d",
+		return nil, fmt.Errorf("sim: %d ranks not divisible by group size %d",
 			cfg.Params.N, cfg.Protocol.GroupSize())
 	}
-	spares := cfg.Spares
-	if spares == 0 {
-		spares = cfg.Params.N/10 + 1
+	if cfg.Spares < 0 || cfg.ImageBytes < 0 {
+		return nil, fmt.Errorf("sim: negative substrate shape (spares %d, imageBytes %d)",
+			cfg.Spares, cfg.ImageBytes)
 	}
-	imageBytes := cfg.ImageBytes
-	if imageBytes == 0 {
-		imageBytes = 512 << 20
-	}
-	eng, err := newEngine(fast)
+	cfg = cfg.Normalize()
+	c, err := compileConfig(fast)
 	if err != nil {
-		return DetailedResult{}, err
+		return nil, err
 	}
-	cl, err := cluster.New(cfg.Params.N, spares, cfg.Protocol.GroupSize())
+	sch, err := protocol.Build(cfg.Protocol, cfg.Params, cfg.Phi, c.period)
 	if err != nil {
-		return DetailedResult{}, err
+		return nil, err
 	}
-	sch, err := protocol.Build(cfg.Protocol, cfg.Params, cfg.Phi, eng.period)
+	// Validate the cluster shape once at compile time, so NewRunner
+	// cannot fail, and snapshot the static buddy topology.
+	cl, err := cluster.New(cfg.Params.N, cfg.Spares, cfg.Protocol.GroupSize())
 	if err != nil {
-		return DetailedResult{}, err
+		return nil, err
 	}
-	d := &detailedEngine{
-		cfg:         cfg,
-		eng:         eng,
-		cl:          cl,
-		reg:         checkpoint.NewRegistry(cfg.Params.N, imageBytes),
-		plan:        protocol.PlanFailure(cfg.Protocol, cfg.Params, cfg.Phi),
-		sch:         sch,
-		incarnation: make([]int, cfg.Params.N),
+	buddies := make([][]int, cfg.Params.N)
+	for rank := range buddies {
+		buddies[rank] = cl.Buddies(rank)
 	}
+	return &DetailedBatch{
+		cfg:     cfg,
+		c:       c,
+		plan:    protocol.PlanFailure(cfg.Protocol, cfg.Params, cfg.Phi),
+		sch:     sch,
+		buddies: buddies,
+	}, nil
+}
+
+// Period returns the checkpointing period the batch simulates.
+func (b *DetailedBatch) Period() float64 { return b.c.period }
+
+// Config returns the batch configuration with the period resolved and
+// the Spares/ImageBytes defaults applied.
+func (b *DetailedBatch) Config() DetailedConfig {
+	cfg := b.cfg
+	cfg.Period = b.c.period
+	return cfg
+}
+
+// NewRunner returns a reusable single-goroutine detailed-simulation
+// engine for the batch: the cluster, checkpoint registry, incarnation
+// table and restore queue are allocated once and rewound in place
+// between runs. Runners are not safe for concurrent use; create one
+// per worker.
+func (b *DetailedBatch) NewRunner() *DetailedRunner {
+	eng := &engine{compiled: b.c, comp: make([]riskEntry, 0, 16)}
+	eng.initSource(nil)
+	cl, err := cluster.New(b.cfg.Params.N, b.cfg.Spares, b.cfg.Protocol.GroupSize())
+	if err != nil {
+		// The shape was validated at compile time.
+		panic("sim: compiled detailed batch with invalid cluster shape: " + err.Error())
+	}
+	return &DetailedRunner{
+		b: b,
+		d: detailedEngine{
+			cfg:         b.cfg,
+			eng:         eng,
+			cl:          cl,
+			reg:         checkpoint.NewRegistry(b.cfg.Params.N, b.cfg.ImageBytes),
+			plan:        b.plan,
+			sch:         b.sch,
+			buddies:     b.buddies,
+			incarnation: make([]int, b.cfg.Params.N),
+		},
+	}
+}
+
+// DetailedRunner executes detailed simulations of one DetailedBatch,
+// reusing the substrates between runs.
+type DetailedRunner struct {
+	b *DetailedBatch
+	d detailedEngine
+}
+
+// Run simulates one execution with the given seed. Equal seeds give
+// identical DetailedResults, and Runner.Run(seed) is identical to
+// RunDetailed with the batch Config and that seed.
+func (r *DetailedRunner) Run(seed uint64) (DetailedResult, error) {
+	d := &r.d
+	d.eng.reset(seed)
+	d.cl.Reset()
+	d.reg.Reset()
+	for i := range d.incarnation {
+		d.incarnation[i] = 0
+	}
+	d.restores.Clear()
+	d.res = DetailedResult{}
 	return d.run()
 }
 
@@ -151,12 +264,12 @@ func (d *detailedEngine) commitWave() {
 	n := d.cfg.Params.N
 	for rank := 0; rank < n; rank++ {
 		if d.cfg.Protocol.IsTriple() {
-			for _, b := range d.cl.Buddies(rank) {
+			for _, b := range d.buddies[rank] {
 				d.reg.AddReplica(rank, v, b)
 			}
 		} else {
 			d.reg.AddReplica(rank, v, rank) // local copy
-			d.reg.AddReplica(rank, v, d.cl.Buddies(rank)[0])
+			d.reg.AddReplica(rank, v, d.buddies[rank][0])
 		}
 	}
 	for rank := 0; rank < n; rank++ {
@@ -209,8 +322,7 @@ func (d *detailedEngine) failRank(rank int, now float64) (fatal bool, err error)
 	// for why the per-image milestones are not used here).
 	v := d.reg.Committed()
 	if v > 0 {
-		buddies := d.cl.Buddies(rank)
-		for _, owner := range buddies {
+		for _, owner := range d.buddies[rank] {
 			d.restores.Schedule(now+d.plan.RiskWindow, restoreEvent{
 				owner:             owner,
 				holder:            rank,

@@ -194,3 +194,38 @@ func TestDetailedTripleConstantMemory(t *testing.T) {
 		t.Fatal("no waves committed")
 	}
 }
+
+// TestDetailedBatchReuse pins the compiled detailed path at the sim
+// level: one DetailedRunner re-used across interleaved seeds (substrate
+// Resets included) reproduces per-call RunDetailed exactly, including
+// the substrate-level observations.
+func TestDetailedBatchReuse(t *testing.T) {
+	cfg := DetailedConfig{
+		Protocol: core.TripleNBL,
+		Params:   baseParams().WithNodes(63).WithMTBF(300),
+		Phi:      1,
+		Tbase:    5000,
+	}
+	b, err := CompileDetailed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Config().Spares; got != 63/10+1 {
+		t.Errorf("default spares = %d, want %d", got, 63/10+1)
+	}
+	r := b.NewRunner()
+	for _, seed := range []uint64{2, 9, 2, 0, 9} {
+		got, err := r.Run(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = seed
+		want, err := RunDetailed(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: reused runner %+v != fresh RunDetailed %+v", seed, got, want)
+		}
+	}
+}

@@ -481,32 +481,32 @@ func (e *engine) applyFailure(node int) bool {
 
 // faultFreeMakespan returns the time the fault-free schedule takes to
 // produce the given amount of work.
-func (e *engine) faultFreeMakespan(workTarget float64) float64 {
+func (c *compiled) faultFreeMakespan(workTarget float64) float64 {
 	if workTarget <= 0 {
 		return 0
 	}
-	w := e.periodWork
+	w := c.periodWork
 	full := math.Floor(workTarget / w)
 	rem := workTarget - full*w
-	tm := full * e.period
+	tm := full * c.period
 	if rem <= workEps {
 		return tm
 	}
 	// Walk the phases of the last, partial period.
-	c1, c2 := e.phases.Ckpt1, e.phases.Ckpt2
-	if e.pr.IsTriple() && e.exRate > 0 {
-		cap1 := c1 * e.exRate
+	c1, c2 := c.phases.Ckpt1, c.phases.Ckpt2
+	if c.pr.IsTriple() && c.exRate > 0 {
+		cap1 := c1 * c.exRate
 		if rem <= cap1 {
-			return tm + rem/e.exRate
+			return tm + rem/c.exRate
 		}
 		rem -= cap1
 		tm += c1
 	} else {
 		tm += c1 // blocking local checkpoint contributes no work
 	}
-	cap2 := c2 * e.exRate
-	if e.exRate > 0 && rem <= cap2 {
-		return tm + rem/e.exRate
+	cap2 := c2 * c.exRate
+	if c.exRate > 0 && rem <= cap2 {
+		return tm + rem/c.exRate
 	}
 	rem -= cap2
 	tm += c2

@@ -99,12 +99,26 @@ func RunManyWorkers(cfg Config, runs, workers int) (Aggregate, error) {
 // Results. Each worker owns one reusable Runner (kept across chunks),
 // so the steady-state simulation loop allocates nothing, and the runs
 // of every chunk fan out across the whole worker budget.
-//
-// Compilation errors surface from Compile before any run starts; a
-// per-run error (impossible today — Runner.Run is total — but threaded
-// for future failure modes) cancels the remaining dispatch via
-// runChunks instead of letting the other workers finish the batch.
 func (b *Batch) RunManySeeded(base uint64, runs, workers int) (Aggregate, error) {
+	return AggregateSeeded(base, runs, workers, func(int) func(uint64) (Result, error) {
+		r := b.NewRunner()
+		return func(seed uint64) (Result, error) { return r.Run(seed), nil }
+	})
+}
+
+// AggregateSeeded is the backend-agnostic batch executor behind
+// RunManySeeded and the engine package: it runs seeds base+0 ..
+// base+runs-1 through per-worker run functions and streams the chunked
+// deterministic aggregation. newRunner(w) is called once per worker
+// (before any run starts) and returns that worker's run function — a
+// closure over whatever reusable per-worker state the backend needs —
+// so the steady-state loop pays no per-run setup.
+//
+// A per-run error (the detailed engine's fatality cross-check, an
+// exhausted backend) cancels the remaining dispatch via runChunks
+// instead of letting the other workers finish the batch.
+func AggregateSeeded(base uint64, runs, workers int,
+	newRunner func(w int) func(seed uint64) (Result, error)) (Aggregate, error) {
 	if runs <= 0 {
 		return Aggregate{}, nil
 	}
@@ -115,9 +129,9 @@ func (b *Batch) RunManySeeded(base uint64, runs, workers int) (Aggregate, error)
 	if workers < 1 {
 		workers = 1
 	}
-	runners := make([]*Runner, workers)
-	for w := range runners {
-		runners[w] = b.NewRunner()
+	fns := make([]func(uint64) (Result, error), workers)
+	for w := range fns {
+		fns[w] = newRunner(w)
 	}
 	buf := make([]Result, min(aggChunkSize, runs))
 	var total Aggregate
@@ -125,9 +139,13 @@ func (b *Batch) RunManySeeded(base uint64, runs, workers int) (Aggregate, error)
 		hi := min(lo+aggChunkSize, runs)
 		span := buf[:hi-lo]
 		err := runChunks(len(span), workers,
-			func(w int) *Runner { return runners[w] },
-			func(r *Runner, j int) error {
-				span[j] = r.Run(base + uint64(lo+j))
+			func(w int) func(uint64) (Result, error) { return fns[w] },
+			func(run func(uint64) (Result, error), j int) error {
+				res, err := run(base + uint64(lo+j))
+				if err != nil {
+					return err
+				}
+				span[j] = res
 				return nil
 			})
 		if err != nil {
