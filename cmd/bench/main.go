@@ -1,18 +1,18 @@
 // Command bench runs the repository's fixed performance suite — the
 // Monte-Carlo kernel, the streaming batch aggregation, the detailed
-// substrate engine (per-run rebuild vs compiled batch), and the API
-// sweep engine — and writes a machine-readable JSON report, so every
-// PR extends a comparable perf trajectory (BENCH_PR3.json is this
-// PR's committed snapshot).
+// substrate engine (per-run rebuild vs compiled batch), the API sweep
+// engine, and the durable job path — and writes a machine-readable
+// JSON report, so every PR extends a comparable perf trajectory
+// (BENCH_PR4.json is this PR's committed snapshot).
 //
 // Usage:
 //
 //	go run ./cmd/bench [-short] [-out bench.json] \
-//	    [-baseline BENCH_PR3.json] [-max-regress 0.25]
+//	    [-baseline BENCH_PR4.json] [-max-regress 0.25]
 //
-// With -baseline, the measured engine-throughput and detailed-runner
-// ns/op are compared against the committed report and the process
-// exits non-zero when either regressed by more than -max-regress
+// With -baseline, the measured engine-throughput, detailed-runner and
+// job-overhead ns/op are compared against the committed report and the
+// process exits non-zero when any regressed by more than -max-regress
 // (CI's regression gate).
 package main
 
@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -281,6 +282,66 @@ func benchSweep(short bool) Metric {
 	return metric("sweep_points", res)
 }
 
+// benchJobOverhead measures the durable job path end to end: submit a
+// fresh content-keyed job (normalize + store create), schedule it onto
+// the job runner, execute its 4-point sweep through the shared pool
+// with checkpointed (fsynced) NDJSON results, and wait for the
+// terminal state. The same grid shape as benchSweep, so the delta
+// between the two metrics is the durability overhead per job.
+func benchJobOverhead(short bool) Metric {
+	svc := api.NewService(api.Options{})
+	dir, err := os.MkdirTemp("", "bench-jobs-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	mgr, err := jobs.NewManager(jobs.Config{
+		Dir:             dir,
+		MaxConcurrent:   2,
+		CheckpointEvery: 4,
+		Exec:            svc.JobExecutor(),
+		Normalize:       svc.NormalizeJobRequest,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer mgr.Close()
+	tbase := 20000
+	runs := 8
+	if short {
+		tbase = 10000
+		runs = 2
+	}
+	const points = 4 // 2 φ points × 2 MTBFs
+	seed := 0
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seed++ // fresh seed: a new job id and a cache-cold grid
+			body := fmt.Sprintf(`{"protocols": ["DoubleNBL"], "phiFracs": [0.25, 0.75],
+				"mtbfs": [1800, 3600], "tbase": %d, "runs": %d, "seed": %d}`, tbase, runs, seed)
+			meta, created, err := mgr.Submit([]byte(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !created {
+				b.Fatalf("job %s deduped; the seed should be fresh", meta.ID)
+			}
+			final, err := mgr.Wait(context.Background(), meta.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if final.State != jobs.Done || final.Completed != points {
+				b.Fatalf("job finished as %+v", final)
+			}
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(points*b.N)/secs, "points/sec")
+		}
+	})
+	return metric("job_overhead", res)
+}
+
 // gatedBench describes one benchmark the regression gate checks. The
 // fast kernel's alloc gate is absolute (+allocSlack): its hot path is
 // allocation-free, so any per-run allocation is a regression. The
@@ -297,6 +358,10 @@ type gatedBench struct {
 var gatedBenches = []gatedBench{
 	{name: "engine_throughput", measure: benchEngineThroughput, required: true},
 	{name: "detailed_runner", measure: benchDetailedRunner, relAllocs: true},
+	// The job path allocates per submission (request decode, store
+	// writes), so its alloc gate is relative like the detailed one. Not
+	// required: baselines older than PR 4 do not carry it.
+	{name: "job_overhead", measure: benchJobOverhead, relAllocs: true},
 }
 
 // gate compares the measured headline benchmarks against a committed
@@ -406,6 +471,7 @@ func main() {
 		benchDetailedRun,
 		benchDetailedRunner,
 		benchSweep,
+		benchJobOverhead,
 	} {
 		m := run(*short)
 		fmt.Printf("%-22s %14.0f ns/op %8d allocs/op", m.Name, m.NsOp, m.AllocsOp)

@@ -1,14 +1,19 @@
 // Command serve exposes the evaluation service as an HTTP JSON API:
 // the closed-form waste, optimal-period and risk models on /v1/waste,
-// /v1/optimum and /v1/risk, and the cached parallel Monte-Carlo sweep
+// /v1/optimum and /v1/risk, the cached parallel Monte-Carlo sweep
 // engine on /v1/sweep (NDJSON streaming with "Accept:
-// application/x-ndjson"). See README.md for curl examples and
-// DESIGN.md, "API request lifecycle", for the internals.
+// application/x-ndjson"), and the durable, resumable job subsystem on
+// /v1/jobs — sweeps submitted as jobs survive server restarts and
+// resume mid-sweep from their last checkpoint, bitwise identically.
+// See README.md for curl examples and DESIGN.md, "API request
+// lifecycle" and "Job subsystem", for the internals.
 //
 // Usage:
 //
 //	serve [-addr :8080] [-cache 4096] [-workers 0]
 //	      [-maxgrid 4096] [-maxruns 256]
+//	      [-jobs-dir jobs] [-max-concurrent-jobs 2]
+//	      [-checkpoint-every 16]
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/jobs"
 )
 
 func main() {
@@ -32,6 +38,9 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	maxGrid := flag.Int("maxgrid", 4096, "maximum sweep grid points per request")
 	maxRuns := flag.Int("maxruns", 256, "maximum Monte-Carlo runs per sweep point")
+	jobsDir := flag.String("jobs-dir", "jobs", "durable job directory for /v1/jobs (empty disables the job subsystem)")
+	maxJobs := flag.Int("max-concurrent-jobs", 2, "jobs executing simultaneously")
+	ckptEvery := flag.Int("checkpoint-every", 16, "completed points per durable job checkpoint")
 	flag.Parse()
 
 	svc := api.NewService(api.Options{
@@ -40,6 +49,30 @@ func main() {
 		MaxGridPoints: *maxGrid,
 		MaxRuns:       *maxRuns,
 	})
+	var mgr *jobs.Manager
+	if *jobsDir != "" {
+		var err error
+		mgr, err = jobs.NewManager(jobs.Config{
+			Dir:             *jobsDir,
+			MaxConcurrent:   *maxJobs,
+			CheckpointEvery: *ckptEvery,
+			Exec:            svc.JobExecutor(),
+			Normalize:       svc.NormalizeJobRequest,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		svc.AttachJobs(mgr)
+		metas := mgr.List()
+		resumed := 0
+		for _, meta := range metas {
+			if !meta.State.Terminal() {
+				resumed++
+			}
+		}
+		log.Printf("serve: job store %s (%d jobs, %d to run)", *jobsDir, len(metas), resumed)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(api.NewServer(svc)),
@@ -59,6 +92,11 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
+	}
+	if mgr != nil {
+		// Flush running jobs' progress; they stay "running" on disk and
+		// resume from their last durable point on the next start.
+		mgr.Close()
 	}
 	log.Printf("serve: shut down")
 }

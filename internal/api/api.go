@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/optimize"
 	"repro/internal/scenario"
 )
@@ -50,13 +51,17 @@ type Service struct {
 	// batches reuses compiled simulation batches across grid rows and
 	// requests that resolve to the same physical configuration.
 	batches       *batchCache
-	workers       int
 	maxGridPoints int
 	maxRuns       int
-	// sem bounds concurrent sweep-point evaluations SERVICE-wide, so
-	// N simultaneous sweep requests share the Workers budget instead
-	// of each claiming the whole machine.
-	sem chan struct{}
+	// pool bounds concurrent sweep-point evaluations SERVICE-wide and
+	// priority-aware: N simultaneous sweeps — synchronous requests and
+	// background jobs alike — share the Workers budget instead of each
+	// claiming the whole machine, and interactive waiters are admitted
+	// before queued job points.
+	pool *jobs.Pool
+	// jobs is the optional durable job manager behind /v1/jobs; nil
+	// until AttachJobs.
+	jobs *jobs.Manager
 	// simPoints counts sweep points actually simulated (cache misses);
 	// tests and the /healthz endpoint use it to prove cache hits skip
 	// the simulator.
@@ -80,12 +85,20 @@ func NewService(opt Options) *Service {
 	return &Service{
 		cache:         NewCache(opt.CacheSize),
 		batches:       newBatchCache(opt.MaxGridPoints),
-		workers:       opt.Workers,
 		maxGridPoints: opt.MaxGridPoints,
 		maxRuns:       opt.MaxRuns,
-		sem:           make(chan struct{}, opt.Workers),
+		pool:          jobs.NewPool(opt.Workers),
 	}
 }
+
+// AttachJobs wires the durable job manager into the service; NewServer
+// then mounts the /v1/jobs endpoints. The manager must have been built
+// with this service's JobExecutor and NormalizeJobRequest, so both the
+// synchronous and the job path run through one execution engine.
+func (s *Service) AttachJobs(mgr *jobs.Manager) { s.jobs = mgr }
+
+// Jobs returns the attached job manager (nil when jobs are disabled).
+func (s *Service) Jobs() *jobs.Manager { return s.jobs }
 
 // Cache returns the sweep-point cache (for stats reporting).
 func (s *Service) Cache() *Cache { return s.cache }

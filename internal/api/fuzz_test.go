@@ -1,0 +1,98 @@
+package api
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+)
+
+// FuzzSpecDecode fuzzes the strict JSON decoding of scenario.Spec —
+// the surface every request body funnels a platform description
+// through — and the resolution pipeline behind it. The contract under
+// fuzz: no panics anywhere; a document that decodes must resolve
+// either to a platform that passes core.Params.Validate or to an
+// error; and both decode and resolve are deterministic (the content-
+// keyed job dedupe depends on that). The seed corpus is the committed
+// golden bodies in internal/api/testdata plus the spec shapes the
+// tests exercise.
+func FuzzSpecDecode(f *testing.F) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, seed := range []string{
+		`{}`,
+		`{"name": "Base", "mtbf": 7200}`,
+		`{"name": "Exa", "d": 30, "delta": 15, "r": 30, "alpha": 5, "n": 1024}`,
+		`{"backend": "detailed", "n": 96, "spares": 4, "imageBytes": 1048576}`,
+		`{"backend": "multilevel", "global": {"g": 200, "rg": 100, "k": 3}}`,
+		`{"law": "weibull", "shape": 0.7}`,
+		`{"law": "lognormal", "shape": 1.5}`,
+		`{"name": "Peta"}`,
+		`{"mtbf": -1}`,
+		`{"backned": "detailed"}`,
+		`{"n": 0, "law": "weibull"}`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec scenario.Spec
+		if err := decodeStrict(bytes.NewReader(data), &spec); err != nil {
+			return // a decode error is the expected rejection path
+		}
+		p, err := spec.Resolve()
+		p2, err2 := spec.Resolve()
+		if (err == nil) != (err2 == nil) || p != p2 {
+			t.Fatalf("Resolve is nondeterministic: (%+v, %v) vs (%+v, %v)", p, err, p2, err2)
+		}
+		if err != nil {
+			return // rejected platforms are fine; panics are not
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("resolved platform fails validation: %+v: %v", p, verr)
+		}
+		law, lerr := spec.ResolveLaw(p)
+		law2, lerr2 := spec.ResolveLaw(p)
+		if (lerr == nil) != (lerr2 == nil) || !reflect.DeepEqual(law, law2) {
+			t.Fatalf("ResolveLaw is nondeterministic: (%v, %v) vs (%v, %v)", law, lerr, law2, lerr2)
+		}
+		if _, berr := engine.ByName(spec.Backend); berr != nil {
+			return // unknown backend is a request error
+		}
+		// A resolvable spec with a known backend and law must survive the
+		// cheap engine feasibility gate without panicking: the outcome is
+		// either a resolved request, ErrInfeasible, or a request error —
+		// never a crash.
+		if lerr != nil {
+			return
+		}
+		eng, _ := engine.ByName(spec.Backend)
+		req := engine.Request{
+			Protocol: 0, // DoubleBlocking, always a valid protocol
+			Params:   p,
+			Phi:      p.R,
+			Tbase:    1e4,
+			Law:      law,
+		}
+		if eng.Name() == "multilevel" {
+			if spec.Global == nil {
+				return
+			}
+			req.Global = &engine.Global{G: spec.Global.G, Rg: spec.Global.Rg, K: spec.Global.K}
+		}
+		eng.Resolve(req) // outcome may be any error; it must return
+	})
+}

@@ -1,0 +1,230 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/jobs"
+)
+
+// This file adapts the sweep engine to the durable job subsystem
+// (internal/jobs) and mounts its HTTP surface:
+//
+//	POST   /v1/jobs              submit a sweep as a durable job
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         status + progress
+//	GET    /v1/jobs/{id}/results NDJSON results (?offset=N resumes)
+//	DELETE /v1/jobs/{id}         cancel (active) / delete (terminal)
+//
+// The job body is exactly the /v1/sweep request. DESIGN.md, "Job
+// subsystem", documents the state machine and resume semantics.
+
+// NormalizeJobRequest is the jobs.Normalizer of the sweep service: it
+// strictly decodes a /v1/sweep request body, validates it by expanding
+// the grid (filling the documented defaults in place), and returns the
+// canonical request bytes — the job's content key — plus the grid
+// size. Two submissions that decode to the same normalized request
+// canonicalize identically and therefore dedupe to the same job id.
+func (s *Service) NormalizeJobRequest(request []byte) ([]byte, int, error) {
+	var req SweepRequest
+	if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
+		return nil, 0, err
+	}
+	points, err := s.expand(&req) // validates and fills defaults
+	if err != nil {
+		return nil, 0, err
+	}
+	// Collapse the scenario's enum aliases onto their omitted-field
+	// spellings (expand already validated them): "Base" is the default
+	// scenario, "fast" the default backend (the axis it feeds is frozen
+	// into req.Backends above), "exponential" the default law. Numeric
+	// overrides spelled at their table values are NOT collapsed — that
+	// equivalence would couple the key to the scenario tables.
+	if req.Scenario.Name == "Base" {
+		req.Scenario.Name = ""
+	}
+	if req.Scenario.Backend == "fast" {
+		req.Scenario.Backend = ""
+	}
+	if req.Scenario.Law == "exponential" {
+		req.Scenario.Law = ""
+	}
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	return canonical, len(points), nil
+}
+
+// JobExecutor is the jobs.Executor of the sweep service: it replays
+// the canonical request through the same SweepStreamFrom engine the
+// synchronous path uses — at Batch priority, from the durable offset —
+// and encodes each item exactly like the streaming /v1/sweep response
+// (compact JSON, one line per item). Identical request bytes therefore
+// produce identical line bytes on every execution, which is what makes
+// a resumed job's results file bitwise equal to an uninterrupted run.
+func (s *Service) JobExecutor() jobs.Executor {
+	return func(ctx context.Context, request []byte, offset int, start func(total int) error, emit func(line []byte) error) error {
+		var req SweepRequest
+		if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		_, err := s.SweepStreamFrom(ctx, req, offset, jobs.Batch, start, func(item SweepItem) error {
+			buf.Reset()
+			if err := enc.Encode(item); err != nil {
+				return err
+			}
+			return emit(buf.Bytes())
+		})
+		return err
+	}
+}
+
+// jobListResponse is the GET /v1/jobs body.
+type jobListResponse struct {
+	Jobs []jobs.Meta `json:"jobs"`
+}
+
+// writeJobError maps job-subsystem errors onto HTTP statuses: unknown
+// ids are 404s, persistence failures (disk full, permissions) are 500s
+// so clients retry the submission instead of discarding it as invalid,
+// and everything else is a request error.
+func writeJobError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, jobs.ErrStorage):
+		status = http.StatusInternalServerError
+	}
+	writeError(w, status, err)
+}
+
+func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	meta, created, err := s.jobs.Submit(body.Bytes())
+	if err != nil {
+		writeJobError(w, err)
+		return
+	}
+	if created {
+		w.WriteHeader(http.StatusAccepted)
+	}
+	writeJSON(w, meta)
+}
+
+func (s *Service) handleJobList(w http.ResponseWriter, r *http.Request) {
+	metas := s.jobs.List()
+	if metas == nil {
+		metas = []jobs.Meta{} // "jobs": [] rather than null
+	}
+	writeJSON(w, jobListResponse{Jobs: metas})
+}
+
+func (s *Service) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	meta, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeJobError(w, err)
+		return
+	}
+	writeJSON(w, meta)
+}
+
+// handleJobDelete cancels an active job; a terminal job is removed
+// from the store instead. Either way the job's last status is the
+// response.
+func (s *Service) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	meta, err := s.jobs.Get(id)
+	if err != nil {
+		writeJobError(w, err)
+		return
+	}
+	if meta.State.Terminal() {
+		if meta, err = s.jobs.Delete(id); err != nil {
+			writeJobError(w, err)
+			return
+		}
+	} else if meta, err = s.jobs.Cancel(id); err != nil {
+		writeJobError(w, err)
+		return
+	}
+	writeJSON(w, meta)
+}
+
+// handleJobResults streams the job's NDJSON results from line
+// ?offset=N (default 0), following the file as checkpoints land until
+// the job is terminal. A failed or cancelled job terminates the stream
+// with an {"error": ...} record, so a truncated result set is always
+// distinguishable from a complete one.
+func (s *Service) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	offset := 0
+	if q := r.URL.Query().Get("offset"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("api: offset %q must be a non-negative integer", q))
+			return
+		}
+		offset = n
+	}
+	if _, err := s.jobs.Get(id); err != nil {
+		writeJobError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", NDJSONContentType)
+	flusher, _ := w.(http.Flusher)
+	// Commit the status line before following: a job with no durable
+	// lines yet would otherwise leave the client (and any proxy
+	// response-header timeout) staring at zero bytes until the first
+	// checkpoint lands.
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	meta, err := s.jobs.StreamResults(r.Context(), id, offset, func(line []byte) error {
+		if err := r.Context().Err(); err != nil {
+			return err
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// If the client is still connected (the job vanished mid-follow,
+		// or the store failed), terminate the stream with an error
+		// record instead of a silent truncation; a dead client gets
+		// nothing either way.
+		if r.Context().Err() == nil {
+			json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return
+	}
+	switch meta.State {
+	case jobs.Failed:
+		json.NewEncoder(w).Encode(errorResponse{Error: meta.Error})
+	case jobs.Cancelled:
+		json.NewEncoder(w).Encode(errorResponse{Error: "job cancelled"})
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

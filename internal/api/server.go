@@ -24,9 +24,11 @@ const (
 // grid order as points complete.
 const NDJSONContentType = "application/x-ndjson"
 
-// NewServer mounts the service's four endpoints plus /healthz on a new
-// mux. Every endpoint takes a POST with a JSON body and returns JSON;
-// errors are {"error": "..."} with a 4xx/5xx status.
+// NewServer mounts the service's endpoints plus /healthz on a new
+// mux. The point endpoints take a POST with a JSON body and return
+// JSON; errors are {"error": "..."} with a 4xx/5xx status. The
+// /v1/jobs lifecycle endpoints are mounted when a job manager is
+// attached (AttachJobs).
 func NewServer(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/waste", handlePoint(s.Waste))
@@ -34,6 +36,13 @@ func NewServer(s *Service) http.Handler {
 	mux.HandleFunc("/v1/risk", handlePoint(s.Risk))
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	if s.jobs != nil {
+		mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+		mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	}
 	return mux
 }
 
@@ -64,7 +73,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 // decodeRequest parses a JSON request body, rejecting unknown fields
 // so typos fail loudly. An empty body decodes to the zero request.
 func decodeRequest(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	return decodeStrict(http.MaxBytesReader(nil, r.Body, 1<<20), v)
+}
+
+// decodeStrict is the shared strict JSON decoder: unknown fields are
+// rejected, an empty document decodes to the zero value. Job
+// submissions run through it too, so the job path accepts exactly the
+// request language of /v1/sweep.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
 		return fmt.Errorf("invalid request: %w", err)
@@ -123,7 +140,12 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamSweep writes one SweepItem per NDJSON line, flushing as points
-// complete, and reports SweepStats as HTTP trailers.
+// complete, and reports SweepStats as HTTP trailers. A request-context
+// cancellation (the client disconnected) is checked before every
+// encode, so it propagates into SweepStream — and out of the shared
+// evaluation pool — promptly instead of whenever the next TCP write
+// happens to fail; any mid-stream abort terminates the stream with a
+// flushed {"error": ...} record rather than a silent truncation.
 func (s *Service) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest) {
 	w.Header().Set("Trailer", HeaderSweepPoints+", "+HeaderSweepHits+", "+HeaderSweepMisses)
 	w.Header().Set("Content-Type", NDJSONContentType)
@@ -131,6 +153,9 @@ func (s *Service) streamSweep(w http.ResponseWriter, r *http.Request, req SweepR
 	enc := json.NewEncoder(w)
 	wrote := false
 	stats, err := s.SweepStream(r.Context(), req, func(item SweepItem) error {
+		if err := r.Context().Err(); err != nil {
+			return err
+		}
 		if err := enc.Encode(item); err != nil {
 			return err
 		}
@@ -146,8 +171,12 @@ func (s *Service) streamSweep(w http.ResponseWriter, r *http.Request, req SweepR
 			return
 		}
 		// Mid-stream failure: the status line is already sent, so the
-		// error becomes the final NDJSON line.
+		// error becomes the final NDJSON record, flushed so a still-
+		// connected client actually sees why the stream ended early.
 		enc.Encode(errorResponse{Error: err.Error()})
+		if flusher != nil {
+			flusher.Flush()
+		}
 	}
 	setSweepHeaders(w.Header(), stats)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/failure"
+	"repro/internal/jobs"
 	"repro/internal/rng"
 	"repro/internal/scenario"
 )
@@ -202,6 +203,19 @@ func (s *Service) expand(req *SweepRequest) ([]sweepPoint, error) {
 	if total > s.maxGridPoints {
 		return nil, fmt.Errorf("api: sweep grid has %d points, limit is %d", total, s.maxGridPoints)
 	}
+	// Write the resolved axes back into the request (fresh slices, so
+	// a caller's arrays are never mutated): the job subsystem derives
+	// its content key from the normalized request, and an omitted axis
+	// must dedupe against its spelled-out default. ParseProtocol is
+	// exact-match, so explicit protocol names are already canonical;
+	// backends normalize through the engine ("" → "fast").
+	req.Backends = make([]string, len(engines))
+	for i, eng := range engines {
+		req.Backends[i] = eng.Name()
+	}
+	req.Protocols = append([]string(nil), names...)
+	req.PhiFracs = append([]float64(nil), phiFracs...)
+	req.MTBFs = append([]float64(nil), mtbfs...)
 
 	baseStream := rng.New(req.Seed)
 	points := make([]sweepPoint, 0, total)
@@ -404,29 +418,44 @@ func (s *Service) evaluate(pt sweepPoint, runs, simWorkers int) (SweepItem, bool
 }
 
 // SweepStream expands the request's grid, evaluates it across the
-// service's bounded worker pool, and emits the items in grid order as
-// each becomes ready (the first items of a large sweep stream while
-// the rest still compute). emit runs on the caller's goroutine; an
-// emit error or a cancelled ctx aborts the sweep, and the workers stop
-// picking up grid points (a disconnected client does not keep burning
-// CPU on the rest of the grid).
+// service's shared priority pool at interactive priority, and emits
+// the items in grid order as each becomes ready (the first items of a
+// large sweep stream while the rest still compute). emit runs on the
+// caller's goroutine; an emit error or a cancelled ctx aborts the
+// sweep, and no further grid points are admitted to the pool (a
+// disconnected client does not keep burning CPU on the rest of the
+// grid).
 func (s *Service) SweepStream(ctx context.Context, req SweepRequest, emit func(SweepItem) error) (SweepStats, error) {
-	points, err := s.expand(&req) // normalizes req.Runs for the workers below
+	return s.SweepStreamFrom(ctx, req, 0, jobs.Interactive, nil, emit)
+}
+
+// SweepStreamFrom is the one execution engine behind both the
+// synchronous /v1/sweep path and the durable /v1/jobs path: it
+// evaluates the expanded grid from point `offset` on (the points
+// before it are already durable when a job resumes), admitting each
+// point to the service-wide priority pool at priority pr. onExpand, if
+// non-nil, receives the full grid size after validation and before any
+// evaluation; returning an error from it aborts the sweep. The emitted
+// item sequence is deterministic — grid order, content-keyed seeds —
+// so any suffix of it is bitwise reproducible from its offset.
+func (s *Service) SweepStreamFrom(ctx context.Context, req SweepRequest, offset int, pr jobs.Priority, onExpand func(total int) error, emit func(SweepItem) error) (SweepStats, error) {
+	points, err := s.expand(&req) // normalizes req.Runs for the evaluations below
 	if err != nil {
 		return SweepStats{}, err
 	}
 	stats := SweepStats{Points: len(points)}
+	if onExpand != nil {
+		if err := onExpand(len(points)); err != nil {
+			return stats, err
+		}
+	}
+	if offset < 0 || offset > len(points) {
+		return stats, fmt.Errorf("api: resume offset %d outside the %d-point grid", offset, len(points))
+	}
+	points = points[offset:]
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-
-	gridWorkers := s.workers
-	if gridWorkers > len(points) {
-		gridWorkers = len(points)
-	}
-	if gridWorkers < 1 {
-		gridWorkers = 1
-	}
 
 	type slot struct {
 		item   SweepItem
@@ -438,56 +467,34 @@ func (s *Service) SweepStream(ctx context.Context, req SweepRequest, emit func(S
 	for i := range ready {
 		ready[i] = make(chan struct{})
 	}
-	next := make(chan int)
+	// The feeder admits points to the shared pool in grid order: one
+	// blocking token per point (priority-ordered against every other
+	// in-flight sweep and job), plus opportunistically grabbed idle
+	// tokens so the batch executor can fan the point's runs out on a
+	// quiet machine — the concurrent simulation goroutines never exceed
+	// the service's Workers budget, whatever the number of in-flight
+	// requests.
 	go func() {
-		defer close(next)
 		for i := range points {
-			if ctx.Err() != nil {
-				return
+			if err := s.pool.Acquire(ctx, pr); err != nil {
+				slots[i] = slot{err: err}
+				close(ready[i])
+				continue // ctx is dead; fail the rest without blocking
 			}
-			select {
-			case next <- i:
-			case <-ctx.Done():
-				return
+			held := 1
+			for held < req.Runs && s.pool.TryAcquire() {
+				held++
 			}
-		}
-	}()
-	for w := 0; w < gridWorkers; w++ {
-		go func() {
-			for i := range next {
-				// The semaphore is service-wide: concurrent sweep
-				// requests share the Workers budget instead of each
-				// claiming gridWorkers CPUs of their own. Each point
-				// blocks for one slot, then opportunistically grabs
-				// idle slots so the batch executor can fan the runs
-				// out on a quiet machine — the total concurrent
-				// simulation goroutines never exceed the budget.
-				select {
-				case s.sem <- struct{}{}:
-				case <-ctx.Done():
-					slots[i] = slot{err: ctx.Err()}
-					close(ready[i])
-					continue
-				}
-				held := 1
-				for held < req.Runs {
-					select {
-					case s.sem <- struct{}{}:
-						held++
-						continue
-					default:
-					}
-					break
-				}
+			go func(i, held int) {
 				item, cached, err := s.evaluate(points[i], req.Runs, held)
 				for j := 0; j < held; j++ {
-					<-s.sem
+					s.pool.Release()
 				}
 				slots[i] = slot{item: item, cached: cached, err: err}
 				close(ready[i])
-			}
-		}()
-	}
+			}(i, held)
+		}
+	}()
 
 	for i := range points {
 		select {

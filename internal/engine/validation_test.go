@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// This file is the statistical-validation suite: for exponential
+// failures, the Monte-Carlo waste and expected makespan of every
+// backend must agree with the analytic first-order model (Eq. 3/5 for
+// the single-level engines, the two-level composition for the
+// multilevel one) within a 3σ bound derived from the sample variance
+// accumulated by stats.Sample. The suite spans six
+// (protocol, MTBF, φ) points × all three backends; the deterministic
+// seeding makes the outcome reproducible, so a failure here is a real
+// model/kernel divergence, not noise.
+
+// validationPoints are the six (protocol, MTBF, φ/R) grid points: all
+// five protocols, MTBFs from 1 h to 3 h, overheads across [0, 1].
+var validationPoints = []struct {
+	pr      core.Protocol
+	mtbf    float64
+	phiFrac float64
+}{
+	{core.DoubleNBL, 3600, 0.25},
+	{core.DoubleNBL, 7200, 1},
+	{core.TripleNBL, 3600, 0.5},
+	{core.DoubleBoF, 7200, 0.25},
+	{core.TripleBoF, 10800, 0.75},
+	{core.DoubleBlocking, 7200, 0.5},
+}
+
+// validationRequest builds the engine request for one grid point. The
+// detailed backend gets a 96-node platform (its substrates are O(N)
+// per failure; under the merged exponential law the timeline depends
+// only on the platform MTBF, so the point is statistically the same);
+// the multilevel backend gets a fixed global level.
+func validationRequest(eng Engine, pr core.Protocol, mtbf, phiFrac float64) Request {
+	params := scenario.Base().Params.WithMTBF(mtbf)
+	if eng.Name() == "detailed" {
+		params = scenario.Base().Params.WithNodes(96).WithMTBF(mtbf)
+	}
+	req := Request{
+		Protocol: pr,
+		Params:   params,
+		Phi:      core.EffectivePhi(pr, params, phiFrac*params.R),
+		Tbase:    2e4,
+	}
+	if eng.Name() == "multilevel" {
+		req.Global = &Global{G: 100, Rg: 60}
+	}
+	return req
+}
+
+// TestStatisticalValidation asserts, per backend and grid point, that
+// the sampled mean waste lies within 3 standard errors of the model
+// waste, and that the sampled mean makespan lies within 3 standard
+// errors of the first-order projection Tbase/(1-WASTE) (Eq. 3). With
+// 48 runs per point the 3σ bands are a fraction of a percent of
+// waste — tight enough that a biased kernel, a broken aggregation
+// merge or a mis-derived model constant trips the suite.
+func TestStatisticalValidation(t *testing.T) {
+	const runs = 48
+	for _, eng := range []Engine{Fast{}, Detailed{}, Multilevel{}} {
+		t.Run(eng.Name(), func(t *testing.T) {
+			for _, p := range validationPoints {
+				req := validationRequest(eng, p.pr, p.mtbf, p.phiFrac)
+				b := mustCompile(t, eng, req)
+				agg, err := RunMany(b, 42, runs, 4)
+				if err != nil {
+					t.Fatalf("%s M=%v phi=%v: %v", p.pr, p.mtbf, p.phiFrac, err)
+				}
+				if agg.Completed.Rate() != 1 {
+					t.Fatalf("%s M=%v phi=%v: only %v of runs completed; the regime is too hostile to validate against the completed-run model",
+						p.pr, p.mtbf, p.phiFrac, agg.Completed.Rate())
+				}
+				model := b.Model()
+				if model.Waste <= 0 || model.Waste >= 1 {
+					t.Fatalf("%s M=%v phi=%v: model waste %v outside (0, 1)",
+						p.pr, p.mtbf, p.phiFrac, model.Waste)
+				}
+
+				// Waste: |sim - model| <= 3·StdErr.
+				if diff, bound := math.Abs(agg.Waste.Mean()-model.Waste), 3*agg.Waste.StdErr(); diff > bound {
+					t.Errorf("%s M=%v phi=%v: waste %v vs model %v (|Δ| %v > 3σ %v)",
+						p.pr, p.mtbf, p.phiFrac, agg.Waste.Mean(), model.Waste, diff, bound)
+				}
+				// Expected makespan: Eq. 3's projection at the model waste.
+				wantMakespan := req.Tbase / (1 - model.Waste)
+				if diff, bound := math.Abs(agg.Makespan.Mean()-wantMakespan), 3*agg.Makespan.StdErr(); diff > bound {
+					t.Errorf("%s M=%v phi=%v: makespan %v vs model %v (|Δ| %v > 3σ %v)",
+						p.pr, p.mtbf, p.phiFrac, agg.Makespan.Mean(), wantMakespan, diff, bound)
+				}
+			}
+		})
+	}
+}
+
+// TestStatisticalValidationSigmaIsMeaningful guards the suite against
+// a degenerate pass: the 3σ bands must come from real sample spread,
+// not from a variance that collapsed to zero (which would make every
+// comparison trivially depend on exact equality) nor one so wide the
+// bound stops discriminating (> 20% of the model waste).
+func TestStatisticalValidationSigmaIsMeaningful(t *testing.T) {
+	eng := Fast{}
+	for _, p := range validationPoints {
+		req := validationRequest(eng, p.pr, p.mtbf, p.phiFrac)
+		b := mustCompile(t, eng, req)
+		agg, err := RunMany(b, 42, 48, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se := agg.Waste.StdErr()
+		if se <= 0 {
+			t.Errorf("%s M=%v phi=%v: zero waste variance across 48 runs", p.pr, p.mtbf, p.phiFrac)
+		}
+		if rel := 3 * se / b.Model().Waste; rel > 0.20 {
+			t.Errorf("%s M=%v phi=%v: 3σ is %.0f%% of the model waste; the band is too loose to validate anything",
+				p.pr, p.mtbf, p.phiFrac, 100*rel)
+		}
+	}
+}

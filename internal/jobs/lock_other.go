@@ -1,0 +1,9 @@
+//go:build !unix
+
+package jobs
+
+// lockDir is a no-op on platforms without flock semantics; the
+// single-writer guard is advisory and Unix-only.
+func lockDir(dir string) (release func(), err error) {
+	return func() {}, nil
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on <dir>/.lock, so two
+// server processes pointed at the same -jobs-dir fail fast instead of
+// both appending to the same results files. The kernel releases the
+// lock when the process dies, so a kill -9 never leaves a stale lock
+// behind (unlike a pid file).
+func lockDir(dir string) (release func(), err error) {
+	f, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: directory %s is owned by another process: %w", dir, err)
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,674 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Executor runs one job's request from a point offset: it must emit
+// exactly one '\n'-terminated NDJSON line per completed point, in the
+// request's deterministic point order, starting at point `offset`
+// (the lines before it are already durable). start is called once,
+// before any emission, with the request's total point count. A
+// deterministic executor — same request, same offset, same line bytes
+// — is what makes a resumed job bitwise identical to an uninterrupted
+// one.
+type Executor func(ctx context.Context, request []byte, offset int, start func(total int) error, emit func(line []byte) error) error
+
+// Normalizer validates a raw request and returns its canonical bytes
+// (the content key: identical sweeps must canonicalize identically)
+// and total point count. Errors are request errors (HTTP 400).
+type Normalizer func(request []byte) (canonical []byte, total int, err error)
+
+// Config configures a Manager.
+type Config struct {
+	// Dir is the durable job directory.
+	Dir string
+	// MaxConcurrent bounds jobs executing simultaneously (default 1).
+	// Point-level parallelism inside each job is governed by the shared
+	// Pool, not by this knob.
+	MaxConcurrent int
+	// CheckpointEvery flushes+fsyncs the results file and persists the
+	// progress marker every N completed points (default 16).
+	CheckpointEvery int
+	// Exec executes job requests.
+	Exec Executor
+	// Normalize canonicalizes and validates submissions.
+	Normalize Normalizer
+	// now stamps Meta times; tests may override. Nil uses time.Now.
+	now func() time.Time
+}
+
+// job is the in-memory side of one job.
+type job struct {
+	meta            Meta
+	cancelRequested bool
+	cancel          context.CancelFunc // non-nil while running
+	// creating is true while Submit is still making the job durable
+	// (the directory may not exist yet): Cancel defers its disk write
+	// to Submit's completion and runners cannot see the job (it is not
+	// queued until creating clears).
+	creating bool
+	subs     map[chan struct{}]struct{}
+}
+
+// Manager owns the job lifecycle: it persists submissions through a
+// Store, schedules them over MaxConcurrent runner goroutines, streams
+// their results to followers, and resumes interrupted jobs on
+// restart. All methods are safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	store *Store
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	unlock   func() // releases the jobs-directory flock
+	unlockMu sync.Once
+
+	mu     sync.Mutex
+	cond   *sync.Cond // signals runners that queue/closed changed
+	jobs   map[string]*job
+	queue  []string // pending job ids, FIFO
+	closed bool
+}
+
+// NewManager opens the job directory, recovers persisted jobs —
+// running jobs from a previous process go back to pending and will
+// resume from their last durable point — and starts the runner
+// goroutines.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Exec == nil || cfg.Normalize == nil {
+		return nil, errors.New("jobs: manager needs Exec and Normalize")
+	}
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.CheckpointEvery < 1 {
+		cfg.CheckpointEvery = 16
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	store, err := NewStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	// One writer per directory: a second manager (another serve
+	// process sharing -jobs-dir) would race this one's appends and
+	// corrupt the byte-identical results guarantee.
+	unlock, err := lockDir(store.Dir())
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{cfg: cfg, store: store, jobs: make(map[string]*job), unlock: unlock}
+	m.cond = sync.NewCond(&m.mu)
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+
+	metas, err := store.Load()
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	// Oldest first, so recovered work keeps its submission order.
+	sort.Slice(metas, func(i, j int) bool {
+		if metas[i].CreatedAt != metas[j].CreatedAt {
+			return metas[i].CreatedAt < metas[j].CreatedAt
+		}
+		return metas[i].ID < metas[j].ID
+	})
+	for _, meta := range metas {
+		if meta.State == Running {
+			meta.State = Pending // the process died mid-execution
+			if err := store.WriteMeta(meta); err != nil {
+				unlock()
+				return nil, err
+			}
+		}
+		m.jobs[meta.ID] = &job{meta: meta, subs: make(map[chan struct{}]struct{})}
+		if meta.State == Pending {
+			m.queue = append(m.queue, meta.ID)
+		}
+	}
+
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	return m, nil
+}
+
+// Close stops accepting work, cancels running jobs and waits for the
+// runners to drain. Running jobs flush their progress and stay in
+// state "running" on disk, so the next NewManager over the same
+// directory resumes them; pending jobs stay pending.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	m.cond.Broadcast()
+	m.wg.Wait()
+	m.unlockMu.Do(m.unlock)
+}
+
+// Store returns the manager's durable store (for results paths and
+// diagnostics).
+func (m *Manager) Store() *Store { return m.store }
+
+// Submit canonicalizes the request and creates (or dedupes to) its
+// content-keyed job. The boolean reports whether a new job was
+// created; resubmitting an identical request returns the existing
+// job, whatever its state.
+func (m *Manager) Submit(request []byte) (Meta, bool, error) {
+	canonical, total, err := m.cfg.Normalize(request)
+	if err != nil {
+		return Meta{}, false, err
+	}
+	id := IDFor(canonical)
+
+	meta := Meta{
+		ID:        id,
+		State:     Pending,
+		Total:     total,
+		CreatedAt: m.cfg.now().UnixMilli(),
+	}
+	// Reserve the id under the lock, but run the store's fsync-heavy
+	// Create outside it: a submission burst on a slow disk must not
+	// stall status reads, checkpoints and cancels for every other job.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Meta{}, false, errors.New("jobs: manager is shut down")
+	}
+	if j, ok := m.jobs[id]; ok {
+		existing := j.meta
+		m.mu.Unlock()
+		return existing, false, nil
+	}
+	j := &job{meta: meta, creating: true, subs: make(map[chan struct{}]struct{})}
+	m.jobs[id] = j
+	m.mu.Unlock()
+
+	if err := m.store.Create(meta, canonical); err != nil {
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		m.notify(j) // waiters on the vanished job observe ErrNotFound
+		return Meta{}, false, err
+	}
+
+	m.mu.Lock()
+	j.creating = false
+	if j.cancelRequested {
+		// Cancelled while being created: finalize the terminal state
+		// now that the directory exists; never enqueue.
+		m.mu.Unlock()
+		m.finish(id, Cancelled, "")
+		meta, _ := m.Get(id)
+		return meta, true, nil
+	}
+	// Enqueue only after the request is durable, so a runner never
+	// races a half-created job.
+	m.queue = append(m.queue, id)
+	m.cond.Signal()
+	m.mu.Unlock()
+	return meta, true, nil
+}
+
+// Get returns a job's current status.
+func (m *Manager) Get(id string) (Meta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Meta{}, ErrNotFound
+	}
+	return j.meta, nil
+}
+
+// List returns every job's status, oldest first (ties broken by id).
+func (m *Manager) List() []Meta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	metas := make([]Meta, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		metas = append(metas, j.meta)
+	}
+	sort.Slice(metas, func(i, j int) bool {
+		if metas[i].CreatedAt != metas[j].CreatedAt {
+			return metas[i].CreatedAt < metas[j].CreatedAt
+		}
+		return metas[i].ID < metas[j].ID
+	})
+	return metas
+}
+
+// Cancel requests cancellation: a pending job becomes cancelled
+// immediately; a running job's context is cancelled and it transitions
+// once its executor unwinds (the returned Meta may still say
+// "running"). Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (Meta, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return Meta{}, ErrNotFound
+	}
+	switch j.meta.State {
+	case Pending:
+		if j.creating {
+			// The job directory may not exist yet; Submit finalizes the
+			// cancellation once the creation lands.
+			j.cancelRequested = true
+			meta := j.meta
+			m.mu.Unlock()
+			return meta, nil
+		}
+		// Mark and dequeue under the lock (a racing runner skips a
+		// cancel-requested job), but persist before the in-memory state
+		// turns terminal so an observer's immediate Delete cannot race
+		// the meta rename.
+		j.cancelRequested = true
+		m.dequeue(id)
+		meta := j.meta
+		meta.State = Cancelled
+		meta.FinishedAt = m.cfg.now().UnixMilli()
+		m.mu.Unlock()
+		if err := m.store.WriteMeta(meta); err != nil {
+			return meta, err
+		}
+		m.mu.Lock()
+		if j, ok := m.jobs[id]; ok {
+			j.meta = meta
+		}
+		m.mu.Unlock()
+		m.notifyJob(id)
+		return meta, nil
+	case Running:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		meta := j.meta
+		m.mu.Unlock()
+		return meta, nil
+	default:
+		meta := j.meta
+		m.mu.Unlock()
+		return meta, nil
+	}
+}
+
+// Delete removes a terminal job from the store and the listing. An
+// active (pending/running) job must be cancelled first.
+func (m *Manager) Delete(id string) (Meta, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return Meta{}, ErrNotFound
+	}
+	meta := j.meta
+	if !meta.State.Terminal() {
+		m.mu.Unlock()
+		return meta, fmt.Errorf("jobs: job %s is %s; cancel it before deleting", id, meta.State)
+	}
+	delete(m.jobs, id)
+	m.mu.Unlock()
+	return meta, m.store.Remove(id)
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx is done)
+// and returns its final status.
+func (m *Manager) Wait(ctx context.Context, id string) (Meta, error) {
+	ch, unsub, err := m.subscribe(id)
+	if err != nil {
+		return Meta{}, err
+	}
+	defer unsub()
+	for {
+		meta, err := m.Get(id)
+		if err != nil || meta.State.Terminal() {
+			return meta, err
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return meta, ctx.Err()
+		}
+	}
+}
+
+// subscribe registers a wakeup channel signalled on every checkpoint
+// and state transition of the job.
+func (m *Manager) subscribe(id string) (ch chan struct{}, unsub func(), err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch = make(chan struct{}, 1)
+	j.subs[ch] = struct{}{}
+	return ch, func() {
+		m.mu.Lock()
+		delete(j.subs, ch)
+		m.mu.Unlock()
+	}, nil
+}
+
+// notifyJob wakes the job's subscribers (non-blocking).
+func (m *Manager) notifyJob(id string) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if ok {
+		m.notify(j)
+	}
+}
+
+// notify wakes a job object's subscribers directly — usable even when
+// the job was just unlinked from the map.
+func (m *Manager) notify(j *job) {
+	m.mu.Lock()
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	m.mu.Unlock()
+}
+
+// dequeue removes id from the pending queue (m.mu held).
+func (m *Manager) dequeue(id string) {
+	for i, q := range m.queue {
+		if q == id {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// runner is one job-executing goroutine: it pops pending jobs in
+// submission order until the manager closes.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		id := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		m.runJob(id)
+	}
+}
+
+// runJob executes one job end to end: transition to running, recover
+// the durable offset, execute from there with periodic checkpoints,
+// and persist the terminal state. On manager shutdown the job's disk
+// state is left "running" with its progress flushed, which the next
+// manager recovers into a resumed pending job.
+func (m *Manager) runJob(id string) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok || j.meta.State != Pending || j.cancelRequested {
+		m.mu.Unlock()
+		return
+	}
+	jctx, cancel := context.WithCancel(m.ctx)
+	defer cancel()
+	j.cancel = cancel
+	j.meta.State = Running
+	if j.meta.StartedAt == 0 {
+		j.meta.StartedAt = m.cfg.now().UnixMilli()
+	}
+	meta := j.meta
+	m.mu.Unlock()
+
+	fail := func(err error) {
+		m.finish(id, Failed, err.Error())
+	}
+	if err := m.store.WriteMeta(meta); err != nil {
+		fail(err)
+		return
+	}
+	m.notifyJob(id)
+
+	request, err := m.store.Request(id)
+	if err != nil {
+		fail(err)
+		return
+	}
+	f, offset, err := m.store.OpenResults(id)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer f.Close()
+
+	w := bufio.NewWriter(f)
+	completed := offset
+	unflushed := 0
+	checkpoint := func() error {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		unflushed = 0
+		m.mu.Lock()
+		j.meta.Completed = completed
+		meta := j.meta
+		m.mu.Unlock()
+		if err := m.store.WriteMeta(meta); err != nil {
+			return err
+		}
+		m.notifyJob(id)
+		return nil
+	}
+	start := func(total int) error {
+		m.mu.Lock()
+		j.meta.Total = total
+		m.mu.Unlock()
+		return nil
+	}
+	emit := func(line []byte) error {
+		if len(line) == 0 || line[len(line)-1] != '\n' || bytes.IndexByte(line[:len(line)-1], '\n') >= 0 {
+			return fmt.Errorf("jobs: executor emitted a malformed record (%d bytes)", len(line))
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		completed++
+		unflushed++
+		if unflushed >= m.cfg.CheckpointEvery {
+			return checkpoint()
+		}
+		return nil
+	}
+
+	execErr := m.cfg.Exec(jctx, request, offset, start, emit)
+
+	// Whatever happened, make the emitted prefix durable: even a failed
+	// or interrupted job resumes (or reports) from everything it
+	// completed.
+	if err := checkpoint(); err != nil && execErr == nil {
+		execErr = err
+	}
+
+	m.mu.Lock()
+	cancelled := j.cancelRequested
+	shutdown := m.ctx.Err() != nil && !cancelled
+	j.cancel = nil
+	m.mu.Unlock()
+
+	switch {
+	case execErr == nil:
+		// Every point is durable: the job is done even when a cancel
+		// (or shutdown) raced the final emission — a byte-complete
+		// result set must never read as a truncated one.
+		m.finish(id, Done, "")
+	case shutdown:
+		// Manager shutdown: leave the durable state "running" so the
+		// next manager resumes the job; only the in-memory view ends.
+	case cancelled:
+		m.finish(id, Cancelled, "")
+	default:
+		fail(execErr)
+	}
+}
+
+// finish persists a terminal transition. The disk write lands BEFORE
+// the in-memory state turns terminal, so an observer that sees a
+// terminal status (and may immediately Delete the directory) never
+// races the meta rename. A persistence failure is surfaced in the
+// job's Error field: the in-memory state is still terminal for this
+// process, but the disk may say "running" — the next start would
+// resume the job — so clients reading the status see the store is in
+// trouble instead of nothing at all.
+func (m *Manager) finish(id string, state State, errMsg string) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	meta := j.meta
+	meta.State = state
+	meta.Error = errMsg
+	meta.FinishedAt = m.cfg.now().UnixMilli()
+	m.mu.Unlock()
+	if err := m.store.WriteMeta(meta); err != nil {
+		if meta.Error == "" {
+			meta.Error = fmt.Sprintf("terminal state not persisted: %v", err)
+		} else {
+			meta.Error = fmt.Sprintf("%s (terminal state not persisted: %v)", meta.Error, err)
+		}
+	}
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok {
+		j.meta = meta
+	}
+	m.mu.Unlock()
+	m.notifyJob(id)
+}
+
+// StreamResults emits the job's durable result lines from line-number
+// `offset` on, then follows the file — waking on every checkpoint —
+// until the job is terminal, and returns the final status. Lines are
+// emitted exactly as the executor produced them; a torn tail is never
+// emitted (only '\n'-terminated lines count). A client that was cut
+// off at line K resumes with offset=K and receives the identical
+// remaining byte stream.
+func (m *Manager) StreamResults(ctx context.Context, id string, offset int, emit func(line []byte) error) (Meta, error) {
+	meta, err := m.Get(id)
+	if err != nil {
+		return Meta{}, err
+	}
+	ch, unsub, err := m.subscribe(id)
+	if err != nil {
+		return Meta{}, err
+	}
+	defer unsub()
+
+	f, err := os.Open(m.store.ResultsPath(id))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return meta, err
+	}
+	// The file may not exist yet (the job has not started); drain
+	// reopens it on a later wakeup, so close whatever handle is current
+	// when the stream ends, not just the one opened here.
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+
+	var pos int64 // byte offset of the last consumed complete line
+	skip := offset
+	buf := make([]byte, 64<<10)
+	drain := func() error {
+		if f == nil { // not created yet; reopen on the next wakeup
+			var oerr error
+			if f, oerr = os.Open(m.store.ResultsPath(id)); oerr != nil {
+				if errors.Is(oerr, os.ErrNotExist) {
+					return nil
+				}
+				return oerr
+			}
+		}
+		// pos only ever rests on a line boundary: a torn tail is left
+		// in the file and re-read on the next wakeup rather than
+		// buffered across drains. Crash-recovery truncation
+		// (Store.OpenResults) removes only bytes after the last '\n',
+		// so pos stays valid even when a resumed job rewrites the tail
+		// under a live follower.
+		if _, err := f.Seek(pos, io.SeekStart); err != nil {
+			return err
+		}
+		var pending []byte
+		for {
+			n, rerr := f.Read(buf)
+			if n > 0 {
+				pending = append(pending, buf[:n]...)
+				for {
+					i := bytes.IndexByte(pending, '\n')
+					if i < 0 {
+						break
+					}
+					line := pending[:i+1]
+					pos += int64(i + 1)
+					if skip > 0 {
+						skip--
+					} else if err := emit(line); err != nil {
+						return err
+					}
+					pending = pending[i+1:]
+				}
+			}
+			if rerr == io.EOF {
+				return nil
+			}
+			if rerr != nil {
+				return rerr
+			}
+		}
+	}
+
+	for {
+		if err := drain(); err != nil {
+			return meta, err
+		}
+		meta, err = m.Get(id)
+		if err != nil {
+			return Meta{}, err
+		}
+		if meta.State.Terminal() {
+			// One final drain: the terminal checkpoint may have landed
+			// between the last drain and the state read.
+			return meta, drain()
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return meta, ctx.Err()
+		}
+	}
+}

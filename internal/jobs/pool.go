@@ -1,0 +1,152 @@
+// Package jobs is the durable sweep-job subsystem behind /v1/jobs:
+// sweeps are submitted as content-keyed jobs, executed by a bounded
+// job scheduler over a single shared, priority-aware evaluation pool,
+// and checkpointed to disk every few completed points so that a
+// restarted server resumes a job mid-sweep — bitwise identically,
+// thanks to the deterministic per-point seeding of the sweep engine.
+//
+// The package is deliberately ignorant of what a sweep is: the
+// Manager executes opaque request bytes through an injected Executor
+// and persists the NDJSON lines it emits, so internal/api can supply
+// the sweep engine without a dependency cycle. DESIGN.md, "Job
+// subsystem", documents the state machine, the checkpoint format and
+// the resume semantics.
+package jobs
+
+import (
+	"context"
+	"sync"
+)
+
+// Priority orders admission to the shared evaluation pool. Lower
+// values win: an interactive /v1/sweep waiter is admitted before any
+// queued background-job point, whatever their arrival order.
+type Priority int
+
+const (
+	// Interactive is the priority of synchronous sweep requests (a
+	// client is blocked on the answer).
+	Interactive Priority = iota
+	// Batch is the priority of background job points: they soak up
+	// whatever capacity interactive traffic leaves idle.
+	Batch
+	numPriorities
+)
+
+// Pool is the single shared, bounded, priority-aware evaluation pool:
+// a counting semaphore over the service's worker budget whose wait
+// queues are drained in priority order (FIFO within a priority). It
+// replaces the per-request goroutine fan-out the sweep engine used to
+// spawn — every in-flight sweep, synchronous or job, draws its
+// per-point concurrency from this one budget.
+//
+// Invariant: a waiter only exists while the budget is exhausted, and
+// a released token is handed straight to the highest-priority waiter
+// (the in-use count never dips while someone is queued), so capacity
+// is never idle under load and Batch work cannot starve Interactive
+// work.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	waiters  [numPriorities][]chan struct{}
+}
+
+// NewPool returns a pool with the given concurrency budget (minimum 1).
+func NewPool(capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{capacity: capacity}
+}
+
+// Capacity returns the pool's concurrency budget.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Acquire blocks until one budget token is granted or ctx is done.
+// Tokens are granted in priority order, FIFO within a priority. A
+// dead ctx fails even when budget is idle, so a cancelled sweep's
+// feeder stops dispatching instead of riding the uncontended fast
+// path through the rest of its grid.
+func (p *Pool) Acquire(ctx context.Context, pr Priority) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.inUse < p.capacity && !p.hasWaiters() {
+		p.inUse++
+		p.mu.Unlock()
+		return nil
+	}
+	w := make(chan struct{})
+	p.waiters[pr] = append(p.waiters[pr], w)
+	p.mu.Unlock()
+	select {
+	case <-w:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		removed := p.remove(pr, w)
+		p.mu.Unlock()
+		if !removed {
+			// The grant raced the cancellation: the token is ours, so
+			// hand it back to the next waiter.
+			p.Release()
+		}
+		return ctx.Err()
+	}
+}
+
+// TryAcquire grants a token only if budget is idle right now AND no
+// one is queued — opportunistic inner parallelism (a point fanning its
+// Monte-Carlo runs out) never starves queued grid points.
+func (p *Pool) TryAcquire() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inUse < p.capacity && !p.hasWaiters() {
+		p.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one token, handing it to the highest-priority
+// waiter if any.
+func (p *Pool) Release() {
+	p.mu.Lock()
+	for pr := range p.waiters {
+		if len(p.waiters[pr]) > 0 {
+			w := p.waiters[pr][0]
+			p.waiters[pr] = p.waiters[pr][1:]
+			p.mu.Unlock()
+			close(w) // token transferred, inUse unchanged
+			return
+		}
+	}
+	p.inUse--
+	p.mu.Unlock()
+}
+
+// hasWaiters reports whether any queue is non-empty (p.mu held).
+func (p *Pool) hasWaiters() bool {
+	for pr := range p.waiters {
+		if len(p.waiters[pr]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// remove unlinks w from its queue, reporting whether it was still
+// queued (p.mu held). A false return means the token was already
+// granted concurrently.
+func (p *Pool) remove(pr Priority, w chan struct{}) bool {
+	q := p.waiters[pr]
+	for i := range q {
+		if q[i] == w {
+			p.waiters[pr] = append(q[:i], q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolCapacityBound(t *testing.T) {
+	p := NewPool(2)
+	ctx := context.Background()
+	if err := p.Acquire(ctx, Interactive); err != nil {
+		t.Fatal(err)
+	}
+	if !p.TryAcquire() {
+		t.Fatal("second token should be free")
+	}
+	if p.TryAcquire() {
+		t.Fatal("third token must be refused at capacity 2")
+	}
+	p.Release()
+	if !p.TryAcquire() {
+		t.Fatal("released token should be reacquirable")
+	}
+}
+
+// TestPoolPriorityOrder pins the scheduling contract: a released token
+// goes to the interactive waiter even when a batch waiter queued
+// first.
+func TestPoolPriorityOrder(t *testing.T) {
+	p := NewPool(1)
+	ctx := context.Background()
+	if err := p.Acquire(ctx, Interactive); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan Priority, 2)
+	var wg sync.WaitGroup
+	acquire := func(pr Priority) {
+		defer wg.Done()
+		if err := p.Acquire(ctx, pr); err != nil {
+			t.Error(err)
+			return
+		}
+		got <- pr
+		p.Release()
+	}
+	wg.Add(1)
+	go acquire(Batch)
+	// Wait until the batch waiter is queued before queueing the
+	// interactive one, so arrival order is fixed.
+	for queued := false; !queued; {
+		p.mu.Lock()
+		queued = len(p.waiters[Batch]) == 1
+		p.mu.Unlock()
+	}
+	wg.Add(1)
+	go acquire(Interactive)
+	for queued := false; !queued; {
+		p.mu.Lock()
+		queued = len(p.waiters[Interactive]) == 1
+		p.mu.Unlock()
+	}
+
+	p.Release()
+	wg.Wait()
+	close(got)
+	if first := <-got; first != Interactive {
+		t.Errorf("first grant went to priority %d, want Interactive", first)
+	}
+}
+
+// TestPoolTryAcquireNeverStarvesWaiters: opportunistic extra tokens
+// are refused while anyone is queued, even if capacity is nominally
+// free for an instant.
+func TestPoolTryAcquireNeverStarvesWaiters(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background(), Interactive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := p.Acquire(context.Background(), Batch); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Release()
+	}()
+	for queued := false; !queued; {
+		p.mu.Lock()
+		queued = len(p.waiters[Batch]) == 1
+		p.mu.Unlock()
+	}
+	if p.TryAcquire() {
+		t.Error("TryAcquire must refuse while a waiter is queued")
+	}
+	p.Release() // hand the token to the waiter
+	<-done
+	if !p.TryAcquire() {
+		t.Error("token should be free after the waiter released it")
+	}
+	p.Release()
+}
+
+// TestPoolAcquireDeadContextOnIdlePool: a cancelled context must fail
+// Acquire even when budget is free — the fast path may not outrun the
+// cancellation check, or a disconnected client's sweep would keep
+// dispatching its whole grid on an idle server.
+func TestPoolAcquireDeadContextOnIdlePool(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Acquire(ctx, Interactive); err == nil {
+		t.Fatal("acquire on an idle pool must still honor a dead context")
+	}
+	if !p.TryAcquire() {
+		t.Error("failed acquire must not consume budget")
+	}
+	p.Release()
+}
+
+func TestPoolAcquireCancelled(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background(), Interactive); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.Acquire(ctx, Batch); err == nil {
+		t.Fatal("acquire should fail when the context dies first")
+	}
+	// The cancelled waiter must have unlinked itself: the release goes
+	// back to the free budget, not to a ghost.
+	p.Release()
+	if !p.TryAcquire() {
+		t.Error("token lost to a cancelled waiter")
+	}
+	p.Release()
+}
