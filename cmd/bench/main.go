@@ -1,19 +1,20 @@
 // Command bench runs the repository's fixed performance suite — the
 // Monte-Carlo kernel, the streaming batch aggregation, the detailed
-// substrate engine (per-run rebuild vs compiled batch), the API sweep
-// engine, and the durable job path — and writes a machine-readable
-// JSON report, so every PR extends a comparable perf trajectory
-// (BENCH_PR4.json is this PR's committed snapshot).
+// substrate engine (memoized one-shot vs compiled batch), the API
+// sweep engine, the durable job path, and the adaptive-precision
+// executor with its equal-CI fixed-budget comparison — and writes a
+// machine-readable JSON report, so every PR extends a comparable perf
+// trajectory (BENCH_PR5.json is this PR's committed snapshot).
 //
 // Usage:
 //
 //	go run ./cmd/bench [-short] [-out bench.json] \
-//	    [-baseline BENCH_PR4.json] [-max-regress 0.25]
+//	    [-baseline BENCH_PR5.json] [-max-regress 0.25]
 //
-// With -baseline, the measured engine-throughput, detailed-runner and
-// job-overhead ns/op are compared against the committed report and the
-// process exits non-zero when any regressed by more than -max-regress
-// (CI's regression gate).
+// With -baseline, the measured engine-throughput, detailed-runner,
+// job-overhead and adaptive-sweep ns/op are compared against the
+// committed report and the process exits non-zero when any regressed
+// by more than -max-regress (CI's regression gate).
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/jobs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -342,6 +344,151 @@ func benchJobOverhead(short bool) Metric {
 	return metric("job_overhead", res)
 }
 
+// adaptiveBenchGrid compiles the representative 3-backend grid of the
+// adaptive-vs-fixed comparison: fast points spanning the variance
+// spectrum (hostile, moderate and healthy MTBFs on one platform), a
+// detailed point, and a multilevel point. The platform is shrunk to 96
+// ranks so all three backends simulate the same physical machine.
+func adaptiveBenchGrid(short bool) ([]engine.Batch, error) {
+	tbase := 1e4
+	if short {
+		tbase = 5e3
+	}
+	p := scenario.Base().Params.WithNodes(96)
+	mk := func(eng engine.Engine, mtbf float64, global *engine.Global) (engine.Batch, error) {
+		q := p.WithMTBF(mtbf)
+		req := engine.Request{
+			Protocol: core.DoubleNBL,
+			Params:   q,
+			Phi:      0.25 * q.R,
+			Tbase:    tbase,
+			Global:   global,
+		}
+		resolved, err := eng.Resolve(req)
+		if err != nil {
+			return nil, err
+		}
+		return eng.Compile(resolved)
+	}
+	var batches []engine.Batch
+	for _, pt := range []struct {
+		eng    engine.Engine
+		mtbf   float64
+		global *engine.Global
+	}{
+		{engine.Fast{}, 600, nil},
+		{engine.Fast{}, 3600, nil},
+		{engine.Fast{}, 28800, nil},
+		{engine.Detailed{}, 600, nil},
+		{engine.Multilevel{}, 900, &engine.Global{G: 50, Rg: 50}},
+	} {
+		b, err := mk(pt.eng, pt.mtbf, pt.global)
+		if err != nil {
+			return nil, err
+		}
+		batches = append(batches, b)
+	}
+	return batches, nil
+}
+
+// adaptiveSearchResult caches the equal-precision fixed budgets per
+// workload size: the search simulates far more than either timed
+// side, and the regression gate re-invokes benchAdaptive at the
+// baseline's size — the memo keeps that re-measure from paying the
+// search twice in one process.
+type adaptiveSearchResult struct {
+	adaptiveRuns, fixedRuns int
+	fixedBudget             []int
+}
+
+var adaptiveSearchMemo = map[bool]adaptiveSearchResult{}
+
+// benchAdaptive measures the adaptive-precision executor on the
+// 3-backend grid and computes its equal-precision comparison against
+// fixed budgets: for every point, the smallest doubling fixed budget
+// whose raw CI95 matches the adaptive run's achieved (variance-
+// reduced) CI is searched, and the totals — runs and wall-clock — are
+// reported in Extra. NsOp is the adaptive evaluation of the full grid.
+func benchAdaptive(short bool) Metric {
+	batches, err := adaptiveBenchGrid(short)
+	if err != nil {
+		fatal(err)
+	}
+	spec := engine.Precision{TargetRelErr: 0.05, MinRuns: 8, MaxRuns: 4096}
+	const seed, fixedCap = 42, 1 << 15
+
+	search, ok := adaptiveSearchMemo[short]
+	if !ok {
+		adaptiveRuns := 0
+		for _, b := range batches {
+			ar, err := engine.RunAdaptive(b, seed, spec, 0)
+			if err != nil {
+				fatal(err)
+			}
+			adaptiveRuns += ar.RunsUsed
+			n := spec.MinRuns
+			for {
+				agg, err := engine.RunMany(b, seed, n, 0)
+				if err != nil {
+					fatal(err)
+				}
+				if agg.Waste.CI95() <= ar.CI95 {
+					break
+				}
+				if n >= fixedCap {
+					// Even the cap cannot match the variance-reduced CI;
+					// charging the fixed side only the cap understates the
+					// savings, so say so instead of silently pretending
+					// equality.
+					fmt.Printf("adaptive: fixed budget capped at %d runs with CI %.3g > adaptive %.3g; savings understated\n",
+						n, agg.Waste.CI95(), ar.CI95)
+					break
+				}
+				n *= 2
+			}
+			search.fixedBudget = append(search.fixedBudget, n)
+			search.fixedRuns += n
+		}
+		search.adaptiveRuns = adaptiveRuns
+		adaptiveSearchMemo[short] = search
+	}
+	adaptiveRuns, fixedRuns, fixedBudget := search.adaptiveRuns, search.fixedRuns, search.fixedBudget
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, batch := range batches {
+				if _, err := engine.RunAdaptive(batch, seed, spec, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(adaptiveRuns*b.N)/secs, "runs/sec")
+		}
+	})
+	fixedRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, batch := range batches {
+				if _, err := engine.RunMany(batch, seed, fixedBudget[j], 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	m := metric("adaptive_sweep", res)
+	if m.Extra == nil {
+		m.Extra = make(map[string]float64)
+	}
+	m.Extra["adaptive_runs"] = float64(adaptiveRuns)
+	m.Extra["fixed_runs_equal_ci"] = float64(fixedRuns)
+	m.Extra["run_savings"] = float64(fixedRuns) / float64(adaptiveRuns)
+	fixedNs := float64(fixedRes.T.Nanoseconds()) / float64(fixedRes.N)
+	m.Extra["fixed_ns_op_equal_ci"] = fixedNs
+	m.Extra["wallclock_savings"] = fixedNs / m.NsOp
+	return m
+}
+
 // gatedBench describes one benchmark the regression gate checks. The
 // fast kernel's alloc gate is absolute (+allocSlack): its hot path is
 // allocation-free, so any per-run allocation is a regression. The
@@ -362,6 +509,10 @@ var gatedBenches = []gatedBench{
 	// writes), so its alloc gate is relative like the detailed one. Not
 	// required: baselines older than PR 4 do not carry it.
 	{name: "job_overhead", measure: benchJobOverhead, relAllocs: true},
+	// The adaptive executor allocates per round (runner construction,
+	// chunk buffers), so its alloc gate is relative too. Not required:
+	// baselines older than PR 5 do not carry it.
+	{name: "adaptive_sweep", measure: benchAdaptive, relAllocs: true},
 }
 
 // gate compares the measured headline benchmarks against a committed
@@ -472,6 +623,7 @@ func main() {
 		benchDetailedRunner,
 		benchSweep,
 		benchJobOverhead,
+		benchAdaptive,
 	} {
 		m := run(*short)
 		fmt.Printf("%-22s %14.0f ns/op %8d allocs/op", m.Name, m.NsOp, m.AllocsOp)

@@ -10,16 +10,22 @@
 //	simulate [-scenario Base|Exa] [-mtbf 1800] [-phi 0.25]
 //	         [-tbase 2e5] [-runs 16] [-seed 42]
 //	         [-backend fast|detailed|multilevel]
+//	         [-target-rel-err 0.05] [-max-runs 512]
 //	         [-law exponential|weibull|lognormal] [-shape 0.7]
 //	         [-g 200] [-rg 200] [-k 0]
 //	         [-record trace.json | -replay trace.json]
 //	         [-substrate]
+//
+// With -target-rel-err, each protocol runs under the adaptive-
+// precision executor (-runs is the first round, -max-runs the cap)
+// and the table reports the budget each row actually consumed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -35,9 +41,11 @@ func main() {
 	mtbf := flag.Float64("mtbf", 1800, "platform MTBF in seconds")
 	phiFrac := flag.Float64("phi", 0.25, "overhead fraction of R")
 	tbase := flag.Float64("tbase", 2e5, "failure-free application duration (s)")
-	runs := flag.Int("runs", 16, "Monte-Carlo runs per protocol")
+	runs := flag.Int("runs", 16, "Monte-Carlo runs per protocol (first round under -target-rel-err)")
 	seed := flag.Uint64("seed", 42, "base RNG seed")
 	backend := flag.String("backend", "fast", "evaluation backend: fast, detailed or multilevel")
+	targetRelErr := flag.Float64("target-rel-err", 0, "adaptive precision: stop once the waste CI95 is below this fraction of the waste (0 = fixed budget)")
+	maxRuns := flag.Int("max-runs", 0, "adaptive precision: per-protocol run cap (default 32x runs)")
 	lawName := flag.String("law", "", "failure law: exponential (default), weibull or lognormal")
 	shape := flag.Float64("shape", 0, "weibull shape / lognormal sigma for -law")
 	g := flag.Float64("g", 200, "multilevel: global checkpoint duration (s)")
@@ -135,6 +143,7 @@ func main() {
 		fail(err)
 	}
 	rows := make([]experiments.ValidationRow, 0, len(core.Protocols))
+	adaptiveTotal := 0
 	for _, pr := range core.Protocols {
 		req := engine.Request{
 			Protocol: pr,
@@ -146,9 +155,29 @@ func main() {
 		if eng.Name() == "multilevel" {
 			req.Global = &engine.Global{G: *g, Rg: *rg, K: *k}
 		}
-		row, err := experiments.ValidateRequest(eng, req, *seed, *runs, 0)
-		if err != nil {
-			fail(err)
+		var row experiments.ValidationRow
+		if *targetRelErr > 0 {
+			resolved, err := eng.Resolve(req)
+			if err != nil {
+				fail(err)
+			}
+			b, err := eng.Compile(resolved)
+			if err != nil {
+				fail(err)
+			}
+			spec := engine.Precision{TargetRelErr: *targetRelErr, MinRuns: *runs, MaxRuns: *maxRuns}
+			var ar engine.AdaptiveResult
+			row, ar, err = experiments.ValidateAdaptive(b, *seed, spec, 0)
+			if err != nil {
+				fail(err)
+			}
+			adaptiveTotal += ar.RunsUsed
+		} else {
+			var err error
+			row, err = experiments.ValidateRequest(eng, req, *seed, *runs, 0)
+			if err != nil {
+				fail(err)
+			}
 		}
 		rows = append(rows, row)
 	}
@@ -156,9 +185,31 @@ func main() {
 	if law != nil {
 		lawLabel = law.Name()
 	}
-	fmt.Printf("scenario %s, backend %s, law %s, M = %.0fs, Tbase = %.0fs, %d runs/protocol\n\n",
-		sc.Name, eng.Name(), lawLabel, p.M, *tbase, *runs)
+	if *targetRelErr > 0 {
+		fmt.Printf("scenario %s, backend %s, law %s, M = %.0fs, Tbase = %.0fs, adaptive rel err %.3g (rounds of %d)\n\n",
+			sc.Name, eng.Name(), lawLabel, p.M, *tbase, *targetRelErr, *runs)
+	} else {
+		fmt.Printf("scenario %s, backend %s, law %s, M = %.0fs, Tbase = %.0fs, %d runs/protocol\n\n",
+			sc.Name, eng.Name(), lawLabel, p.M, *tbase, *runs)
+	}
 	fmt.Print(experiments.FormatValidation(rows))
+	if *targetRelErr > 0 {
+		// Under one fixed knob, every protocol would pay the hungriest
+		// row's budget.
+		maxUsed := 0
+		for _, row := range rows {
+			if row.Runs > maxUsed {
+				maxUsed = row.Runs
+			}
+		}
+		perRow := make([]string, len(rows))
+		for i, row := range rows {
+			perRow[i] = fmt.Sprint(row.Runs)
+		}
+		fmt.Printf("\nadaptive budget: %d runs total (per protocol: %s); "+
+			"one fixed knob at equal precision would cost %d\n",
+			adaptiveTotal, strings.Join(perRow, ", "), maxUsed*len(rows))
+	}
 }
 
 // shrinkForDetailed caps the platform at 600 ranks, divisible by both

@@ -1,0 +1,255 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// adaptiveSweepBody is the fixed grid of sweepBody under adaptive
+// precision: the per-point budget becomes demand-driven between the
+// 8-run first round and the 64-run cap.
+const adaptiveSweepBody = `{
+	"scenario": {"name": "Base"},
+	"protocols": ["DoubleNBL", "Triple"],
+	"phiFracs": [0.25, 0.75],
+	"mtbfs": [3600, 7200],
+	"tbase": 20000,
+	"runs": 8,
+	"targetRelErr": 0.1,
+	"maxRuns": 64,
+	"seed": 42
+}`
+
+// TestSweepAdaptive runs the acceptance sweep under a precision
+// target: every feasible item echoes the budget it consumed and the
+// achieved CI, repeated requests are byte-identical and cache-served,
+// and the spend varies across the grid instead of being one knob.
+func TestSweepAdaptive(t *testing.T) {
+	svc, ts := newTestServer(t)
+	first := post(t, ts.URL+"/v1/sweep", adaptiveSweepBody, nil)
+	firstBody := readBody(t, first)
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", first.StatusCode, firstBody)
+	}
+	var out sweepResponse
+	if err := json.Unmarshal(firstBody, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 8 {
+		t.Fatalf("got %d items, want 8", len(out.Items))
+	}
+	budgets := map[int]bool{}
+	for _, item := range out.Items {
+		if !item.Feasible {
+			t.Fatalf("unexpected infeasible item: %+v", item)
+		}
+		if item.RunsUsed < 8 || item.RunsUsed > 64 {
+			t.Errorf("runsUsed %d outside [8, 64]: %+v", item.RunsUsed, item)
+		}
+		if item.CI95 <= 0 || item.CI95 != item.SimCI {
+			t.Errorf("ci95 echo %v should be the positive stopping CI (simCI %v)", item.CI95, item.SimCI)
+		}
+		if item.Runs != 8 {
+			t.Errorf("runs echo %d, want the 8-run first round", item.Runs)
+		}
+		budgets[item.RunsUsed] = true
+	}
+	if len(budgets) < 2 {
+		t.Errorf("every point consumed the same budget %v; expected demand-driven spread", budgets)
+	}
+
+	second := post(t, ts.URL+"/v1/sweep", adaptiveSweepBody, nil)
+	secondBody := readBody(t, second)
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Errorf("repeated adaptive sweep is not byte-identical")
+	}
+	if got, want := second.Header.Get(HeaderSweepHits), "8"; got != want {
+		t.Errorf("second adaptive sweep cache hits = %s, want %s", got, want)
+	}
+	_ = svc
+}
+
+// TestSweepAdaptiveWorkerIndependence extends the determinism pin to
+// the adaptive path: items — including runsUsed — are identical
+// whatever the worker budget.
+func TestSweepAdaptiveWorkerIndependence(t *testing.T) {
+	var req SweepRequest
+	if err := json.Unmarshal([]byte(adaptiveSweepBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := NewService(Options{Workers: 1}).Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := NewService(Options{Workers: 8}).Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("adaptive sweep differs between 1 and 8 workers:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSweepFixedWireFormatUnchanged pins the backward-compatibility
+// guarantee: a fixed-budget request's response bytes carry no adaptive
+// fields (the golden file saw to the exact bytes; this test makes the
+// reason explicit), and an adaptive request for the same grid is keyed
+// separately instead of poisoning the fixed entries.
+func TestSweepFixedWireFormatUnchanged(t *testing.T) {
+	svc, ts := newTestServer(t)
+	fixed := readBody(t, post(t, ts.URL+"/v1/sweep", sweepBody, nil))
+	for _, field := range []string{"runsUsed", "ci95", "targetRelErr", "maxRuns"} {
+		if bytes.Contains(fixed, []byte(field)) {
+			t.Errorf("fixed-budget response leaks adaptive field %q:\n%s", field, fixed)
+		}
+	}
+	misses := svc.SimPoints()
+	adaptive := readBody(t, post(t, ts.URL+"/v1/sweep", adaptiveSweepBody, nil))
+	if svc.SimPoints() == misses {
+		t.Error("adaptive sweep was served from fixed-budget cache entries")
+	}
+	if !bytes.Contains(adaptive, []byte("runsUsed")) {
+		t.Errorf("adaptive response misses runsUsed: %s", adaptive)
+	}
+	// The fixed grid still replays from cache, byte-identical.
+	again := readBody(t, post(t, ts.URL+"/v1/sweep", sweepBody, nil))
+	if !bytes.Equal(fixed, again) {
+		t.Error("fixed sweep changed after an adaptive sweep of the same grid")
+	}
+}
+
+// TestSweepAdaptiveValidation pins the request gate.
+func TestSweepAdaptiveValidation(t *testing.T) {
+	svc := NewService(Options{MaxRuns: 128})
+	base := func() SweepRequest {
+		var req SweepRequest
+		if err := json.Unmarshal([]byte(adaptiveSweepBody), &req); err != nil {
+			t.Fatal(err)
+		}
+		req.MaxRuns = 0
+		req.TargetRelErr = 0
+		return req
+	}
+	cases := []struct {
+		name string
+		mut  func(*SweepRequest)
+	}{
+		{"negative targetRelErr", func(r *SweepRequest) { r.TargetRelErr = -0.1 }},
+		{"targetRelErr = 1", func(r *SweepRequest) { r.TargetRelErr = 1 }},
+		{"maxRuns without targetRelErr", func(r *SweepRequest) { r.MaxRuns = 64 }},
+		{"maxRuns below runs", func(r *SweepRequest) { r.TargetRelErr = 0.1; r.MaxRuns = 4 }},
+		{"maxRuns above service cap", func(r *SweepRequest) { r.TargetRelErr = 0.1; r.MaxRuns = 1 << 20 }},
+		{"odd maxRuns equal to odd runs", func(r *SweepRequest) { r.TargetRelErr = 0.1; r.Runs = 7; r.MaxRuns = 7 }},
+	}
+	for _, tc := range cases {
+		req := base()
+		tc.mut(&req)
+		if _, _, err := svc.Sweep(context.Background(), req); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestAdaptiveJobDedupeDefaultMaxRuns pins the canonicalization of the
+// adaptive budget: omitting maxRuns and spelling out the service
+// default are one content key, one job.
+func TestAdaptiveJobDedupeDefaultMaxRuns(t *testing.T) {
+	svc := NewService(Options{}) // service MaxRuns default: 256
+	implicit := strings.Replace(adaptiveSweepBody, `"maxRuns": 64,`, ``, 1)
+	explicit := strings.Replace(adaptiveSweepBody, `"maxRuns": 64,`, `"maxRuns": 256,`, 1)
+	a, _, err := svc.NormalizeJobRequest([]byte(implicit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := svc.NormalizeJobRequest([]byte(explicit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("default-budget spellings canonicalize differently:\n%s\n%s", a, b)
+	}
+	c, _, err := svc.NormalizeJobRequest([]byte(adaptiveSweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("explicit non-default budget collapsed onto the default key")
+	}
+}
+
+// TestAdaptiveJobResumeBitwise is the PR acceptance check for durable
+// adaptive jobs: a server killed mid-sweep with a torn tail resumes
+// the adaptive job on a fresh process and produces a results file
+// byte-identical to an uninterrupted run — the round schedule and
+// stopping rule replay exactly from the content-keyed seeds.
+func TestAdaptiveJobResumeBitwise(t *testing.T) {
+	refSvc := NewService(Options{})
+	refMgr := newJobsManager(t, refSvc, t.TempDir(), 1)
+	refMeta, created, err := refMgr.Submit([]byte(adaptiveSweepBody))
+	if err != nil || !created {
+		t.Fatalf("submit: %v (created %v)", err, created)
+	}
+	if _, err := refMgr.Wait(testCtx(t), refMeta.ID); err != nil {
+		t.Fatal(err)
+	}
+	refStore, err := jobs.NewStore(refMgr.Store().Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(refStore.ResultsPath(refMeta.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(want, []byte("\n")); lines != 8 {
+		t.Fatalf("reference run has %d lines, want 8", lines)
+	}
+
+	dir := t.TempDir()
+	store, err := jobs.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshSvc := NewService(Options{})
+	canonical, total, err := freshSvc.NormalizeJobRequest([]byte(adaptiveSweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := jobs.IDFor(canonical)
+	if id != refMeta.ID {
+		t.Fatalf("content key differs across services: %s vs %s", id, refMeta.ID)
+	}
+	killed := jobs.Meta{ID: id, State: jobs.Running, Total: total, Completed: 2, CreatedAt: 1}
+	if err := store.Create(killed, canonical); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(want, []byte("\n"))
+	torn := bytes.Join(lines[:3], nil)
+	torn = append(torn, lines[3][:10]...)
+	if err := os.WriteFile(store.ResultsPath(id), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr := newJobsManager(t, freshSvc, dir, 1)
+	final, err := mgr.Wait(testCtx(t), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != jobs.Done || final.Completed != 8 {
+		t.Fatalf("resumed adaptive job status %+v", final)
+	}
+	got, err := os.ReadFile(store.ResultsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed adaptive results are not byte-identical:\n%s\nwant:\n%s", got, want)
+	}
+}

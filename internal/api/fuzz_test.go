@@ -44,6 +44,14 @@ func FuzzSpecDecode(f *testing.F) {
 		`{"mtbf": -1}`,
 		`{"backned": "detailed"}`,
 		`{"n": 0, "law": "weibull"}`,
+		// PR 5 adaptive-precision request fields: they belong to the
+		// sweep request, not the platform spec, so the strict Spec decode
+		// must reject them — the corpus pins that rejection path and
+		// hands the fuzzer the new vocabulary to mutate.
+		`{"targetRelErr": 0.05, "maxRuns": 64}`,
+		`{"name": "Base", "targetRelErr": 1e-3}`,
+		`{"maxRuns": -1}`,
+		`{"targetRelErr": "0.05"}`,
 	} {
 		f.Add([]byte(seed))
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"strconv"
 	"strings"
 
@@ -45,12 +46,34 @@ type SweepRequest struct {
 	// period at each point.
 	Period float64 `json:"period,omitempty"`
 	// Runs is the Monte-Carlo batch per point (default 8, capped by
-	// the service's MaxRuns).
+	// the service's MaxRuns). Under adaptive precision (TargetRelErr)
+	// it is the first round's size instead of the whole budget.
 	Runs int `json:"runs,omitempty"`
+	// TargetRelErr enables adaptive precision: each point runs in
+	// geometric rounds (Runs, 2·Runs, … up to MaxRuns) of antithetic
+	// pairs and stops as soon as the variance-reduced waste CI95
+	// half-width falls below TargetRelErr × |waste| (DESIGN.md,
+	// "Adaptive precision"). Must be in (0, 1); 0 — the default — keeps
+	// the historical fixed budget and the historical wire bytes.
+	TargetRelErr float64 `json:"targetRelErr,omitempty"`
+	// MaxRuns caps the adaptive budget per point (default: the
+	// service's MaxRuns limit). Only valid together with TargetRelErr.
+	// Rounds are whole antithetic pairs, so an odd cap rounds down —
+	// the spent budget never exceeds it.
+	MaxRuns int `json:"maxRuns,omitempty"`
 	// Seed is the base seed; per-point seeds are derived from it
 	// through an rng.Stream split keyed by the canonical point key, so
 	// a point's sample is independent of its position in the grid.
 	Seed uint64 `json:"seed,omitempty"`
+}
+
+// precision projects the request's adaptive fields onto the engine
+// spec (zero when adaptive execution is disabled).
+func (r *SweepRequest) precision() engine.Precision {
+	if r.TargetRelErr == 0 {
+		return engine.Precision{}
+	}
+	return engine.Precision{TargetRelErr: r.TargetRelErr, MinRuns: r.Runs, MaxRuns: r.MaxRuns}
 }
 
 // SweepItem is one grid point of the /v1/sweep response: the model
@@ -80,9 +103,24 @@ type SweepItem struct {
 	ModelWaste float64 `json:"modelWaste"`
 	ModelLoss  float64 `json:"modelLoss"`
 	RiskWindow float64 `json:"riskWindow"`
-	SimWaste   float64 `json:"simWaste"`
-	SimCI      float64 `json:"simCI"`
-	SimLoss    float64 `json:"simLoss"`
+	// SimWaste and SimCI are the Monte-Carlo waste estimate and its 95%
+	// CI half-width. For adaptive points (the request set targetRelErr)
+	// they are the variance-reduced estimator the stopper tracked; for
+	// fixed-budget points the raw sample statistics, unchanged.
+	SimWaste float64 `json:"simWaste"`
+	SimCI    float64 `json:"simCI"`
+	SimLoss  float64 `json:"simLoss"`
+	// RunsUsed is the adaptive budget the point actually consumed and
+	// CI95 the achieved variance-reduced waste CI95 half-width (the
+	// stopping quantity, = SimCI). Both appear only for adaptive
+	// requests — fixed-budget responses keep their historical bytes —
+	// and RunsUsed is the reliable adaptiveness marker: it is present
+	// on every simulated adaptive point, while CI95 is additionally
+	// omitted in the degenerate zero-variance early stop (a point whose
+	// first round saw identical wastes reports an exact 0, which JSON
+	// omitempty elides).
+	RunsUsed int     `json:"runsUsed,omitempty"`
+	CI95     float64 `json:"ci95,omitempty"`
 	// FatalRate and CompletedRate are per-run frequencies;
 	// ImportanceFatal is the variance-reduced fatal-probability
 	// estimate.
@@ -199,6 +237,31 @@ func (s *Service) expand(req *SweepRequest) ([]sweepPoint, error) {
 	if req.Runs < 1 || req.Runs > s.maxRuns {
 		return nil, fmt.Errorf("api: runs = %d must be in [1, %d]", req.Runs, s.maxRuns)
 	}
+	if req.TargetRelErr != 0 {
+		if math.IsNaN(req.TargetRelErr) || req.TargetRelErr <= 0 || req.TargetRelErr >= 1 {
+			return nil, fmt.Errorf("api: targetRelErr = %v must be in (0, 1)", req.TargetRelErr)
+		}
+		// The adaptive budget defaults to the service's per-point cap
+		// and is normalized into the request, so two spellings of the
+		// default dedupe to one job and one set of cache keys.
+		if req.MaxRuns == 0 {
+			req.MaxRuns = s.maxRuns
+		}
+		if req.MaxRuns < req.Runs || req.MaxRuns > s.maxRuns {
+			return nil, fmt.Errorf("api: maxRuns = %d must be in [runs = %d, %d]",
+				req.MaxRuns, req.Runs, s.maxRuns)
+		}
+		// Rounds are whole antithetic pairs: the first round rounds up,
+		// the cap rounds down. A cap that cannot fit the rounded first
+		// round (runs and maxRuns both odd and equal) is a request error
+		// here — not a silent budget overrun, nor a mid-stream abort.
+		if req.MaxRuns-(req.MaxRuns&1) < req.Runs+(req.Runs&1) {
+			return nil, fmt.Errorf("api: maxRuns = %d cannot fit the first round (%d runs rounded up to whole antithetic pairs)",
+				req.MaxRuns, req.Runs)
+		}
+	} else if req.MaxRuns != 0 {
+		return nil, errors.New("api: maxRuns needs targetRelErr (adaptive precision)")
+	}
 	total := len(engines) * len(protocols) * len(phiFracs) * len(mtbfs)
 	if total > s.maxGridPoints {
 		return nil, fmt.Errorf("api: sweep grid has %d points, limit is %d", total, s.maxGridPoints)
@@ -256,7 +319,7 @@ func (s *Service) expand(req *SweepRequest) ([]sweepPoint, error) {
 						g := req.Scenario.Global
 						preq.Global = &engine.Global{G: g.G, Rg: g.Rg, K: g.K}
 					}
-					key := pointKey(eng.Name(), preq, req.Runs, req.Seed)
+					key := pointKey(eng.Name(), preq, req.Runs, req.Seed, req.precision())
 					// The per-point seed depends only on the canonical key,
 					// never on the grid position, so overlapping sweeps
 					// resolve the same point to the same sample (and the
@@ -346,9 +409,17 @@ func batchKey(backend string, req engine.Request) string {
 // pointKey canonicalizes a sweep point into the cache key: the
 // physical configuration plus the batch shape. Two requests that
 // resolve to the same physical point — whatever scenario name,
-// override set or grid shape produced it — share a key.
-func pointKey(backend string, req engine.Request, runs int, baseSeed uint64) string {
-	return batchKey(backend, req) + fmt.Sprintf("|runs=%d|seed=%d", runs, baseSeed)
+// override set or grid shape produced it — share a key. The adaptive
+// precision spec is keyed only when enabled, so fixed-budget requests
+// keep their historical keys (and therefore their derived per-point
+// seeds and golden byte responses) unchanged.
+func pointKey(backend string, req engine.Request, runs int, baseSeed uint64, spec engine.Precision) string {
+	key := batchKey(backend, req) + fmt.Sprintf("|runs=%d|seed=%d", runs, baseSeed)
+	if spec.Enabled() {
+		key += fmt.Sprintf("|relerr=%s|maxruns=%d",
+			strconv.FormatFloat(spec.TargetRelErr, 'x', -1, 64), spec.MaxRuns)
+	}
+	return key
 }
 
 // fnv64 is the FNV-1a hash of s, used to key rng.Stream.Split.
@@ -358,8 +429,11 @@ func fnv64(s string) uint64 {
 	return h.Sum64()
 }
 
-// evaluate computes one grid point, consulting the cache first.
-func (s *Service) evaluate(pt sweepPoint, runs, simWorkers int) (SweepItem, bool, error) {
+// evaluate computes one grid point, consulting the cache first. A
+// zero spec runs the historical fixed budget; an enabled spec runs the
+// adaptive-precision executor and additionally fills the RunsUsed /
+// CI95 echoes.
+func (s *Service) evaluate(pt sweepPoint, runs int, spec engine.Precision, simWorkers int) (SweepItem, bool, error) {
 	if item, ok := s.cache.Get(pt.key); ok {
 		return item, true, nil
 	}
@@ -399,7 +473,17 @@ func (s *Service) evaluate(pt sweepPoint, runs, simWorkers int) (SweepItem, bool
 	if err != nil {
 		return SweepItem{}, false, fmt.Errorf("api: point %s: %w", pt.key, err)
 	}
-	row, err := experiments.ValidateBatch(b, pt.seed, runs, simWorkers)
+	var row experiments.ValidationRow
+	if spec.Enabled() {
+		var ar engine.AdaptiveResult
+		row, ar, err = experiments.ValidateAdaptive(b, pt.seed, spec, simWorkers)
+		if err == nil {
+			item.RunsUsed = ar.RunsUsed
+			item.CI95 = ar.CI95
+		}
+	} else {
+		row, err = experiments.ValidateBatch(b, pt.seed, runs, simWorkers)
+	}
 	if err != nil {
 		return SweepItem{}, false, fmt.Errorf("api: point %s: %w", pt.key, err)
 	}
@@ -486,7 +570,7 @@ func (s *Service) SweepStreamFrom(ctx context.Context, req SweepRequest, offset 
 				held++
 			}
 			go func(i, held int) {
-				item, cached, err := s.evaluate(points[i], req.Runs, held)
+				item, cached, err := s.evaluate(points[i], req.Runs, req.precision(), held)
 				for j := 0; j < held; j++ {
 					s.pool.Release()
 				}

@@ -93,3 +93,8 @@ func (d detailedRunner) Run(seed uint64) (sim.Result, error) {
 	res, err := d.r.Run(seed)
 	return res.Result, err
 }
+
+func (d detailedRunner) RunAntithetic(seed uint64, antithetic bool) (sim.Result, error) {
+	res, err := d.r.RunAntithetic(seed, antithetic)
+	return res.Result, err
+}

@@ -148,6 +148,11 @@ type Batch interface {
 // identical Results on every backend.
 type Runner interface {
 	Run(seed uint64) (sim.Result, error)
+	// RunAntithetic runs the seed with the reflected-uniform failure
+	// sample when antithetic is true — the mirror half of an antithetic
+	// pair (DESIGN.md, "Adaptive precision"). RunAntithetic(seed, false)
+	// is bitwise identical to Run(seed) on every backend.
+	RunAntithetic(seed uint64, antithetic bool) (sim.Result, error)
 }
 
 // RunMany executes runs seeds base+0 .. base+runs-1 of the batch

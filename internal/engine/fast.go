@@ -45,3 +45,7 @@ type fastRunner struct{ r *sim.Runner }
 func (f fastRunner) Run(seed uint64) (sim.Result, error) {
 	return f.r.Run(seed), nil
 }
+
+func (f fastRunner) RunAntithetic(seed uint64, antithetic bool) (sim.Result, error) {
+	return f.r.RunAntithetic(seed, antithetic), nil
+}

@@ -192,6 +192,17 @@ type mlRunner struct {
 // seeded by the run seed, so equal seeds give identical executions and
 // the chunked aggregation stays worker-count independent.
 func (r *mlRunner) Run(seed uint64) (sim.Result, error) {
+	return r.RunAntithetic(seed, false)
+}
+
+// RunAntithetic is Run with the reflected-uniform failure sample: the
+// attempt-seed stream is untouched (seeds are raw Uint64 draws, which
+// reflection never alters), so a reflected two-level run resumes the
+// exact same attempt schedule as its plain mirror while every inner
+// attempt draws the mirrored failure sample through
+// Runner.RunWorkAntithetic — the composition of the RunWork resumption
+// with antithetic pairing.
+func (r *mlRunner) RunAntithetic(seed uint64, antithetic bool) (sim.Result, error) {
 	b := r.b
 	r.str.Reseed(seed)
 	remaining := b.req.Tbase
@@ -199,7 +210,7 @@ func (r *mlRunner) Run(seed uint64) (sim.Result, error) {
 	out.Period = b.req.Period
 	var t, work float64
 	for {
-		res := r.inner.RunWork(r.str.Uint64(), remaining)
+		res := r.inner.RunWorkAntithetic(r.str.Uint64(), remaining, antithetic)
 		out.Failures += res.Failures
 		out.FailuresInRisk += res.FailuresInRisk
 		out.RiskTime += res.RiskTime

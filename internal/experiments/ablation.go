@@ -158,11 +158,18 @@ func ValidateRequest(eng engine.Engine, req engine.Request, seed uint64, runs, w
 // configuration, or repeated sweeps with different seeds, compile
 // once, whatever the backend.
 func ValidateBatch(b engine.Batch, seed uint64, runs, workers int) (ValidationRow, error) {
-	req := b.Request()
 	agg, err := engine.RunMany(b, seed, runs, workers)
 	if err != nil {
 		return ValidationRow{}, err
 	}
+	return aggregateRow(b, runs, agg), nil
+}
+
+// aggregateRow projects a simulated aggregate onto the comparison row
+// against the batch's analytic model — the shared tail of the fixed
+// and adaptive validation paths.
+func aggregateRow(b engine.Batch, runs int, agg sim.Aggregate) ValidationRow {
+	req := b.Request()
 	model := b.Model()
 	return ValidationRow{
 		Protocol:        req.Protocol,
@@ -177,7 +184,25 @@ func ValidateBatch(b engine.Batch, seed uint64, runs, workers int) (ValidationRo
 		FatalRate:       agg.Fatal.Rate(),
 		CompletedRate:   agg.Completed.Rate(),
 		ImportanceFatal: agg.ImportanceFatal.Mean(),
-	}, nil
+	}
+}
+
+// ValidateAdaptive is ValidateBatch under the adaptive-precision
+// executor: the point runs in geometric antithetic rounds until the
+// variance-reduced waste CI meets spec, and the returned row reports
+// that estimator (SimWaste and SimCI are the regression-adjusted
+// estimate and its CI95 half-width; Runs the budget actually spent).
+// The full AdaptiveResult rides along for callers that report the
+// raw-vs-reduced comparison.
+func ValidateAdaptive(b engine.Batch, seed uint64, spec engine.Precision, workers int) (ValidationRow, engine.AdaptiveResult, error) {
+	ar, err := engine.RunAdaptive(b, seed, spec, workers)
+	if err != nil {
+		return ValidationRow{}, engine.AdaptiveResult{}, err
+	}
+	row := aggregateRow(b, ar.RunsUsed, ar.Agg)
+	row.SimWaste = ar.Estimate
+	row.SimCI = ar.CI95
+	return row, ar, nil
 }
 
 // Validate runs the Monte-Carlo validation for every protocol at the

@@ -20,7 +20,34 @@ type Stream struct {
 	// cachedNorm holds the second Box-Muller variate between calls.
 	cachedNorm    float64
 	hasCachedNorm bool
+	// reflected selects the antithetic uniform mapping: Float64 returns
+	// the reflection (1 − 2⁻⁵³) − u instead of u, so every variate built
+	// on the uniform (Exponential, Weibull, LogNormal, Normal) is drawn
+	// from the reflected quantile. The raw Uint64 sequence — and with it
+	// Intn victim selection and Split/ReseedSplit child derivation — is
+	// unaffected, which is what keeps an antithetic run consuming its
+	// stream in lockstep with its mirror run.
+	reflected bool
 }
+
+// maxUniform is the largest value Float64 can return: (2⁵³−1)/2⁵³.
+// Reflection maps u → maxUniform − u; both operands are multiples of
+// 2⁻⁵³ no larger than 1, so the subtraction is exact and the image is
+// again [0, 1).
+const maxUniform = float64(1<<53-1) / (1 << 53)
+
+// SetReflected switches the stream between the plain and the
+// antithetic (reflected-uniform) mapping. It does not consume or
+// perturb the underlying state: toggling it between otherwise
+// identical runs yields perfectly synchronized mirror trajectories.
+func (s *Stream) SetReflected(on bool) {
+	s.reflected = on
+	s.cachedNorm = 0
+	s.hasCachedNorm = false
+}
+
+// Reflected reports whether the stream draws reflected uniforms.
+func (s *Stream) Reflected() bool { return s.reflected }
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
 // It is the recommended seeding generator for xoshiro.
@@ -42,7 +69,9 @@ func New(seed uint64) *Stream {
 
 // Reseed reinitializes the stream in place to the state New(seed)
 // would produce, without allocating. It is the hot-path alternative to
-// New for callers that reuse one Stream across many runs.
+// New for callers that reuse one Stream across many runs. The
+// reflection mode is preserved: an antithetic stream reseeded for the
+// next run stays antithetic until SetReflected flips it.
 func (s *Stream) Reseed(seed uint64) {
 	st := seed
 	for i := range s.s {
@@ -65,13 +94,16 @@ func (s *Stream) Split(index uint64) *Stream {
 }
 
 // ReseedSplit reinitializes s in place to the state parent.Split(index)
-// would produce, without allocating.
+// would produce, without allocating. The child inherits the parent's
+// reflection mode, so the per-node streams of an antithetic run draw
+// reflected variates too.
 func (s *Stream) ReseedSplit(parent *Stream, index uint64) {
 	// Mix the parent state with the index through SplitMix64 so that
 	// children of distinct indices, and children of distinct parents,
 	// are decorrelated.
 	st := parent.s[0] ^ (parent.s[1] << 1) ^ (parent.s[2] << 2) ^ (parent.s[3] << 3) ^ (index * 0xd1342543de82ef95)
 	s.Reseed(splitMix64(&st))
+	s.reflected = parent.reflected
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -90,9 +122,15 @@ func (s *Stream) Uint64() uint64 {
 }
 
 // Float64 returns a uniform variate in [0, 1) with 53 bits of
-// precision.
+// precision. A reflected stream (SetReflected) returns the exact
+// antithetic image maxUniform − u of the variate u the plain stream
+// would have returned, consuming the identical raw state either way.
 func (s *Stream) Float64() float64 {
-	return float64(s.Uint64()>>11) / (1 << 53)
+	u := float64(s.Uint64()>>11) / (1 << 53)
+	if s.reflected {
+		return maxUniform - u
+	}
+	return u
 }
 
 // positiveFloat64 returns a uniform variate in (0, 1], suitable as the

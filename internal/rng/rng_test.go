@@ -283,3 +283,86 @@ func TestExponentialMemorylessProperty(t *testing.T) {
 		t.Fatalf("memoryless check: P[X>2|X>1] = %v, want %v", conditional, want)
 	}
 }
+
+// TestReflectedFloat64 pins the antithetic mapping: a reflected stream
+// returns exactly maxUniform − u for the u its plain twin returns,
+// consumes the identical raw Uint64 sequence, and stays inside [0, 1).
+func TestReflectedFloat64(t *testing.T) {
+	plain := New(123)
+	anti := New(123)
+	anti.SetReflected(true)
+	const maxU = float64(1<<53-1) / (1 << 53)
+	for i := 0; i < 1000; i++ {
+		u := plain.Float64()
+		v := anti.Float64()
+		if v != maxU-u {
+			t.Fatalf("draw %d: reflected %v != maxUniform - %v", i, v, u)
+		}
+		if v < 0 || v >= 1 {
+			t.Fatalf("draw %d: reflected variate %v outside [0, 1)", i, v)
+		}
+	}
+	// The raw integer sequence is unaffected by reflection.
+	plain.Reseed(9)
+	anti.Reseed(9)
+	for i := 0; i < 100; i++ {
+		if a, b := plain.Uint64(), anti.Uint64(); a != b {
+			t.Fatalf("draw %d: Uint64 diverges under reflection: %d vs %d", i, a, b)
+		}
+	}
+}
+
+// TestReflectedInheritance pins how the reflection mode travels:
+// Reseed preserves it, ReseedSplit and Split copy the parent's.
+func TestReflectedInheritance(t *testing.T) {
+	s := New(7)
+	s.SetReflected(true)
+	s.Reseed(8)
+	if !s.Reflected() {
+		t.Error("Reseed dropped the reflection mode")
+	}
+	child := s.Split(3)
+	if !child.Reflected() {
+		t.Error("Split child did not inherit reflection")
+	}
+	s.SetReflected(false)
+	var c2 Stream
+	c2.SetReflected(true)
+	c2.ReseedSplit(s, 3)
+	if c2.Reflected() {
+		t.Error("ReseedSplit kept the child's stale reflection instead of the parent's")
+	}
+	// The reflected child's state is the plain child's state: only the
+	// uniform mapping differs.
+	plainChild := s.Split(3)
+	refChild := s.Split(3)
+	refChild.SetReflected(true)
+	if a, b := plainChild.Uint64(), refChild.Uint64(); a != b {
+		t.Errorf("reflected child diverged in raw state: %d vs %d", a, b)
+	}
+}
+
+// TestReflectedExponentialAnticorrelated checks the point of the
+// machinery: mirror-image exponential samples are strongly negatively
+// correlated.
+func TestReflectedExponentialAnticorrelated(t *testing.T) {
+	plain := New(5)
+	anti := New(5)
+	anti.SetReflected(true)
+	const n = 20000
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		x := plain.Exponential(1)
+		y := anti.Exponential(1)
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	cov := sxy/n - sx/n*sy/n
+	corr := cov / math.Sqrt((sxx/n-sx/n*sx/n)*(syy/n-sy/n*sy/n))
+	if corr > -0.5 {
+		t.Errorf("antithetic exponential correlation %v, want strongly negative", corr)
+	}
+}

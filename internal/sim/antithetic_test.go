@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// antiTestConfig is a failure-rich configuration: a hostile MTBF so
+// the antithetic machinery has variance to bite on.
+func antiTestConfig() Config {
+	return Config{
+		Protocol: core.DoubleNBL,
+		Params:   scenario.Base().Params.WithMTBF(900),
+		Phi:      1,
+		Tbase:    2e4,
+	}
+}
+
+// TestRunAntitheticFalseMatchesRun pins the compatibility contract:
+// the plain half of a pair is bitwise the historical run, even after
+// the runner executed reflected runs in between.
+func TestRunAntitheticFalseMatchesRun(t *testing.T) {
+	b, err := Compile(antiTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b.NewRunner()
+	for seed := uint64(0); seed < 8; seed++ {
+		want := r.Run(seed)
+		r.RunAntithetic(seed, true) // perturb the runner state
+		if got := r.RunAntithetic(seed, false); got != want {
+			t.Fatalf("seed %d: RunAntithetic(false) = %+v, want Run's %+v", seed, got, want)
+		}
+		if got := r.Run(seed); got != want {
+			t.Fatalf("seed %d: Run after an antithetic run = %+v, want %+v", seed, got, want)
+		}
+	}
+}
+
+// TestRunAntitheticDiffersAndIsDeterministic checks the reflected half
+// is a genuinely different trajectory, reproducible for equal seeds.
+func TestRunAntitheticDiffersAndIsDeterministic(t *testing.T) {
+	b, err := Compile(antiTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := b.NewRunner(), b.NewRunner()
+	differs := false
+	for seed := uint64(0); seed < 8; seed++ {
+		anti := r1.RunAntithetic(seed, true)
+		if again := r2.RunAntithetic(seed, true); anti != again {
+			t.Fatalf("seed %d: antithetic run is not deterministic", seed)
+		}
+		if anti != r1.Run(seed) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("antithetic runs never differed from plain runs on a failure-rich config")
+	}
+}
+
+// TestAntitheticPairsAnticorrelated checks the variance-reduction
+// premise: across many pairs, the plain and reflected waste of a
+// shared seed are negatively correlated, so the pair-mean variance is
+// below the iid-pair variance.
+func TestAntitheticPairsAnticorrelated(t *testing.T) {
+	b, err := Compile(antiTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b.NewRunner()
+	const pairs = 200
+	var sx, sy, sxx, syy, sxy float64
+	for seed := uint64(0); seed < pairs; seed++ {
+		x := r.Run(seed).Waste
+		y := r.RunAntithetic(seed, true).Waste
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	n := float64(pairs)
+	cov := sxy/n - sx/n*sy/n
+	varX, varY := sxx/n-sx/n*sx/n, syy/n-sy/n*sy/n
+	if varX <= 0 || varY <= 0 {
+		t.Fatalf("degenerate waste variance (%v, %v)", varX, varY)
+	}
+	if cov >= 0 {
+		t.Errorf("antithetic waste covariance %v, want negative", cov)
+	}
+}
+
+// TestAggregateAntitheticWorkerAndRoundIndependence pins the two
+// determinism properties the adaptive executor builds on: the chunked
+// antithetic aggregation is bitwise independent of the worker count,
+// and executing an index range in two rounds merges to exactly the
+// one-shot aggregate of the full range.
+func TestAggregateAntitheticWorkerAndRoundIndependence(t *testing.T) {
+	b, err := Compile(antiTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRunner := func(int) func(uint64, bool) (Result, error) {
+		r := b.NewRunner()
+		return func(seed uint64, anti bool) (Result, error) { return r.RunAntithetic(seed, anti), nil }
+	}
+	const base, runs = 42, 48
+	serial, err := AggregateAntithetic(base, 0, runs, 1, newRunner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := AggregateAntithetic(base, 0, runs, 8, newRunner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("antithetic aggregate differs between 1 and 8 workers:\n%+v\n%+v", serial, wide)
+	}
+	var resumed Aggregate
+	firstHalf, err := AggregateAntithetic(base, 0, 16, 4, newRunner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := AggregateAntithetic(base, 16, runs-16, 4, newRunner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Merge(firstHalf)
+	resumed.Merge(rest)
+	oneShotRounds, err := AggregateAntithetic(base, 0, 16, 4, newRunner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := AggregateAntithetic(base, 16, runs-16, 4, newRunner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again Aggregate
+	again.Merge(oneShotRounds)
+	again.Merge(tail)
+	if !reflect.DeepEqual(resumed, again) {
+		t.Errorf("re-executed rounds are not bitwise reproducible")
+	}
+}
+
+// TestAggregateAntitheticObserveOrder checks observe sees every run
+// exactly once, in run-index order, whatever the worker count.
+func TestAggregateAntitheticObserveOrder(t *testing.T) {
+	b, err := Compile(antiTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRunner := func(int) func(uint64, bool) (Result, error) {
+		r := b.NewRunner()
+		return func(seed uint64, anti bool) (Result, error) { return r.RunAntithetic(seed, anti), nil }
+	}
+	collect := func(workers int) []Result {
+		var seen []Result
+		if _, err := AggregateAntithetic(7, 4, 20, workers, newRunner, func(res Result) {
+			seen = append(seen, res)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return seen
+	}
+	serial := collect(1)
+	wide := collect(8)
+	if len(serial) != 20 {
+		t.Fatalf("observe saw %d results, want 20", len(serial))
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("observe order depends on the worker count")
+	}
+	// Spot-check the pairing: observed runs 0 and 1 of the range (global
+	// indices 4 and 5) share seed 7+2, one plain and one reflected.
+	r := b.NewRunner()
+	if want := r.Run(7 + 2); serial[0] != want {
+		t.Errorf("first observed run is not the plain half of pair 2")
+	}
+	if want := r.RunAntithetic(7+2, true); serial[1] != want {
+		t.Errorf("second observed run is not the reflected half of pair 2")
+	}
+}
+
+// TestRunDetailedMemoReuse pins the one-shot memo: repeated
+// RunDetailed calls of one configuration return exactly what a fresh
+// compile returns (the memoized runner rewinds completely), and the
+// steady state stops paying the ~1700-allocation substrate rebuild.
+func TestRunDetailedMemoReuse(t *testing.T) {
+	cfg := DetailedConfig{
+		Protocol: core.DoubleNBL,
+		Params:   scenario.Base().Params.WithNodes(96).WithMTBF(600),
+		Phi:      1,
+		Tbase:    5e3,
+	}
+	for seed := uint64(0); seed < 4; seed++ {
+		cfg.Seed = seed
+		got, err := RunDetailed(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := CompileDetailed(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.NewRunner().Run(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: memoized RunDetailed %+v != fresh compile %+v", seed, got, want)
+		}
+	}
+	cfg.Seed = 1
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := RunDetailed(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 64 {
+		t.Errorf("memoized RunDetailed allocates %.0f/op, want the compile-free steady state", allocs)
+	}
+	// Spelling out the substrate defaults is the same physical config:
+	// it must hit the same memo entry (no recompilation allocations),
+	// the promise DetailedConfig.Normalize documents.
+	spelled := cfg
+	spelled.Spares = cfg.Params.N/10 + 1
+	spelled.ImageBytes = 512 << 20
+	allocs = testing.AllocsPerRun(20, func() {
+		if _, err := RunDetailed(spelled); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 64 {
+		t.Errorf("explicit-default RunDetailed allocates %.0f/op; it should share the omitted-default memo entry", allocs)
+	}
+}
+
+// TestRunDetailedMemoConcurrent hammers the one-shot memo from many
+// goroutines across two configurations: per-entry locking must keep
+// the results identical to the sequential answers (no shared-runner
+// races; the race detector patrols this test).
+func TestRunDetailedMemoConcurrent(t *testing.T) {
+	cfgA := DetailedConfig{
+		Protocol: core.DoubleNBL,
+		Params:   scenario.Base().Params.WithNodes(96).WithMTBF(900),
+		Phi:      1,
+		Tbase:    2e3,
+	}
+	cfgB := cfgA
+	cfgB.Protocol = core.TripleNBL
+	want := map[uint64][2]DetailedResult{}
+	for seed := uint64(0); seed < 4; seed++ {
+		cfgA.Seed, cfgB.Seed = seed, seed
+		a, err := RunDetailed(cfgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunDetailed(cfgB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = [2]DetailedResult{a, b}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				seed := uint64((g + i) % 4)
+				cfg := cfgA
+				wantIdx := 0
+				if (g+i)%2 == 1 {
+					cfg = cfgB
+					wantIdx = 1
+				}
+				cfg.Seed = seed
+				got, err := RunDetailed(cfg)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if got != want[seed][wantIdx] {
+					errs <- "concurrent memoized result diverged from sequential"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

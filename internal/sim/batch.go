@@ -153,8 +153,18 @@ type Runner struct {
 // identical Results, and Runner.Run(seed) is identical to sim.Run with
 // the batch Config and that seed.
 func (r *Runner) Run(seed uint64) Result {
-	r.e.reset(seed)
-	return r.e.run()
+	return r.e.runSeed(seed, false)
+}
+
+// RunAntithetic simulates one execution with the given seed, drawing
+// the reflected-uniform failure sample when antithetic is true: the
+// same raw RNG state as Run(seed) (same victims, same draw counts),
+// with every inter-arrival time taken from the mirrored quantile. The
+// pair (Run(seed), RunAntithetic(seed, true)) is the variance
+// reduction unit of the adaptive executor; RunAntithetic(seed, false)
+// is bitwise identical to Run(seed).
+func (r *Runner) RunAntithetic(seed uint64, antithetic bool) Result {
+	return r.e.runSeed(seed, antithetic)
 }
 
 // RunWork simulates one execution with the given seed and a work
@@ -164,10 +174,17 @@ func (r *Runner) Run(seed uint64) Result {
 // schedule does not), without recompiling or allocating per attempt.
 // RunWork(seed, batch Tbase) is identical to Run(seed).
 func (r *Runner) RunWork(seed uint64, tbase float64) Result {
+	return r.RunWorkAntithetic(seed, tbase, false)
+}
+
+// RunWorkAntithetic is RunWork with the antithetic failure sample,
+// letting the multilevel composition's resumed attempts participate in
+// antithetic pairing: a reflected two-level run reflects every one of
+// its inner attempts.
+func (r *Runner) RunWorkAntithetic(seed uint64, tbase float64, antithetic bool) Result {
 	saved := r.e.tbase
 	r.e.tbase = tbase
-	r.e.reset(seed)
-	res := r.e.run()
+	res := r.e.runSeed(seed, antithetic)
 	r.e.tbase = saved
 	return res
 }

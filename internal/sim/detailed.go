@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math"
+	"reflect"
+	"sync"
 
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
@@ -111,17 +113,71 @@ type restoreEvent struct {
 	holderIncarnation int
 }
 
-// RunDetailed executes one substrate-backed simulation. Batch callers
-// should CompileDetailed once and reuse a DetailedRunner instead:
-// RunDetailed rebuilds the cluster, checkpoint registry and schedule on
-// every call.
+// RunDetailed executes one substrate-backed simulation. Repeated
+// calls for the same physical configuration (only the seed differing —
+// cmd/simulate's per-protocol loops, the bench's one-shot metric)
+// reuse a memoized compiled batch and its substrates instead of
+// rebuilding the cluster, checkpoint registry and schedule every call;
+// the memo serializes same-configuration calls (each entry owns one
+// runner), so parallel batch workloads should still CompileDetailed
+// once and give each worker its own DetailedRunner.
 func RunDetailed(cfg DetailedConfig) (DetailedResult, error) {
-	b, err := CompileDetailed(cfg)
-	if err != nil {
-		return DetailedResult{}, err
+	seed := cfg.Seed
+	cfg.Seed = 0 // seeds are per run; the memo keys the physical config
+	// Normalize before keying, so explicit-default and omitted-field
+	// spellings of one physical configuration share one memo entry
+	// (the promise DetailedConfig.Normalize documents).
+	cfg = cfg.Normalize()
+	if cfg.Law != nil && !reflect.TypeOf(cfg.Law).Comparable() {
+		// A non-comparable custom law cannot key the memo map; fall back
+		// to the historical compile-per-call path.
+		b, err := CompileDetailed(cfg)
+		if err != nil {
+			return DetailedResult{}, err
+		}
+		return b.NewRunner().Run(seed)
 	}
-	return b.NewRunner().Run(cfg.Seed)
+	detailedMemo.Lock()
+	ent, ok := detailedMemo.entries[cfg]
+	if !ok {
+		b, err := CompileDetailed(cfg)
+		if err != nil {
+			detailedMemo.Unlock()
+			return DetailedResult{}, err
+		}
+		if len(detailedMemo.entries) >= detailedMemoCap {
+			clear(detailedMemo.entries)
+		}
+		ent = &detailedMemoEntry{runner: b.NewRunner()}
+		detailedMemo.entries[cfg] = ent
+	}
+	detailedMemo.Unlock()
+	// The run itself holds only the entry's lock, so concurrent
+	// one-shot callers serialize per configuration, not globally. (An
+	// entry evicted by the cap's clear keeps working for the goroutines
+	// already holding it; the next same-config call just recompiles.)
+	ent.Lock()
+	defer ent.Unlock()
+	return ent.runner.Run(seed)
 }
+
+// detailedMemoCap bounds the one-shot memo: enough for every protocol
+// of a few interleaved configurations, small enough that the substrate
+// memory (O(N) per entry) stays negligible. On overflow the memo is
+// simply dropped — it is a cache of convenience, not of correctness.
+const detailedMemoCap = 16
+
+type detailedMemoEntry struct {
+	sync.Mutex
+	runner *DetailedRunner
+}
+
+// detailedMemo caches compiled batches (with one reusable runner each)
+// behind the one-shot RunDetailed, keyed by the seedless config.
+var detailedMemo = struct {
+	sync.Mutex
+	entries map[DetailedConfig]*detailedMemoEntry
+}{entries: make(map[DetailedConfig]*detailedMemoEntry)}
 
 // DetailedBatch is a compiled detailed-simulation configuration,
 // immutable and safe for concurrent use. It is the detailed engine's
@@ -244,7 +300,17 @@ type DetailedRunner struct {
 // identical DetailedResults, and Runner.Run(seed) is identical to
 // RunDetailed with the batch Config and that seed.
 func (r *DetailedRunner) Run(seed uint64) (DetailedResult, error) {
+	return r.RunAntithetic(seed, false)
+}
+
+// RunAntithetic simulates one execution with the given seed and,
+// when antithetic is true, the reflected-uniform failure sample (see
+// Runner.RunAntithetic). The substrate bookkeeping and the structural
+// fatality cross-check run identically on both halves of a pair;
+// RunAntithetic(seed, false) is bitwise identical to Run(seed).
+func (r *DetailedRunner) RunAntithetic(seed uint64, antithetic bool) (DetailedResult, error) {
 	d := &r.d
+	d.eng.antithetic = antithetic
 	d.eng.reset(seed)
 	d.cl.Reset()
 	d.reg.Reset()

@@ -67,6 +67,12 @@ type engine struct {
 	renewal *failure.Renewal
 	src     failure.Source
 	stream  rng.Stream // owned stream backing merged / renewal
+	// antithetic selects the reflected-uniform failure sample for the
+	// next reset: the run consumes the identical raw RNG state (same
+	// victims, same draw counts) but every inter-arrival time is drawn
+	// from the reflected quantile, which is what makes a (seed, seed)
+	// pair of plain+antithetic runs negatively correlated.
+	antithetic bool
 
 	// timeline state
 	t               float64
@@ -142,6 +148,10 @@ func (e *engine) reset(seed uint64) {
 	e.riskUntil = 0
 	e.everCommitted = false
 	e.res = Result{Period: e.period}
+	// The reflection mode is applied before reseeding: Reseed preserves
+	// it (and renewal child streams inherit it through ReseedSplit), so
+	// the whole failure sample of the run is plain or antithetic as one.
+	e.stream.SetReflected(e.antithetic)
 	switch {
 	case e.merged != nil:
 		e.merged.Reseed(seed)
@@ -149,6 +159,16 @@ func (e *engine) reset(seed uint64) {
 		e.stream.Reseed(seed)
 		e.renewal.Reseed(&e.stream)
 	}
+}
+
+// runSeed executes one full run of the given seed, with the plain or
+// the antithetic (reflected-uniform) failure sample.
+// runSeed(seed, false) is bitwise identical to the historical
+// reset+run path.
+func (e *engine) runSeed(seed uint64, antithetic bool) Result {
+	e.antithetic = antithetic
+	e.reset(seed)
+	return e.run()
 }
 
 // nextFailure draws the next failure from whichever source is active.

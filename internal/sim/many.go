@@ -119,29 +119,74 @@ func (b *Batch) RunManySeeded(base uint64, runs, workers int) (Aggregate, error)
 // instead of letting the other workers finish the batch.
 func AggregateSeeded(base uint64, runs, workers int,
 	newRunner func(w int) func(seed uint64) (Result, error)) (Aggregate, error) {
-	if runs <= 0 {
+	return aggregateItems(runs, workers,
+		func(w int) func(item int) (Result, error) {
+			run := newRunner(w)
+			return func(item int) (Result, error) { return run(base + uint64(item)) }
+		}, nil)
+}
+
+// AggregateAntithetic is the adaptive executor's round primitive: it
+// runs the global run indices [first, first+runs) of an
+// antithetically paired schedule — run index j belongs to pair j/2,
+// shares seed base+j/2 with its mirror, and the odd half draws the
+// reflected-uniform failure sample — through per-worker run functions,
+// streaming the same chunked deterministic aggregation as
+// AggregateSeeded. observe, when non-nil, receives every Result once,
+// in run-index order, on the calling goroutine (during the in-order
+// Add pass), so callers can feed order-sensitive accumulators (the
+// control-variate regression) without giving up worker-count
+// independence.
+//
+// The index mapping depends only on (base, j), never on the round
+// split: executing [0, 8) then [8, 16) replays the exact pairs an
+// uninterrupted [0, 16) with the same round boundary would run, which
+// is what makes an interrupted adaptive point bitwise resumable.
+func AggregateAntithetic(base uint64, first, runs, workers int,
+	newRunner func(w int) func(seed uint64, antithetic bool) (Result, error),
+	observe func(Result)) (Aggregate, error) {
+	return aggregateItems(runs, workers,
+		func(w int) func(item int) (Result, error) {
+			run := newRunner(w)
+			return func(item int) (Result, error) {
+				j := first + item
+				return run(base+uint64(j/2), j&1 == 1)
+			}
+		}, observe)
+}
+
+// aggregateItems is the shared chunked executor behind AggregateSeeded
+// and AggregateAntithetic: items [0, n) are dispatched over the worker
+// budget in fixed chunks of aggChunkSize, each chunk's buffered
+// Results are folded in item order into a partial Aggregate (observe
+// sees them in the same pass), and the partials merge in chunk order —
+// bitwise independent of the worker count.
+func aggregateItems(n, workers int,
+	newRunner func(w int) func(item int) (Result, error),
+	observe func(Result)) (Aggregate, error) {
+	if n <= 0 {
 		return Aggregate{}, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	workers = min(workers, runs)
+	workers = min(workers, n)
 	if workers < 1 {
 		workers = 1
 	}
-	fns := make([]func(uint64) (Result, error), workers)
+	fns := make([]func(int) (Result, error), workers)
 	for w := range fns {
 		fns[w] = newRunner(w)
 	}
-	buf := make([]Result, min(aggChunkSize, runs))
+	buf := make([]Result, min(aggChunkSize, n))
 	var total Aggregate
-	for lo := 0; lo < runs; lo += aggChunkSize {
-		hi := min(lo+aggChunkSize, runs)
+	for lo := 0; lo < n; lo += aggChunkSize {
+		hi := min(lo+aggChunkSize, n)
 		span := buf[:hi-lo]
 		err := runChunks(len(span), workers,
-			func(w int) func(uint64) (Result, error) { return fns[w] },
-			func(run func(uint64) (Result, error), j int) error {
-				res, err := run(base + uint64(lo+j))
+			func(w int) func(int) (Result, error) { return fns[w] },
+			func(run func(int) (Result, error), j int) error {
+				res, err := run(lo + j)
 				if err != nil {
 					return err
 				}
@@ -157,6 +202,9 @@ func AggregateSeeded(base uint64, runs, workers int,
 		var part Aggregate
 		for j := range span {
 			part.Add(span[j])
+			if observe != nil {
+				observe(span[j])
+			}
 		}
 		total.Merge(part)
 	}

@@ -1,0 +1,141 @@
+package stats
+
+import "math"
+
+// Controlled is a regression-adjusted (control-variate) accumulator:
+// each observation pairs the quantity of interest y with a control c
+// whose true expectation Mu is known analytically. The adjusted mean
+//
+//	ŷ = ȳ − β̂·(c̄ − Mu),   β̂ = S_yc / S_cc
+//
+// removes the part of y's sampling noise that the control explains, so
+// its variance is the residual variance of the y-on-c regression —
+// never asymptotically worse than the raw mean, and dramatically
+// better when y and c are strongly correlated (the Monte-Carlo waste
+// against the per-run failure count, whose expectation the analytic
+// first-order model supplies).
+//
+// The accumulator keeps the joint central co-moments with the same
+// Welford/Chan updates as Sample, so it streams, loses no precision to
+// cancellation, and merges exactly like the other accumulators.
+type Controlled struct {
+	// Mu is the known expectation of the control. Merging requires
+	// equal Mu on both sides.
+	Mu float64
+
+	n            int
+	meanY, meanC float64
+	m2y, m2c     float64 // Σ(y−ȳ)², Σ(c−c̄)²
+	mcy          float64 // Σ(y−ȳ)(c−c̄)
+}
+
+// Add records one (observation, control) pair.
+func (v *Controlled) Add(y, c float64) {
+	v.n++
+	dy := y - v.meanY
+	dc := c - v.meanC
+	v.meanY += dy / float64(v.n)
+	v.meanC += dc / float64(v.n)
+	v.m2y += dy * (y - v.meanY)
+	v.m2c += dc * (c - v.meanC)
+	v.mcy += dy * (c - v.meanC)
+}
+
+// Merge folds another accumulator into v (Chan et al.'s pairwise
+// update, extended to the cross moment). Both sides must share the
+// same control expectation; merging an empty accumulator is a no-op
+// and merging into an empty one copies o, so chunk-ordered merges are
+// independent of the chunking — the same property Sample.Merge gives
+// the streaming aggregation.
+func (v *Controlled) Merge(o Controlled) {
+	if o.n == 0 {
+		return
+	}
+	if v.Mu != o.Mu {
+		panic("stats: merging Controlled accumulators with different control expectations")
+	}
+	if v.n == 0 {
+		*v = o
+		return
+	}
+	na, nb, nn := float64(v.n), float64(o.n), float64(v.n+o.n)
+	dy := o.meanY - v.meanY
+	dc := o.meanC - v.meanC
+	v.m2y += o.m2y + dy*dy*na*nb/nn
+	v.m2c += o.m2c + dc*dc*na*nb/nn
+	v.mcy += o.mcy + dy*dc*na*nb/nn
+	v.meanY += dy * nb / nn
+	v.meanC += dc * nb / nn
+	v.n += o.n
+}
+
+// N returns the number of pairs.
+func (v *Controlled) N() int { return v.n }
+
+// RawMean returns the unadjusted mean of y.
+func (v *Controlled) RawMean() float64 { return v.meanY }
+
+// ControlMean returns the observed mean of the control.
+func (v *Controlled) ControlMean() float64 { return v.meanC }
+
+// Beta returns the fitted regression coefficient S_yc/S_cc (0 when
+// the control never varied — the adjustment degenerates to the raw
+// mean, which is the right fallback).
+func (v *Controlled) Beta() float64 {
+	if v.m2c == 0 {
+		return 0
+	}
+	return v.mcy / v.m2c
+}
+
+// Mean returns the regression-adjusted estimate of E[y].
+func (v *Controlled) Mean() float64 {
+	return v.meanY - v.Beta()*(v.meanC-v.Mu)
+}
+
+// Variance returns the per-observation variance of the adjusted
+// estimator: the residual variance of the y-on-c regression,
+// (S_yy − S_yc²/S_cc)/(n−2). With fewer than 3 pairs, or a constant
+// control, it falls back to the raw sample variance (β̂ carries no
+// information yet).
+func (v *Controlled) Variance() float64 {
+	if v.n < 2 {
+		return 0
+	}
+	if v.m2c == 0 || v.n < 3 {
+		return v.m2y / float64(v.n-1)
+	}
+	resid := v.m2y - v.mcy*v.mcy/v.m2c
+	if resid < 0 {
+		resid = 0 // exact linear dependence, up to rounding
+	}
+	return resid / float64(v.n-2)
+}
+
+// StdErr returns the standard error of the adjusted mean.
+func (v *Controlled) StdErr() float64 {
+	if v.n == 0 {
+		return 0
+	}
+	return math.Sqrt(v.Variance() / float64(v.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95%
+// confidence interval on the adjusted mean.
+func (v *Controlled) CI95() float64 { return 1.96 * v.StdErr() }
+
+// ESS returns the effective sample size: how many raw observations
+// the adjusted estimate is statistically worth, n·Var_raw/Var_adj. A
+// control explaining 75% of the variance makes every simulated run
+// count 4×. It is n itself while the adjustment is degenerate.
+func (v *Controlled) ESS() float64 {
+	if v.n < 3 {
+		return float64(v.n)
+	}
+	adj := v.Variance()
+	if adj == 0 {
+		return math.Inf(1)
+	}
+	raw := v.m2y / float64(v.n-1)
+	return float64(v.n) * raw / adj
+}

@@ -209,6 +209,23 @@ func (h *Histogram) Add(x float64) {
 	}
 }
 
+// Merge folds another histogram into h. Both histograms must share
+// the exact same shape (bounds and bin count), the condition under
+// which per-chunk partial histograms merged in any grouping equal the
+// histogram of all observations — integer counters make the merge
+// exact, like Proportion's. Merging a differently shaped histogram
+// panics, mirroring NewHistogram's shape validation.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Counts) != len(h.Counts) {
+		panic("stats: merging histograms of different shapes")
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+}
+
 // Total returns the number of observations including outliers.
 func (h *Histogram) Total() int {
 	t := h.Under + h.Over

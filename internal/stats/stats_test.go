@@ -321,3 +321,131 @@ func TestProportionMerge(t *testing.T) {
 		t.Fatalf("merged proportion = %d/%d, want 8/17", a.Hits, a.Trials)
 	}
 }
+
+// TestHistogramMergeMatchesSequential is the merge-equivalence
+// property for histograms: folding per-chunk partial histograms, for
+// any chunk split, equals adding every observation to one histogram —
+// the property that unblocks chunked histogram aggregation.
+func TestHistogramMergeMatchesSequential(t *testing.T) {
+	xs := []float64{-1, 0, 0.5, 2.3, 4.9, 5, 7.7, 9.99, 10, 12, 3.3, 6.6}
+	for split := 0; split <= len(xs); split++ {
+		seq := NewHistogram(0, 10, 5)
+		a := NewHistogram(0, 10, 5)
+		b := NewHistogram(0, 10, 5)
+		for i, x := range xs {
+			seq.Add(x)
+			if i < split {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		if a.Under != seq.Under || a.Over != seq.Over || a.Total() != seq.Total() {
+			t.Fatalf("split %d: merged outliers/total differ: %+v vs %+v", split, a, seq)
+		}
+		for i := range a.Counts {
+			if a.Counts[i] != seq.Counts[i] {
+				t.Fatalf("split %d bin %d: %d != %d", split, i, a.Counts[i], seq.Counts[i])
+			}
+		}
+	}
+}
+
+// TestHistogramMergeShapePanics pins the shape guard.
+func TestHistogramMergeShapePanics(t *testing.T) {
+	cases := []*Histogram{
+		NewHistogram(0, 10, 4), // bin count differs
+		NewHistogram(0, 20, 5), // upper bound differs
+		NewHistogram(1, 10, 5), // lower bound differs
+	}
+	for i, o := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: merging mismatched shapes should panic", i)
+				}
+			}()
+			NewHistogram(0, 10, 5).Merge(o)
+		}()
+	}
+}
+
+// TestQuantileEdgeCases covers the inputs the adaptive rounds can
+// produce: an empty sample after a fatal-heavy first round, a single
+// observation, and an all-identical sample (the zero-variance
+// early-stop path).
+func TestQuantileEdgeCases(t *testing.T) {
+	if q := Quantile(nil, 0.5); !math.IsNaN(q) {
+		t.Errorf("Quantile(nil) = %v, want NaN", q)
+	}
+	if q := Quantile([]float64{}, 0.5); !math.IsNaN(q) {
+		t.Errorf("Quantile(empty) = %v, want NaN", q)
+	}
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 1, 2} {
+		if got := Quantile([]float64{7}, q); got != 7 {
+			t.Errorf("single-element quantile(%v) = %v, want 7", q, got)
+		}
+		if got := Quantile([]float64{3, 3, 3, 3}, q); got != 3 {
+			t.Errorf("all-identical quantile(%v) = %v, want 3", q, got)
+		}
+	}
+	// Out-of-range q clamps to the extremes.
+	xs := []float64{5, 1, 9}
+	if got := Quantile(xs, -0.5); got != 1 {
+		t.Errorf("quantile(-0.5) = %v, want min", got)
+	}
+	if got := Quantile(xs, 1.5); got != 9 {
+		t.Errorf("quantile(1.5) = %v, want max", got)
+	}
+	// The input must not be reordered.
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 9 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+}
+
+// TestWilson95EdgeCases covers the degenerate proportions adaptive
+// rounds see: no trials at all (total ignorance), all hits, and no
+// hits — the bounds must stay inside [0, 1] and bracket the rate.
+func TestWilson95EdgeCases(t *testing.T) {
+	var empty Proportion
+	lo, hi := empty.Wilson95()
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty Wilson interval [%v, %v], want [0, 1]", lo, hi)
+	}
+	all := Proportion{Hits: 8, Trials: 8}
+	lo, hi = all.Wilson95()
+	if hi != 1 || lo <= 0.5 || lo >= 1 {
+		t.Errorf("all-hits Wilson interval [%v, %v]", lo, hi)
+	}
+	none := Proportion{Hits: 0, Trials: 8}
+	lo, hi = none.Wilson95()
+	if lo > 1e-12 || hi <= 0 || hi >= 0.5 {
+		t.Errorf("no-hits Wilson interval [%v, %v]", lo, hi)
+	}
+	one := Proportion{Hits: 1, Trials: 1}
+	lo, hi = one.Wilson95()
+	if lo < 0 || hi > 1 || lo > one.Rate() || hi < one.Rate() {
+		t.Errorf("single-trial Wilson interval [%v, %v] does not bracket 1", lo, hi)
+	}
+}
+
+// TestSampleMergeIdenticalObservations pins the zero-variance merge:
+// chunks of identical observations merge to zero variance exactly, so
+// the adaptive stopper's CI hits 0 and stops — no 1e-30 residue.
+func TestSampleMergeIdenticalObservations(t *testing.T) {
+	var a, b Sample
+	for i := 0; i < 5; i++ {
+		a.Add(0.25)
+	}
+	for i := 0; i < 11; i++ {
+		b.Add(0.25)
+	}
+	a.Merge(b)
+	if a.Variance() != 0 || a.CI95() != 0 {
+		t.Errorf("identical-sample merge: variance %v ci %v, want exact 0", a.Variance(), a.CI95())
+	}
+	if a.Mean() != 0.25 || a.N() != 16 {
+		t.Errorf("identical-sample merge: mean %v n %d", a.Mean(), a.N())
+	}
+}
