@@ -1,15 +1,16 @@
 // Command bench runs the repository's fixed performance suite — the
 // Monte-Carlo kernel, the streaming batch aggregation, the detailed
 // substrate engine (memoized one-shot vs compiled batch), the API
-// sweep engine, the durable job path, and the adaptive-precision
-// executor with its equal-CI fixed-budget comparison — and writes a
-// machine-readable JSON report, so every PR extends a comparable perf
-// trajectory (BENCH_PR5.json is this PR's committed snapshot).
+// sweep engine, the durable job path, the adaptive-precision executor
+// with its equal-CI fixed-budget comparison, and the distributed
+// fabric's coordination overhead — and writes a machine-readable JSON
+// report, so every PR extends a comparable perf trajectory
+// (BENCH_PR6.json is this PR's committed snapshot).
 //
 // Usage:
 //
 //	go run ./cmd/bench [-short] [-out bench.json] \
-//	    [-baseline BENCH_PR5.json] [-max-regress 0.25]
+//	    [-baseline BENCH_PR6.json] [-max-regress 0.25]
 //
 // With -baseline, the measured engine-throughput, detailed-runner,
 // job-overhead and adaptive-sweep ns/op are compared against the
@@ -22,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/jobs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -489,6 +492,91 @@ func benchAdaptive(short bool) Metric {
 	return m
 }
 
+// benchFabricOverhead measures the distributed fabric's coordination
+// tax: the benchSweep grid executed through a coordinator over three
+// in-process HTTP workers versus the same grid evaluated in-process.
+// NsOp is the distributed sweep; Extra carries the single-node ns/op
+// and the overhead ratio (partitioning + HTTP dispatch + merge, which
+// dominates at this deliberately small grid — the point is to keep the
+// fixed per-sweep cost on the trajectory, not to show speedup).
+func benchFabricOverhead(short bool) Metric {
+	runs := 8
+	if short {
+		runs = 2
+	}
+	servers := make([]*httptest.Server, 3)
+	urls := make([]string, len(servers))
+	for i := range servers {
+		servers[i] = httptest.NewServer(api.NewServer(api.NewService(api.Options{})))
+		urls[i] = servers[i].URL
+	}
+	defer func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}()
+	coord, err := fabric.New(fabric.Config{Service: api.NewService(api.Options{}), Workers: urls})
+	if err != nil {
+		fatal(err)
+	}
+	const points = 8 // 2 protocols × 2 φ points × 2 MTBFs
+	seed := uint64(1 << 20)
+	mkReq := func() api.SweepRequest {
+		seed++ // fresh seed: every point misses every worker's cache
+		return api.SweepRequest{
+			Protocols: []string{"DoubleNBL", "Triple"},
+			PhiFracs:  []float64{0.25, 0.75},
+			MTBFs:     []float64{1800, 3600},
+			Tbase:     2e4,
+			Runs:      runs,
+			Seed:      seed,
+		}
+	}
+	single := api.NewService(api.Options{})
+	singleRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			items, _, err := single.Sweep(context.Background(), mkReq())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(items) != points {
+				b.Fatalf("got %d points, want %d", len(items), points)
+			}
+		}
+	})
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			body, err := json.Marshal(mkReq())
+			if err != nil {
+				b.Fatal(err)
+			}
+			got := 0
+			err = coord.SweepStreamFrom(context.Background(), body, 0, nil, func([]byte) error {
+				got++
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got != points {
+				b.Fatalf("got %d points, want %d", got, points)
+			}
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(points*b.N)/secs, "points/sec")
+		}
+	})
+	m := metric("fabric_overhead", res)
+	if m.Extra == nil {
+		m.Extra = make(map[string]float64)
+	}
+	singleNs := float64(singleRes.T.Nanoseconds()) / float64(singleRes.N)
+	m.Extra["single_node_ns_op"] = singleNs
+	m.Extra["overhead_ratio"] = m.NsOp / singleNs
+	return m
+}
+
 // gatedBench describes one benchmark the regression gate checks. The
 // fast kernel's alloc gate is absolute (+allocSlack): its hot path is
 // allocation-free, so any per-run allocation is a regression. The
@@ -513,6 +601,10 @@ var gatedBenches = []gatedBench{
 	// chunk buffers), so its alloc gate is relative too. Not required:
 	// baselines older than PR 5 do not carry it.
 	{name: "adaptive_sweep", measure: benchAdaptive, relAllocs: true},
+	// The fabric path allocates per dispatch (HTTP requests, merge
+	// buffers), so its alloc gate is relative. Not required: baselines
+	// older than PR 6 do not carry it.
+	{name: "fabric_overhead", measure: benchFabricOverhead, relAllocs: true},
 }
 
 // gate compares the measured headline benchmarks against a committed
@@ -624,6 +716,7 @@ func main() {
 		benchSweep,
 		benchJobOverhead,
 		benchAdaptive,
+		benchFabricOverhead,
 	} {
 		m := run(*short)
 		fmt.Printf("%-22s %14.0f ns/op %8d allocs/op", m.Name, m.NsOp, m.AllocsOp)

@@ -5,15 +5,23 @@
 // application/x-ndjson"), and the durable, resumable job subsystem on
 // /v1/jobs — sweeps submitted as jobs survive server restarts and
 // resume mid-sweep from their last checkpoint, bitwise identically.
-// See README.md for curl examples and DESIGN.md, "API request
-// lifecycle" and "Job subsystem", for the internals.
+//
+// The distributed fabric turns one serve process into a coordinator
+// over a fleet: with -coordinator and -workers, /v1/sweep (and every
+// job) is sharded across the worker URLs by consistent hashing and
+// merged back byte-identically; with -worker-of, the process runs as a
+// plain evaluation worker (no local job store). See README.md for curl
+// examples and DESIGN.md, "API request lifecycle", "Job subsystem" and
+// "Distributed fabric", for the internals.
 //
 // Usage:
 //
-//	serve [-addr :8080] [-cache 4096] [-workers 0]
+//	serve [-addr :8080] [-cache 4096] [-sim-workers 0]
 //	      [-maxgrid 4096] [-maxruns 256]
 //	      [-jobs-dir jobs] [-max-concurrent-jobs 2]
 //	      [-checkpoint-every 16]
+//	      [-coordinator] [-workers http://h1:8080,http://h2:8080]
+//	      [-worker-of coordinator-name] [-lease 15s]
 package main
 
 import (
@@ -25,38 +33,81 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/fabric"
 	"repro/internal/jobs"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", 4096, "sweep-point LRU cache capacity (negative disables)")
-	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	simWorkers := flag.Int("sim-workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 	maxGrid := flag.Int("maxgrid", 4096, "maximum sweep grid points per request")
 	maxRuns := flag.Int("maxruns", 256, "maximum Monte-Carlo runs per sweep point")
 	jobsDir := flag.String("jobs-dir", "jobs", "durable job directory for /v1/jobs (empty disables the job subsystem)")
 	maxJobs := flag.Int("max-concurrent-jobs", 2, "jobs executing simultaneously")
 	ckptEvery := flag.Int("checkpoint-every", 16, "completed points per durable job checkpoint")
+	coordinator := flag.Bool("coordinator", false, "run as fabric coordinator: shard sweeps across -workers")
+	workerURLs := flag.String("workers", "", "comma-separated worker base URLs for -coordinator mode")
+	workerOf := flag.String("worker-of", "", "run as a fabric worker for the named coordinator (disables the local job store)")
+	lease := flag.Duration("lease", 15*time.Second, "coordinator per-dispatch heartbeat budget before re-dispatch")
 	flag.Parse()
+
+	if *coordinator && *workerOf != "" {
+		fmt.Fprintln(os.Stderr, "serve: -coordinator and -worker-of are mutually exclusive")
+		os.Exit(1)
+	}
+	if *coordinator && *workerURLs == "" {
+		fmt.Fprintln(os.Stderr, "serve: -coordinator needs -workers URL,URL,...")
+		os.Exit(1)
+	}
+	if *workerOf != "" {
+		// A worker evaluates ranges on behalf of its coordinator; jobs
+		// are durable on the coordinator, so a local store would only
+		// invite split-brain submissions.
+		*jobsDir = ""
+	}
 
 	svc := api.NewService(api.Options{
 		CacheSize:     *cache,
-		Workers:       *workers,
+		Workers:       *simWorkers,
 		MaxGridPoints: *maxGrid,
 		MaxRuns:       *maxRuns,
 	})
+
+	var coord *fabric.Coordinator
+	if *coordinator {
+		var err error
+		coord, err = fabric.New(fabric.Config{
+			Service: svc,
+			Workers: splitURLs(*workerURLs),
+			Lease:   *lease,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	}
+
 	var mgr *jobs.Manager
 	if *jobsDir != "" {
+		exec := svc.JobExecutor()
+		if coord != nil {
+			// Coordinator jobs execute across the fleet; checkpoints
+			// stay in this process's store, so a coordinator restart
+			// resumes a distributed job from its last durable point.
+			exec = coord.Executor()
+		}
 		var err error
 		mgr, err = jobs.NewManager(jobs.Config{
 			Dir:             *jobsDir,
 			MaxConcurrent:   *maxJobs,
 			CheckpointEvery: *ckptEvery,
-			Exec:            svc.JobExecutor(),
+			Exec:            exec,
 			Normalize:       svc.NormalizeJobRequest,
 		})
 		if err != nil {
@@ -73,9 +124,18 @@ func main() {
 		}
 		log.Printf("serve: job store %s (%d jobs, %d to run)", *jobsDir, len(metas), resumed)
 	}
+
+	handler := api.NewServer(svc)
+	if coord != nil {
+		handler = coord.Handler(handler)
+		log.Printf("serve: coordinator over %d workers (lease %s)", len(splitURLs(*workerURLs)), *lease)
+	}
+	if *workerOf != "" {
+		log.Printf("serve: fabric worker for %s", *workerOf)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(api.NewServer(svc)),
+		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -88,7 +148,7 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("serve: listening on %s (cache=%d workers=%d)", *addr, *cache, *workers)
+	log.Printf("serve: listening on %s (cache=%d sim-workers=%d)", *addr, *cache, *simWorkers)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
@@ -99,6 +159,17 @@ func main() {
 		mgr.Close()
 	}
 	log.Printf("serve: shut down")
+}
+
+// splitURLs parses the -workers flag, tolerating blanks and spaces.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
 }
 
 // logRequests logs one line per request with its duration.

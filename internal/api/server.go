@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"repro/internal/jobs"
 )
 
 // Sweep metadata headers. They carry SweepStats out of band so that
@@ -116,9 +118,34 @@ type sweepResponse struct {
 	Items []SweepItem `json:"items"`
 }
 
+// rangeParams parses the optional ?offset=&limit= query parameters
+// selecting a contiguous sub-range of the sweep grid — the wire format
+// the fabric coordinator uses to dispatch point ranges to workers.
+// Absent parameters select the whole grid (offset 0, limit -1), so the
+// historical /v1/sweep surface is unchanged.
+func rangeParams(r *http.Request) (offset, limit int, err error) {
+	offset, limit = 0, -1
+	if q := r.URL.Query().Get("offset"); q != "" {
+		if offset, err = strconv.Atoi(q); err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("api: offset %q must be a non-negative integer", q)
+		}
+	}
+	if q := r.URL.Query().Get("limit"); q != "" {
+		if limit, err = strconv.Atoi(q); err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("api: limit %q must be a non-negative integer", q)
+		}
+	}
+	return offset, limit, nil
+}
+
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST with a JSON body"))
+		return
+	}
+	offset, limit, err := rangeParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	var req SweepRequest
@@ -127,10 +154,14 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.Header.Get("Accept") == NDJSONContentType {
-		s.streamSweep(w, r, req)
+		s.streamSweep(w, r, req, offset, limit)
 		return
 	}
-	items, stats, err := s.Sweep(r.Context(), req)
+	items := make([]SweepItem, 0, 16)
+	stats, err := s.sweepRange(r.Context(), req, offset, limit, jobs.Interactive, nil, func(item SweepItem) error {
+		items = append(items, item)
+		return nil
+	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -142,17 +173,21 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 // streamSweep writes one SweepItem per NDJSON line, flushing as points
 // complete, and reports SweepStats as HTTP trailers. A request-context
 // cancellation (the client disconnected) is checked before every
-// encode, so it propagates into SweepStream — and out of the shared
-// evaluation pool — promptly instead of whenever the next TCP write
-// happens to fail; any mid-stream abort terminates the stream with a
-// flushed {"error": ...} record rather than a silent truncation.
-func (s *Service) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest) {
+// encode, so it propagates into the sweep engine — and out of the
+// shared evaluation pool — promptly instead of whenever the next TCP
+// write happens to fail; any mid-stream abort terminates the stream
+// with a flushed {"error": ...} record rather than a silent
+// truncation. A non-default offset/limit streams just that contiguous
+// grid range — byte-for-byte the same lines a full-grid stream carries
+// at those positions, which is what lets a fabric coordinator merge
+// worker ranges back into a byte-identical single-node response.
+func (s *Service) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, offset, limit int) {
 	w.Header().Set("Trailer", HeaderSweepPoints+", "+HeaderSweepHits+", "+HeaderSweepMisses)
 	w.Header().Set("Content-Type", NDJSONContentType)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	wrote := false
-	stats, err := s.SweepStream(r.Context(), req, func(item SweepItem) error {
+	stats, err := s.sweepRange(r.Context(), req, offset, limit, jobs.Interactive, nil, func(item SweepItem) error {
 		if err := r.Context().Err(); err != nil {
 			return err
 		}

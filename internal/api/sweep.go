@@ -523,6 +523,43 @@ func (s *Service) SweepStream(ctx context.Context, req SweepRequest, emit func(S
 // item sequence is deterministic — grid order, content-keyed seeds —
 // so any suffix of it is bitwise reproducible from its offset.
 func (s *Service) SweepStreamFrom(ctx context.Context, req SweepRequest, offset int, pr jobs.Priority, onExpand func(total int) error, emit func(SweepItem) error) (SweepStats, error) {
+	return s.sweepRange(ctx, req, offset, -1, pr, onExpand, emit)
+}
+
+// SweepStreamRange evaluates the half-open point range
+// [offset, offset+limit) of the request's grid (limit < 0 selects the
+// rest of the grid) in grid order. It is the worker side of the
+// distributed fabric: a coordinator partitions the grid's point keys
+// and dispatches each contiguous range to one worker through this
+// entry point, and because per-point seeds are content-keyed — never
+// position-dependent — the emitted items are bitwise identical to the
+// same slice of a single-node run. A limit overshooting the grid is
+// truncated, so a range dispatch and its grid agree on the boundary
+// without an extra round trip.
+func (s *Service) SweepStreamRange(ctx context.Context, req SweepRequest, offset, limit int, pr jobs.Priority, emit func(SweepItem) error) (SweepStats, error) {
+	return s.sweepRange(ctx, req, offset, limit, pr, nil, emit)
+}
+
+// PointKeys expands the request and returns the canonical content key
+// of every grid point, in grid order. The keys are what the fabric
+// coordinator partitions across workers: a point's key (and therefore
+// its derived seed and its evaluated bytes) is independent of the grid
+// position and of which node evaluates it.
+func (s *Service) PointKeys(req SweepRequest) ([]string, error) {
+	points, err := s.expand(&req)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(points))
+	for i, pt := range points {
+		keys[i] = pt.key
+	}
+	return keys, nil
+}
+
+// sweepRange is the shared range executor behind SweepStreamFrom
+// (limit < 0) and SweepStreamRange.
+func (s *Service) sweepRange(ctx context.Context, req SweepRequest, offset, limit int, pr jobs.Priority, onExpand func(total int) error, emit func(SweepItem) error) (SweepStats, error) {
 	points, err := s.expand(&req) // normalizes req.Runs for the evaluations below
 	if err != nil {
 		return SweepStats{}, err
@@ -537,6 +574,9 @@ func (s *Service) SweepStreamFrom(ctx context.Context, req SweepRequest, offset 
 		return stats, fmt.Errorf("api: resume offset %d outside the %d-point grid", offset, len(points))
 	}
 	points = points[offset:]
+	if limit >= 0 && limit < len(points) {
+		points = points[:limit]
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()

@@ -1,0 +1,458 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/jobs"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Service is the coordinator's local evaluation service, used for
+	// request normalization and point-key expansion — never for
+	// simulation (the workers simulate). Workers must run the same
+	// grid limits (maxgrid, maxruns) or dispatches can be rejected.
+	Service *api.Service
+	// Workers lists the worker base URLs (e.g. http://host:8080).
+	Workers []string
+	// Client issues the dispatch requests (default: a fresh
+	// http.Client with no global timeout; the per-dispatch lease is
+	// the timeout discipline).
+	Client *http.Client
+	// Lease is the per-dispatch heartbeat budget: a dispatch that
+	// delivers no line for Lease is cancelled and its unfinished
+	// suffix re-dispatched (default 15s). Every delivered line renews
+	// the lease, so a slow-but-alive worker is never pre-empted.
+	Lease time.Duration
+	// StealAfter is how long an in-flight range must go without
+	// progress before an idle worker speculatively duplicates its
+	// remainder (default Lease/2). The merger dedupes the race by
+	// point index, and content-keyed seeds make both copies byte-
+	// identical, so stealing never perturbs the output.
+	StealAfter time.Duration
+	// MaxAttempts bounds the dispatch attempts per range before the
+	// sweep fails (default 3 × worker count, minimum 4).
+	MaxAttempts int
+	// Replicas is the consistent-hash ring's virtual-node count per
+	// worker (default DefaultReplicas).
+	Replicas int
+}
+
+// Coordinator shards sweeps across a fleet of workers. It is safe for
+// concurrent use; each sweep runs its own scheduler and merger.
+type Coordinator struct {
+	cfg  Config
+	ring *Ring
+}
+
+// New validates the config and builds the coordinator's hash ring.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Service == nil {
+		return nil, errors.New("fabric: coordinator needs a local api.Service")
+	}
+	ring, err := NewRing(cfg.Workers, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = 15 * time.Second
+	}
+	if cfg.StealAfter <= 0 {
+		cfg.StealAfter = cfg.Lease / 2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3 * len(cfg.Workers)
+		if cfg.MaxAttempts < 4 {
+			cfg.MaxAttempts = 4
+		}
+	}
+	return &Coordinator{cfg: cfg, ring: ring}, nil
+}
+
+// Ring returns the coordinator's consistent-hash ring.
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// task is one key range's scheduling state. start advances over the
+// delivered prefix on every (re)dispatch accounting pass, so a requeue
+// carries exactly the unfinished suffix.
+type task struct {
+	start, end int
+	owner      int // preferred worker (ring assignment)
+	attempts   int
+	copies     int // concurrent dispatches (1 + speculative steals)
+	lastWorker int // last worker to fail it; steered away on requeue
+	progress   time.Time
+	completed  bool
+}
+
+// sched is one sweep's scheduler: a pending queue plus the stealing
+// and failure bookkeeping shared by the per-worker loops.
+type sched struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*task
+	tasks   []*task
+	failed  error
+	done    bool
+	cancel  context.CancelFunc // kills in-flight dispatches on failure
+}
+
+func (s *sched) fail(err error) {
+	s.mu.Lock()
+	if s.failed == nil && err != nil {
+		s.failed = err
+		s.cancel()
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *sched) finished() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done, s.failed
+}
+
+// next blocks until a range is available for worker w and claims it.
+// Preference order: a pending range this worker owns (ring
+// assignment), then a stolen pending range (largest first, skipping
+// ranges this worker just failed), then a speculative duplicate of an
+// in-flight range with stale progress. Returns nil when the sweep is
+// done or failed.
+func (s *sched) next(ctx context.Context, w int, stealAfter time.Duration) *task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.done || s.failed != nil || ctx.Err() != nil {
+			return nil
+		}
+		best := -1
+		for i, t := range s.pending {
+			if t.owner == w {
+				best = i
+				break
+			}
+		}
+		if best < 0 {
+			size := 0
+			for i, t := range s.pending {
+				if t.lastWorker == w && t.attempts > 0 {
+					continue // let another worker try what this one failed
+				}
+				if n := t.end - t.start; n > size {
+					best, size = i, n
+				}
+			}
+		}
+		if best < 0 && len(s.pending) > 0 {
+			best = 0 // nothing better: retry even a range this worker failed
+		}
+		if best >= 0 {
+			t := s.pending[best]
+			s.pending = append(s.pending[:best], s.pending[best+1:]...)
+			t.copies++
+			return t
+		}
+		// Idle with nothing pending: speculatively duplicate the
+		// stalest in-flight range that has gone quiet. The duplicate
+		// races the original; the merger dedupes by index.
+		now := time.Now()
+		var cand *task
+		size := 0
+		for _, t := range s.tasks {
+			if t.completed || t.copies != 1 || now.Sub(t.progress) < stealAfter {
+				continue
+			}
+			if n := t.end - t.start; n > size {
+				cand, size = t, n
+			}
+		}
+		if cand != nil {
+			cand.copies++
+			return cand
+		}
+		s.cond.Wait()
+	}
+}
+
+// finish accounts for a returned dispatch: the delivered prefix is
+// retired, a fully covered range completes, and an unfinished suffix
+// is requeued — or the sweep failed once the range exhausts its
+// attempts.
+func (s *sched) finish(t *task, w int, err error, m *Merger, maxAttempts int) {
+	s.mu.Lock()
+	t.copies--
+	gap := m.FirstGap(t.start, t.end)
+	if gap >= t.end {
+		if !t.completed {
+			t.completed = true
+		}
+		if m.Done() {
+			s.done = true
+		}
+		s.mu.Unlock()
+		s.cond.Broadcast()
+		return
+	}
+	t.start = gap
+	if t.copies > 0 {
+		// A racing duplicate is still delivering this range; it will
+		// run this accounting when it returns.
+		s.mu.Unlock()
+		return
+	}
+	t.lastWorker = w
+	t.attempts++
+	if t.attempts >= maxAttempts {
+		s.mu.Unlock()
+		s.fail(fmt.Errorf("fabric: range [%d, %d) exhausted %d dispatch attempts, last error: %v",
+			t.start, t.end, t.attempts, err))
+		return
+	}
+	s.pending = append(s.pending, t)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// touch renews the range's heartbeat on every delivered line.
+func (s *sched) touch(t *task) {
+	s.mu.Lock()
+	t.progress = time.Now()
+	s.mu.Unlock()
+}
+
+// Executor adapts the coordinator to the durable job subsystem: jobs
+// submitted to a coordinator node execute across the fleet while their
+// checkpoints land in the coordinator's store, so a restarted
+// coordinator resumes a distributed job from its last durable point
+// exactly like a single-node job — and emits the identical remaining
+// bytes.
+func (c *Coordinator) Executor() jobs.Executor {
+	return func(ctx context.Context, request []byte, offset int, start func(total int) error, emit func(line []byte) error) error {
+		return c.SweepStreamFrom(ctx, request, offset, start, emit)
+	}
+}
+
+// SweepStreamFrom runs the request's grid from point `offset` on
+// across the worker fleet, emitting one NDJSON line per point in
+// canonical grid order — byte-identical to a single-node run of the
+// same request. It is the distributed twin of
+// api.Service.SweepStreamFrom and satisfies the same executor
+// contract.
+func (c *Coordinator) SweepStreamFrom(ctx context.Context, request []byte, offset int, start func(total int) error, emit func(line []byte) error) error {
+	var req api.SweepRequest
+	if err := json.Unmarshal(request, &req); err != nil {
+		return fmt.Errorf("fabric: decoding request: %w", err)
+	}
+	keys, err := c.cfg.Service.PointKeys(req)
+	if err != nil {
+		return err
+	}
+	if start != nil {
+		if err := start(len(keys)); err != nil {
+			return err
+		}
+	}
+	if offset < 0 || offset > len(keys) {
+		return fmt.Errorf("fabric: resume offset %d outside the %d-point grid", offset, len(keys))
+	}
+	return c.run(ctx, request, keys, offset, len(keys), emit)
+}
+
+// run dispatches grid points [from, to) and merges their lines.
+func (c *Coordinator) run(ctx context.Context, request []byte, keys []string, from, to int, emit func(line []byte) error) error {
+	if from >= to {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	m := NewMerger(from, to, emit)
+	s := &sched{cancel: cancel}
+	s.cond = sync.NewCond(&s.mu)
+	for _, rg := range c.ring.Ranges(keys[from:to], from) {
+		t := &task{start: rg.Start, end: rg.Start + rg.Count, owner: rg.Worker, lastWorker: -1, progress: time.Now()}
+		s.tasks = append(s.tasks, t)
+		s.pending = append(s.pending, t)
+	}
+
+	// The waker gives cond.Wait a clock: steal thresholds and context
+	// cancellation are time-based conditions no cond broadcast fires
+	// for on its own.
+	wake := time.NewTicker(c.wakeEvery())
+	stop := make(chan struct{})
+	defer func() { wake.Stop(); close(stop) }()
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-wake.C:
+				s.cond.Broadcast()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := range c.ring.workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c.workerLoop(ctx, s, m, request, w)
+		}(w)
+	}
+	wg.Wait()
+
+	done, failed := s.finished()
+	switch {
+	case failed != nil:
+		return failed
+	case ctx.Err() != nil:
+		return ctx.Err()
+	case !done:
+		return errors.New("fabric: sweep stalled with no failure recorded")
+	}
+	return nil
+}
+
+// wakeEvery is the scheduler's clock tick: fine-grained enough to
+// notice a stale lease promptly at test-scale lease budgets without
+// spinning at production ones.
+func (c *Coordinator) wakeEvery() time.Duration {
+	d := c.cfg.StealAfter / 4
+	if c.cfg.Lease/4 < d {
+		d = c.cfg.Lease / 4
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// workerLoop claims ranges for one worker until the sweep completes.
+func (c *Coordinator) workerLoop(ctx context.Context, s *sched, m *Merger, request []byte, w int) {
+	for {
+		t := s.next(ctx, w, c.cfg.StealAfter)
+		if t == nil {
+			return
+		}
+		err := c.dispatch(ctx, s, m, request, t, w)
+		s.finish(t, w, err, m, c.cfg.MaxAttempts)
+		if err != nil && ctx.Err() == nil {
+			// A failed worker pauses before its next claim, so a dead
+			// node does not spin through every range's attempt budget
+			// while live workers are still delivering.
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(c.wakeEvery()):
+			}
+		}
+	}
+}
+
+// errorRecord matches the {"error": ...} terminal NDJSON record a
+// worker emits when its stream aborts mid-range. A SweepItem line can
+// never start this way (its first field is "protocol").
+var errorRecord = []byte(`{"error":`)
+
+// dispatch sends one range to one worker and feeds its lines into the
+// merger, under the lease + heartbeat watchdog. It returns nil when
+// the range's remaining points were all delivered (by this dispatch or
+// a racing duplicate).
+func (c *Coordinator) dispatch(ctx context.Context, s *sched, m *Merger, request []byte, t *task, w int) error {
+	s.mu.Lock()
+	start, end := t.start, t.end
+	s.mu.Unlock()
+	// Skip whatever a racing duplicate has already delivered.
+	if start = m.FirstGap(start, end); start >= end {
+		return nil
+	}
+
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	progress := make(chan struct{}, 1)
+	go c.watchdog(dctx, cancel, progress)
+
+	worker := c.ring.workers[w]
+	url := fmt.Sprintf("%s/v1/sweep?offset=%d&limit=%d", strings.TrimSuffix(worker, "/"), start, end-start)
+	hreq, err := http.NewRequestWithContext(dctx, http.MethodPost, url, bytes.NewReader(request))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", api.NDJSONContentType)
+	resp, err := c.cfg.Client.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("fabric: worker %s: %w", worker, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("fabric: worker %s: status %d: %s", worker, resp.StatusCode, bytes.TrimSpace(body))
+	}
+
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	for i := start; i < end; i++ {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return fmt.Errorf("fabric: worker %s: stream ended %d points early: %w", worker, end-i, err)
+		}
+		if bytes.HasPrefix(line, errorRecord) {
+			return fmt.Errorf("fabric: worker %s: mid-stream abort: %s", worker, bytes.TrimSpace(line))
+		}
+		if _, err := m.Add(i, line); err != nil {
+			// The merge window or the downstream consumer failed; both
+			// doom the sweep, not just this dispatch.
+			s.fail(err)
+			return err
+		}
+		s.touch(t)
+		select {
+		case progress <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// watchdog cancels the dispatch when no line lands within the lease.
+// Every delivered line renews it.
+func (c *Coordinator) watchdog(ctx context.Context, cancel context.CancelFunc, progress <-chan struct{}) {
+	timer := time.NewTimer(c.cfg.Lease)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-progress:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(c.cfg.Lease)
+		case <-timer.C:
+			cancel()
+			return
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/api"
+)
+
+// Handler mounts the coordinator's distributed /v1/sweep over an inner
+// handler (normally api.NewServer of the local service): sweeps fan out
+// across the fleet; every other route — point endpoints, /healthz, the
+// /v1/jobs lifecycle — falls through to the inner handler unchanged.
+func (c *Coordinator) Handler(inner http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", inner)
+	mux.HandleFunc("/v1/sweep", c.handleSweep)
+	return mux
+}
+
+// handleSweep is the coordinator-mode twin of the single-node /v1/sweep
+// handler: same request language (the body is normalized through the
+// job normalizer, so validation matches), same ?offset=&limit= range
+// selection, same streaming and non-streaming response shapes — and, by
+// the merge invariants, the same response bytes a single node produces.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST with a JSON body"))
+		return
+	}
+	offset, limit, err := rangeParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body := new(bytes.Buffer)
+	if _, err := body.ReadFrom(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	// Normalizing first means the byte payload dispatched to every
+	// worker is the canonical request, so worker-side grid expansion
+	// and point keys are exactly the coordinator's.
+	canonical, total, err := c.cfg.Service.NormalizeJobRequest(body.Bytes())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if offset > total {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("fabric: offset %d outside the %d-point grid", offset, total))
+		return
+	}
+	end := total
+	if limit >= 0 && offset+limit < end {
+		end = offset + limit
+	}
+
+	var req api.SweepRequest
+	if err := json.Unmarshal(canonical, &req); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	keys, err := c.cfg.Service.PointKeys(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if r.Header.Get("Accept") == api.NDJSONContentType {
+		c.streamSweep(w, r, canonical, keys, offset, end)
+		return
+	}
+	items := make([]api.SweepItem, 0, end-offset)
+	err = c.run(r.Context(), canonical, keys, offset, end, func(line []byte) error {
+		var item api.SweepItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return fmt.Errorf("fabric: worker line undecodable: %w", err)
+		}
+		items = append(items, item)
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	w.Header().Set(api.HeaderSweepPoints, strconv.Itoa(len(items)))
+	writeJSON(w, struct {
+		Items []api.SweepItem `json:"items"`
+	}{items})
+}
+
+// streamSweep streams the merged worker lines as they land — in
+// canonical grid order, byte-identical to the single-node stream. Cache
+// hit/miss trailers are omitted (they are per-worker facts); the point
+// count trailer is kept.
+func (c *Coordinator) streamSweep(w http.ResponseWriter, r *http.Request, canonical []byte, keys []string, from, to int) {
+	w.Header().Set("Trailer", api.HeaderSweepPoints)
+	w.Header().Set("Content-Type", api.NDJSONContentType)
+	flusher, _ := w.(http.Flusher)
+	wrote := 0
+	err := c.run(r.Context(), canonical, keys, from, to, func(line []byte) error {
+		if err := r.Context().Err(); err != nil {
+			return err
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		wrote++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		if wrote == 0 {
+			writeError(w, http.StatusBadGateway, err)
+			return
+		}
+		// Mid-stream failure: mirror the single-node handler's terminal
+		// {"error": ...} record so truncation is always detectable.
+		json.NewEncoder(w).Encode(struct {
+			Error string `json:"error"`
+		}{err.Error()})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return
+	}
+	w.Header().Set(api.HeaderSweepPoints, strconv.Itoa(wrote))
+}
+
+// rangeParams mirrors the single-node ?offset=&limit= parsing so a
+// coordinator can itself be dispatched to as a worker tier.
+func rangeParams(r *http.Request) (offset, limit int, err error) {
+	offset, limit = 0, -1
+	if q := r.URL.Query().Get("offset"); q != "" {
+		if offset, err = strconv.Atoi(q); err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("fabric: offset %q must be a non-negative integer", q)
+		}
+	}
+	if q := r.URL.Query().Get("limit"); q != "" {
+		if limit, err = strconv.Atoi(q); err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("fabric: limit %q must be a non-negative integer", q)
+		}
+	}
+	return offset, limit, nil
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding response: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}

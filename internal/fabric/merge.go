@@ -1,0 +1,106 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Merger folds concurrently arriving worker result lines back into
+// canonical grid order. It accepts (index, line) pairs for the window
+// [start, end), emits each index's line exactly once, in index order,
+// and dedupes duplicate deliveries — the normal outcome of a stolen
+// range racing its original dispatch. Point seeds are content-keyed,
+// so every copy of a line carries identical bytes and first-wins
+// deduplication is deterministic down to the byte.
+//
+// The merge invariants the fuzz test pins down:
+//
+//  1. order:    emitted indices are start, start+1, ..., end-1
+//  2. exactly-once: no index is emitted twice, none is skipped
+//  3. no invention: an emitted line was Added for that index
+type Merger struct {
+	mu      sync.Mutex
+	next    int // lowest index not yet emitted
+	start   int
+	end     int
+	buffer  map[int][]byte // accepted, not yet emitted (out-of-order arrivals)
+	emit    func(line []byte) error
+	err     error // sticky first emit error
+	emitted int
+}
+
+// NewMerger returns a merger for the window [start, end) whose
+// in-order output is handed to emit. emit is called with the merger's
+// internal serialization — never concurrently.
+func NewMerger(start, end int, emit func(line []byte) error) *Merger {
+	return &Merger{next: start, start: start, end: end, buffer: make(map[int][]byte), emit: emit}
+}
+
+// Add accepts the line of grid point i. It returns fresh=false when
+// the point was already delivered by another dispatch (the duplicate
+// is dropped), and the sticky emit error once the downstream consumer
+// has failed. The line is copied: callers may reuse their read buffer.
+func (m *Merger) Add(i int, line []byte) (fresh bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return false, m.err
+	}
+	if i < m.start || i >= m.end {
+		return false, fmt.Errorf("fabric: point index %d outside merge window [%d, %d)", i, m.start, m.end)
+	}
+	if i < m.next {
+		return false, nil // already emitted
+	}
+	if _, ok := m.buffer[i]; ok {
+		return false, nil // already accepted, awaiting its turn
+	}
+	m.buffer[i] = append([]byte(nil), line...)
+	for {
+		line, ok := m.buffer[m.next]
+		if !ok {
+			break
+		}
+		if err := m.emit(line); err != nil {
+			m.err = err
+			return true, err
+		}
+		delete(m.buffer, m.next)
+		m.next++
+		m.emitted++
+	}
+	return true, nil
+}
+
+// FirstGap returns the first index in [from, to) that has not been
+// accepted yet, or `to` when the whole interval is covered. Dispatch
+// accounting uses it to requeue exactly the unfinished suffix of a
+// range: deliveries stream in index order, so a range's accepted set
+// is always a prefix and its gap a suffix.
+func (m *Merger) FirstGap(from, to int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := from; i < to; i++ {
+		if i < m.next {
+			continue
+		}
+		if _, ok := m.buffer[i]; !ok {
+			return i
+		}
+	}
+	return to
+}
+
+// Done reports whether every index of the window has been emitted.
+func (m *Merger) Done() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.next >= m.end
+}
+
+// Err returns the sticky downstream error, if any.
+func (m *Merger) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}

@@ -1,0 +1,218 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func lineFor(i int) []byte {
+	return []byte(fmt.Sprintf(`{"protocol":"p","point":%d}`+"\n", i))
+}
+
+// checkCanonical asserts the three merge invariants over an emitted
+// line sequence for the window [start, end): order, exactly-once, no
+// invention.
+func checkCanonical(t *testing.T, got [][]byte, start, end int) {
+	t.Helper()
+	if len(got) != end-start {
+		t.Fatalf("emitted %d lines, want %d", len(got), end-start)
+	}
+	for i, line := range got {
+		if want := lineFor(start + i); !bytes.Equal(line, want) {
+			t.Fatalf("position %d: got %q, want %q", i, line, want)
+		}
+	}
+}
+
+// TestMergerInterleavings drives the merger through adversarial
+// delivery schedules — out-of-order ranges, duplicated deliveries,
+// delayed (late-arriving) prefixes — and asserts the canonical output
+// every time. Deterministically seeded so failures replay.
+func TestMergerInterleavings(t *testing.T) {
+	const start, end = 3, 83
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var got [][]byte
+		m := NewMerger(start, end, func(line []byte) error {
+			got = append(got, append([]byte(nil), line...))
+			return nil
+		})
+		// Schedule: every index once, shuffled, plus ~50% duplicates
+		// spliced in (a stolen range racing its original re-delivers a
+		// prefix), delivered through a reusable buffer to catch aliasing.
+		schedule := r.Perm(end - start)
+		for range schedule {
+			schedule = append(schedule, schedule[r.Intn(end-start)])
+		}
+		r.Shuffle(len(schedule), func(i, j int) { schedule[i], schedule[j] = schedule[j], schedule[i] })
+		buf := make([]byte, 0, 64)
+		freshCount := make(map[int]int)
+		for _, off := range schedule {
+			i := start + off
+			buf = append(buf[:0], lineFor(i)...)
+			fresh, err := m.Add(i, buf)
+			if err != nil {
+				t.Fatalf("seed %d: Add(%d): %v", seed, i, err)
+			}
+			if fresh {
+				freshCount[i]++
+			}
+		}
+		if !m.Done() {
+			t.Fatalf("seed %d: merger not done after full schedule", seed)
+		}
+		checkCanonical(t, got, start, end)
+		for i := start; i < end; i++ {
+			if freshCount[i] != 1 {
+				t.Fatalf("seed %d: index %d accepted fresh %d times, want exactly once", seed, i, freshCount[i])
+			}
+		}
+		if gap := m.FirstGap(start, end); gap != end {
+			t.Errorf("seed %d: FirstGap over complete window = %d, want %d", seed, gap, end)
+		}
+	}
+}
+
+// TestMergerConcurrentWorkers emulates the real topology under -race:
+// several goroutines each deliver one contiguous range (in range order,
+// as a worker stream does), one range delivered twice by a racing
+// thief.
+func TestMergerConcurrentWorkers(t *testing.T) {
+	const end = 120
+	var mu sync.Mutex
+	var got [][]byte
+	m := NewMerger(0, end, func(line []byte) error {
+		mu.Lock()
+		got = append(got, append([]byte(nil), line...))
+		mu.Unlock()
+		return nil
+	})
+	ranges := [][2]int{{0, 31}, {31, 57}, {57, 90}, {90, 120}, {31, 57}} // last = stolen duplicate
+	var wg sync.WaitGroup
+	for _, rg := range ranges {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if _, err := m.Add(i, lineFor(i)); err != nil {
+					t.Errorf("Add(%d): %v", i, err)
+					return
+				}
+			}
+		}(rg[0], rg[1])
+	}
+	wg.Wait()
+	if !m.Done() {
+		t.Fatal("merger not done")
+	}
+	checkCanonical(t, got, 0, end)
+}
+
+func TestMergerWindowAndGap(t *testing.T) {
+	m := NewMerger(10, 20, func([]byte) error { return nil })
+	for _, bad := range []int{9, 20, -1} {
+		if _, err := m.Add(bad, lineFor(bad)); err == nil {
+			t.Errorf("Add(%d) outside window accepted", bad)
+		}
+	}
+	// Accept a non-prefix subset; the gap must be the first hole, and
+	// already-emitted prefixes must report no gap.
+	for _, i := range []int{10, 11, 14} {
+		if _, err := m.Add(i, lineFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gap := m.FirstGap(10, 20); gap != 12 {
+		t.Errorf("FirstGap(10,20) = %d, want 12", gap)
+	}
+	if gap := m.FirstGap(14, 20); gap != 15 {
+		t.Errorf("FirstGap(14,20) = %d, want 15 (14 buffered)", gap)
+	}
+	if m.Done() {
+		t.Error("Done with holes outstanding")
+	}
+}
+
+// TestMergerStickyEmitError: once the downstream consumer fails, every
+// further Add reports that error and nothing more is emitted — the
+// whole sweep is doomed, not silently truncated.
+func TestMergerStickyEmitError(t *testing.T) {
+	boom := errors.New("downstream gone")
+	emitted := 0
+	m := NewMerger(0, 5, func([]byte) error {
+		if emitted == 2 {
+			return boom
+		}
+		emitted++
+		return nil
+	})
+	var firstErr error
+	for i := 0; i < 5 && firstErr == nil; i++ {
+		_, firstErr = m.Add(i, lineFor(i))
+	}
+	if !errors.Is(firstErr, boom) {
+		t.Fatalf("emit failure not surfaced: %v", firstErr)
+	}
+	if _, err := m.Add(4, lineFor(4)); !errors.Is(err, boom) {
+		t.Errorf("sticky error not returned on later Add: %v", err)
+	}
+	if err := m.Err(); !errors.Is(err, boom) {
+		t.Errorf("Err() = %v, want %v", err, boom)
+	}
+	if emitted != 2 {
+		t.Errorf("emitted %d lines after failure, want 2", emitted)
+	}
+}
+
+// FuzzMergerInterleaving lets the fuzzer search delivery schedules for
+// an ordering, duplication or dropped-line violation. Each fuzz input
+// byte selects the next delivery among the not-yet-delivered indices
+// (plus re-deliveries of already-delivered ones), so any byte string is
+// a valid schedule.
+func FuzzMergerInterleaving(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{9, 9, 9, 0, 0, 1})
+	f.Add([]byte{255, 128, 7, 7, 63, 2, 90, 4, 4, 4})
+	f.Fuzz(func(t *testing.T, schedule []byte) {
+		const end = 17
+		var got [][]byte
+		m := NewMerger(0, end, func(line []byte) error {
+			got = append(got, append([]byte(nil), line...))
+			return nil
+		})
+		pending := make([]int, end)
+		for i := range pending {
+			pending[i] = i
+		}
+		delivered := make([]int, 0, end)
+		for _, b := range schedule {
+			var i int
+			if len(pending) > 0 && (b%2 == 0 || len(delivered) == 0) {
+				k := int(b/2) % len(pending)
+				i = pending[k]
+				pending = append(pending[:k], pending[k+1:]...)
+			} else {
+				i = delivered[int(b/2)%len(delivered)] // duplicate delivery
+			}
+			delivered = append(delivered, i)
+			if _, err := m.Add(i, lineFor(i)); err != nil {
+				t.Fatalf("Add(%d): %v", i, err)
+			}
+		}
+		// Drain the remainder so the invariants are checked on a
+		// complete window whatever schedule the fuzzer chose.
+		for _, i := range pending {
+			if _, err := m.Add(i, lineFor(i)); err != nil {
+				t.Fatalf("drain Add(%d): %v", i, err)
+			}
+		}
+		if !m.Done() {
+			t.Fatal("complete delivery left merger not done")
+		}
+		checkCanonical(t, got, 0, end)
+	})
+}

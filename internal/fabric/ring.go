@@ -1,0 +1,141 @@
+// Package fabric shards one sweep across N serve nodes: a coordinator
+// partitions a grid's content-keyed point keys over workers with
+// consistent hashing, dispatches contiguous point ranges through the
+// existing /v1/sweep wire format (offset/limit parameters), merges the
+// worker NDJSON streams back into canonical grid order — byte-identical
+// to a single-node run, which is the central correctness oracle — and
+// re-dispatches ranges from slow or dead workers under a lease +
+// heartbeat discipline. Because every point's seed is content-keyed
+// (never position- or node-dependent), any worker produces the same
+// bytes for the same point, so work stealing and duplicate dispatches
+// stay deterministic: the merger dedupes by point index and the first
+// copy of a line is the only possible value of that line.
+//
+// DESIGN.md, "Distributed fabric", documents the partitioning, lease
+// and merge invariants; README.md has the coordinator/worker
+// quickstart.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over worker indices: each worker owns
+// `replicas` virtual nodes, and a key belongs to the worker whose
+// virtual node is the key hash's clockwise successor. Adding or
+// removing one worker therefore reassigns only ~1/N of the keys —
+// the property the partitioner's test pins down — so a fleet change
+// invalidates only a sliver of any warm per-worker point caches.
+type Ring struct {
+	workers  []string
+	replicas int
+	hashes   []uint64 // sorted virtual-node hashes
+	owner    []int    // owner[i] = worker index of hashes[i]
+}
+
+// DefaultReplicas is the virtual-node count per worker when NewRing is
+// given zero: enough to keep per-worker load within a few percent of
+// even for the grid sizes the service admits.
+const DefaultReplicas = 128
+
+// NewRing builds a ring over the given workers (base URLs or any
+// distinct identifiers).
+func NewRing(workers []string, replicas int) (*Ring, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("fabric: ring needs at least one worker")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		if w == "" {
+			return nil, errors.New("fabric: empty worker identifier")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("fabric: duplicate worker %q", w)
+		}
+		seen[w] = true
+	}
+	r := &Ring{
+		workers:  append([]string(nil), workers...),
+		replicas: replicas,
+		hashes:   make([]uint64, 0, len(workers)*replicas),
+		owner:    make([]int, 0, len(workers)*replicas),
+	}
+	type vnode struct {
+		hash  uint64
+		owner int
+	}
+	vnodes := make([]vnode, 0, len(workers)*replicas)
+	for wi, w := range workers {
+		for v := 0; v < replicas; v++ {
+			vnodes = append(vnodes, vnode{hash64(fmt.Sprintf("%s#%d", w, v)), wi})
+		}
+	}
+	sort.Slice(vnodes, func(i, j int) bool {
+		if vnodes[i].hash != vnodes[j].hash {
+			return vnodes[i].hash < vnodes[j].hash
+		}
+		// Hash ties (vanishingly rare with 64-bit FNV) break by worker
+		// index so the ring stays a pure function of its inputs.
+		return vnodes[i].owner < vnodes[j].owner
+	})
+	for _, v := range vnodes {
+		r.hashes = append(r.hashes, v.hash)
+		r.owner = append(r.owner, v.owner)
+	}
+	return r, nil
+}
+
+// Workers returns the ring's worker identifiers, in construction order.
+func (r *Ring) Workers() []string { return append([]string(nil), r.workers...) }
+
+// Owner returns the worker index owning the key: the owner of the
+// key hash's successor virtual node. Every key has exactly one owner,
+// whatever the worker count.
+func (r *Ring) Owner(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap: the successor of the largest hash is the smallest
+	}
+	return r.owner[i]
+}
+
+// Range is a contiguous run of grid points [Start, Start+Count) whose
+// keys all hash to one worker.
+type Range struct {
+	Start  int
+	Count  int
+	Worker int
+}
+
+// Ranges partitions the keys of grid points [base, base+len(keys))
+// into maximal contiguous same-owner ranges, in grid order. The ranges
+// tile the interval exactly: every point appears in exactly one range.
+func (r *Ring) Ranges(keys []string, base int) []Range {
+	var out []Range
+	for i, key := range keys {
+		w := r.Owner(key)
+		if n := len(out); n > 0 && out[n-1].Worker == w {
+			out[n-1].Count++
+			continue
+		}
+		out = append(out, Range{Start: base + i, Count: 1, Worker: w})
+	}
+	return out
+}
+
+// hash64 is the FNV-1a hash used for both virtual nodes and point
+// keys. The point keys it consumes are the sweep engine's canonical
+// content keys, so the partition — like the per-point seeds derived
+// from the same keys — is independent of grid position.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,193 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys generates deterministic pseudo-random key strings shaped
+// like the sweep engine's content keys (long, structured, shared
+// prefixes) so the partition properties are exercised on realistic
+// input.
+func testKeys(n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("Double|0x1.5p+02|0x1p+%02d|n=%d|runs=%d|seed=%d",
+			r.Intn(40), r.Intn(1<<20), 2+r.Intn(64), r.Int63())
+	}
+	return keys
+}
+
+func workerNames(n int) []string {
+	ws := make([]string, n)
+	for i := range ws {
+		ws[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	return ws
+}
+
+// TestRingEveryKeyExactlyOneOwner is the partitioner's core property:
+// for any worker count, every key maps to exactly one worker — a valid
+// index, stable across calls and across ring rebuilds from the same
+// fleet.
+func TestRingEveryKeyExactlyOneOwner(t *testing.T) {
+	keys := testKeys(500, 1)
+	for n := 1; n <= 8; n++ {
+		ring, err := NewRing(workerNames(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt, err := NewRing(workerNames(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range keys {
+			w := ring.Owner(key)
+			if w < 0 || w >= n {
+				t.Fatalf("n=%d: key %q owned by out-of-range worker %d", n, key, w)
+			}
+			if again := ring.Owner(key); again != w {
+				t.Fatalf("n=%d: key %q owner unstable: %d then %d", n, key, w, again)
+			}
+			if other := rebuilt.Owner(key); other != w {
+				t.Fatalf("n=%d: key %q owner differs across rebuilds: %d vs %d", n, key, w, other)
+			}
+		}
+	}
+}
+
+// TestRingRemovalReassignsOnlyLostKeys checks the consistent-hashing
+// contract from the removal side: dropping one worker moves only the
+// keys that worker owned — every other key keeps its owner (by name) —
+// and the moved fraction is ~1/N.
+func TestRingRemovalReassignsOnlyLostKeys(t *testing.T) {
+	const n, nKeys = 6, 3000
+	workers := workerNames(n)
+	before, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(nKeys, 2)
+	for removed := 0; removed < n; removed++ {
+		rest := make([]string, 0, n-1)
+		for i, w := range workers {
+			if i != removed {
+				rest = append(rest, w)
+			}
+		}
+		after, err := NewRing(rest, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, key := range keys {
+			was := workers[before.Owner(key)]
+			now := rest[after.Owner(key)]
+			if was != workers[removed] {
+				if now != was {
+					t.Fatalf("removing %s moved key %q from surviving %s to %s", workers[removed], key, was, now)
+				}
+				continue
+			}
+			moved++
+			if now == workers[removed] {
+				t.Fatalf("key %q still assigned to removed worker", key)
+			}
+		}
+		// The removed worker owned ~1/N of the keys; allow generous
+		// slack for hash variance at 128 vnodes.
+		lo, hi := nKeys/(3*n), 3*nKeys/n
+		if moved < lo || moved > hi {
+			t.Errorf("removing worker %d moved %d/%d keys, want ~%d (accepting [%d, %d])",
+				removed, moved, nKeys, nKeys/n, lo, hi)
+		}
+	}
+}
+
+// TestRingAdditionReassignsOnlyToNewWorker checks the addition side:
+// a key either keeps its owner or moves to the new worker, and the new
+// worker receives ~1/(N+1) of the keys.
+func TestRingAdditionReassignsOnlyToNewWorker(t *testing.T) {
+	const n, nKeys = 5, 3000
+	workers := workerNames(n)
+	before, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := append(append([]string(nil), workers...), "http://worker-new:8080")
+	after, err := NewRing(grown, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(nKeys, 3)
+	moved := 0
+	for _, key := range keys {
+		was := workers[before.Owner(key)]
+		now := grown[after.Owner(key)]
+		if now == was {
+			continue
+		}
+		if now != "http://worker-new:8080" {
+			t.Fatalf("adding a worker moved key %q between old workers: %s -> %s", key, was, now)
+		}
+		moved++
+	}
+	lo, hi := nKeys/(3*(n+1)), 3*nKeys/(n+1)
+	if moved < lo || moved > hi {
+		t.Errorf("adding a worker moved %d/%d keys, want ~%d (accepting [%d, %d])",
+			moved, nKeys, nKeys/(n+1), lo, hi)
+	}
+}
+
+// TestRingRangesTileExactly checks that Ranges is a partition of the
+// grid interval: contiguous, exhaustive, non-overlapping, in grid
+// order, with each range's keys all owned by its worker and adjacent
+// ranges owned by different workers (maximality).
+func TestRingRangesTileExactly(t *testing.T) {
+	ring, err := NewRing(workerNames(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []int{0, 7, 1000} {
+		keys := testKeys(257, int64(base)+10)
+		ranges := ring.Ranges(keys, base)
+		next := base
+		for i, rg := range ranges {
+			if rg.Start != next {
+				t.Fatalf("base %d: range %d starts at %d, want %d (gap or overlap)", base, i, rg.Start, next)
+			}
+			if rg.Count <= 0 {
+				t.Fatalf("base %d: empty range %+v", base, rg)
+			}
+			if i > 0 && ranges[i-1].Worker == rg.Worker {
+				t.Errorf("base %d: adjacent ranges %d,%d share worker %d (not maximal)", base, i-1, i, rg.Worker)
+			}
+			for j := 0; j < rg.Count; j++ {
+				if w := ring.Owner(keys[rg.Start-base+j]); w != rg.Worker {
+					t.Fatalf("base %d: point %d in range of worker %d but owned by %d", base, rg.Start+j, rg.Worker, w)
+				}
+			}
+			next = rg.Start + rg.Count
+		}
+		if next != base+len(keys) {
+			t.Fatalf("base %d: ranges cover [%d, %d), want [%d, %d)", base, base, next, base, base+len(keys))
+		}
+	}
+	if got := ring.Ranges(nil, 5); len(got) != 0 {
+		t.Errorf("empty key slice produced ranges %v", got)
+	}
+}
+
+func TestNewRingRejectsBadFleets(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty worker id accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("duplicate worker accepted")
+	}
+}

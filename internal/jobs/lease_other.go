@@ -1,0 +1,9 @@
+//go:build !unix
+
+package jobs
+
+// acquireLease is a no-op on platforms without flock semantics; the
+// per-job single-executor guard is advisory and Unix-only.
+func acquireLease(path string) (release func(), err error) {
+	return func() {}, nil
+}

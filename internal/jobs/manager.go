@@ -39,6 +39,11 @@ type Config struct {
 	// CheckpointEvery flushes+fsyncs the results file and persists the
 	// progress marker every N completed points (default 16).
 	CheckpointEvery int
+	// LeaseProbeEvery is how often the manager re-probes jobs that are
+	// executing under another manager's lease (several managers may
+	// share one store directory), adopting their terminal states and
+	// taking over orphaned jobs whose holder died (default 1s).
+	LeaseProbeEvery time.Duration
 	// Exec executes job requests.
 	Exec Executor
 	// Normalize canonicalizes and validates submissions.
@@ -57,7 +62,12 @@ type job struct {
 	// to Submit's completion and runners cannot see the job (it is not
 	// queued until creating clears).
 	creating bool
-	subs     map[chan struct{}]struct{}
+	// remote is true while another manager holds the job's execution
+	// lease: this manager mirrors the job's on-disk progress (the
+	// janitor refreshes it) instead of executing it, and takes over if
+	// the holder dies before finishing.
+	remote bool
+	subs   map[chan struct{}]struct{}
 }
 
 // Manager owns the job lifecycle: it persists submissions through a
@@ -68,11 +78,9 @@ type Manager struct {
 	cfg   Config
 	store *Store
 
-	ctx      context.Context
-	cancel   context.CancelFunc
-	wg       sync.WaitGroup
-	unlock   func() // releases the jobs-directory flock
-	unlockMu sync.Once
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 
 	mu     sync.Mutex
 	cond   *sync.Cond // signals runners that queue/closed changed
@@ -95,6 +103,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.CheckpointEvery < 1 {
 		cfg.CheckpointEvery = 16
 	}
+	if cfg.LeaseProbeEvery <= 0 {
+		cfg.LeaseProbeEvery = time.Second
+	}
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
@@ -102,20 +113,12 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	// One writer per directory: a second manager (another serve
-	// process sharing -jobs-dir) would race this one's appends and
-	// corrupt the byte-identical results guarantee.
-	unlock, err := lockDir(store.Dir())
-	if err != nil {
-		return nil, err
-	}
-	m := &Manager{cfg: cfg, store: store, jobs: make(map[string]*job), unlock: unlock}
+	m := &Manager{cfg: cfg, store: store, jobs: make(map[string]*job)}
 	m.cond = sync.NewCond(&m.mu)
 	m.ctx, m.cancel = context.WithCancel(context.Background())
 
 	metas, err := store.Load()
 	if err != nil {
-		unlock()
 		return nil, err
 	}
 	// Oldest first, so recovered work keeps its submission order.
@@ -126,15 +129,25 @@ func NewManager(cfg Config) (*Manager, error) {
 		return metas[i].ID < metas[j].ID
 	})
 	for _, meta := range metas {
+		j := &job{meta: meta, subs: make(map[chan struct{}]struct{})}
 		if meta.State == Running {
-			meta.State = Pending // the process died mid-execution
-			if err := store.WriteMeta(meta); err != nil {
-				unlock()
-				return nil, err
+			// "Running" on disk means either a live manager elsewhere
+			// (its per-job lease is held: mirror it and let the janitor
+			// follow its progress) or a process that died mid-execution
+			// (lease free: the job goes back to pending and resumes from
+			// its last durable point).
+			if store.LeaseFree(meta.ID) {
+				meta.State = Pending
+				if err := store.WriteMeta(meta); err != nil {
+					return nil, err
+				}
+				j.meta = meta
+			} else {
+				j.remote = true
 			}
 		}
-		m.jobs[meta.ID] = &job{meta: meta, subs: make(map[chan struct{}]struct{})}
-		if meta.State == Pending {
+		m.jobs[meta.ID] = j
+		if j.meta.State == Pending {
 			m.queue = append(m.queue, meta.ID)
 		}
 	}
@@ -143,6 +156,8 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.wg.Add(1)
 		go m.runner()
 	}
+	m.wg.Add(1)
+	go m.janitor()
 	return m, nil
 }
 
@@ -157,7 +172,6 @@ func (m *Manager) Close() {
 	m.cancel()
 	m.cond.Broadcast()
 	m.wg.Wait()
-	m.unlockMu.Do(m.unlock)
 }
 
 // Store returns the manager's durable store (for results paths and
@@ -181,6 +195,11 @@ func (m *Manager) Submit(request []byte) (Meta, bool, error) {
 		Total:     total,
 		CreatedAt: m.cfg.now().UnixMilli(),
 	}
+	// A manager sharing the store directory with others may be asked
+	// for a job that already exists on disk but not in its memory:
+	// adopt the existing job (clobbering its meta would reset another
+	// manager's progress) exactly like an in-memory dedupe.
+	diskMeta, diskErr := m.store.ReadMeta(id)
 	// Reserve the id under the lock, but run the store's fsync-heavy
 	// Create outside it: a submission burst on a slow disk must not
 	// stall status reads, checkpoints and cancels for every other job.
@@ -193,6 +212,25 @@ func (m *Manager) Submit(request []byte) (Meta, bool, error) {
 		existing := j.meta
 		m.mu.Unlock()
 		return existing, false, nil
+	}
+	if diskErr == nil {
+		j := &job{meta: diskMeta, subs: make(map[chan struct{}]struct{})}
+		switch {
+		case diskMeta.State.Terminal():
+			// Adopt as-is.
+		case m.store.LeaseFree(id):
+			// Orphaned (or never started): resume it here, from its
+			// last durable point.
+			j.meta.State = Pending
+			m.queue = append(m.queue, id)
+			m.cond.Signal()
+		default:
+			j.remote = true // live under another manager's lease
+		}
+		m.jobs[id] = j
+		adopted := j.meta
+		m.mu.Unlock()
+		return adopted, false, nil
 	}
 	j := &job{meta: meta, creating: true, subs: make(map[chan struct{}]struct{})}
 	m.jobs[id] = j
@@ -262,6 +300,14 @@ func (m *Manager) Cancel(id string) (Meta, error) {
 	if !ok {
 		m.mu.Unlock()
 		return Meta{}, ErrNotFound
+	}
+	if j.remote {
+		// The job executes under another manager's lease; this manager
+		// only mirrors its progress and cannot reach its context. Report
+		// the current status — cancel it on the manager that runs it.
+		meta := j.meta
+		m.mu.Unlock()
+		return meta, nil
 	}
 	switch j.meta.State {
 	case Pending:
@@ -431,6 +477,32 @@ func (m *Manager) runJob(id string) {
 		m.mu.Unlock()
 		return
 	}
+	m.mu.Unlock()
+
+	// The per-job lease is the single-executor guard: whatever path
+	// queued this job (submission, recovery, janitor takeover), only
+	// the manager that wins the flock appends to its results file.
+	release, err := acquireLease(m.store.LeasePath(id))
+	if errors.Is(err, ErrLeaseHeld) {
+		// Another manager got there first: follow its progress instead.
+		m.mu.Lock()
+		if j.meta.State == Pending {
+			j.remote = true
+		}
+		m.mu.Unlock()
+		return
+	}
+	if err != nil {
+		m.finish(id, Failed, fmt.Sprintf("acquiring job lease: %v", err))
+		return
+	}
+	defer release()
+
+	m.mu.Lock()
+	if j.meta.State != Pending || j.cancelRequested {
+		m.mu.Unlock()
+		return
+	}
 	jctx, cancel := context.WithCancel(m.ctx)
 	defer cancel()
 	j.cancel = cancel
@@ -532,6 +604,81 @@ func (m *Manager) runJob(id string) {
 		m.finish(id, Cancelled, "")
 	default:
 		fail(execErr)
+	}
+}
+
+// janitor periodically re-probes jobs that execute under another
+// manager's lease (several managers may share one store directory):
+// it mirrors their on-disk progress for this manager's status and
+// results followers, adopts their terminal states, and — when a
+// holder dies mid-job, releasing the lease with the job still
+// "running" on disk — takes the job over, re-queueing it to resume
+// from its last durable point. This is what makes any node able to
+// resume any job: checkpoints live in the shared store, and leases,
+// not process identity, decide the executor.
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.LeaseProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+		}
+		m.probeRemote()
+	}
+}
+
+// probeRemote is one janitor pass over the remote-mirrored jobs.
+func (m *Manager) probeRemote() {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.jobs))
+	for id, j := range m.jobs {
+		if j.remote {
+			ids = append(ids, id)
+		}
+	}
+	m.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		meta, err := m.store.ReadMeta(id)
+		if err != nil {
+			// The owning manager deleted it: drop the mirror so local
+			// observers see ErrNotFound instead of a forever-stale state.
+			m.mu.Lock()
+			j, ok := m.jobs[id]
+			if ok && j.remote {
+				delete(m.jobs, id)
+			}
+			m.mu.Unlock()
+			if ok {
+				m.notify(j)
+			}
+			continue
+		}
+		orphaned := !meta.State.Terminal() && m.store.LeaseFree(id)
+		m.mu.Lock()
+		j, ok := m.jobs[id]
+		if !ok || !j.remote {
+			m.mu.Unlock()
+			continue
+		}
+		j.meta = meta
+		if meta.State.Terminal() {
+			j.remote = false
+		} else if orphaned {
+			j.remote = false
+			if j.meta.State == Running {
+				j.meta.State = Pending
+			}
+			if !j.cancelRequested {
+				m.queue = append(m.queue, id)
+				m.cond.Signal()
+			}
+		}
+		m.mu.Unlock()
+		m.notifyJob(id)
 	}
 }
 

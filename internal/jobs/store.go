@@ -62,6 +62,10 @@ type Meta struct {
 // ErrNotFound marks an unknown job id.
 var ErrNotFound = errors.New("jobs: job not found")
 
+// ErrLeaseHeld marks a job whose execution lease is held by another
+// manager (possibly in another process sharing the store directory).
+var ErrLeaseHeld = errors.New("jobs: job lease held by another manager")
+
 // ErrStorage marks a server-side persistence failure (disk full,
 // permissions, ...) as opposed to a bad request; the HTTP layer maps
 // it to a 5xx so clients retry instead of discarding the submission.
@@ -235,6 +239,29 @@ func (s *Store) Remove(id string) error {
 // ResultsPath returns the path of a job's results file.
 func (s *Store) ResultsPath(id string) string {
 	return filepath.Join(s.jobDir(id), "results.ndjson")
+}
+
+// LeasePath returns the path of a job's execution-lease file. The
+// lease is an advisory per-job flock: exactly one manager holds it
+// while executing the job, which is what lets several managers share
+// one store directory (each appends only to results files it leases)
+// without the store-wide single-writer lock of earlier revisions.
+func (s *Store) LeasePath(id string) string {
+	return filepath.Join(s.jobDir(id), ".lease")
+}
+
+// LeaseFree reports whether a job's execution lease is currently
+// unheld. It is a point-in-time probe — the lease can be taken the
+// instant after — so callers use it only to classify jobs (live on
+// another manager vs orphaned); the authoritative guard is the
+// non-blocking acquisition in the runner itself.
+func (s *Store) LeaseFree(id string) bool {
+	release, err := acquireLease(s.LeasePath(id))
+	if err != nil {
+		return false
+	}
+	release()
+	return true
 }
 
 // OpenResults opens (creating if needed) a job's results file for
