@@ -18,10 +18,17 @@
 //
 //	serve [-addr :8080] [-cache 4096] [-sim-workers 0]
 //	      [-maxgrid 4096] [-maxruns 256]
-//	      [-jobs-dir jobs] [-max-concurrent-jobs 2]
+//	      [-jobs-dir jobs] [-max-concurrent-jobs 2] [-max-queued-jobs 0]
 //	      [-checkpoint-every 16]
 //	      [-coordinator] [-workers http://h1:8080,http://h2:8080]
 //	      [-worker-of coordinator-name] [-lease 15s]
+//	      [-chaos "seed=42;comms:drop=0.1"]
+//
+// -chaos arms the injectable fault plane (development and chaos
+// drills only): a seeded, reproducible plan of drop / delay / corrupt
+// / hang / partition faults over the coordinator's worker transport
+// and the job store's append path. See internal/chaos and DESIGN.md,
+// "Failure model".
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/chaos"
 	"repro/internal/fabric"
 	"repro/internal/jobs"
 )
@@ -50,7 +58,9 @@ func main() {
 	maxRuns := flag.Int("maxruns", 256, "maximum Monte-Carlo runs per sweep point")
 	jobsDir := flag.String("jobs-dir", "jobs", "durable job directory for /v1/jobs (empty disables the job subsystem)")
 	maxJobs := flag.Int("max-concurrent-jobs", 2, "jobs executing simultaneously")
+	maxQueued := flag.Int("max-queued-jobs", 0, "pending-job queue bound; new submissions over it get 503 + Retry-After (0 = unbounded)")
 	ckptEvery := flag.Int("checkpoint-every", 16, "completed points per durable job checkpoint")
+	chaosPlan := flag.String("chaos", "", `fault-injection plan, e.g. "seed=42;comms:drop=0.1;store:corrupt=0.01" (dev only)`)
 	coordinator := flag.Bool("coordinator", false, "run as fabric coordinator: shard sweeps across -workers")
 	workerURLs := flag.String("workers", "", "comma-separated worker base URLs for -coordinator mode")
 	workerOf := flag.String("worker-of", "", "run as a fabric worker for the named coordinator (disables the local job store)")
@@ -79,12 +89,37 @@ func main() {
 		MaxRuns:       *maxRuns,
 	})
 
+	// The fault plane: off (nil injector, zero cost) unless -chaos arms
+	// a plan. Every injected fault is logged with the plan seed so a
+	// chaos drill replays exactly.
+	var injector *chaos.Injector
+	if *chaosPlan != "" {
+		plan, err := chaos.ParsePlan(*chaosPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		if injector, err = chaos.New(plan); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		if injector != nil {
+			injector.Log = log.Printf
+			log.Printf("serve: CHAOS ARMED: %s", plan)
+		}
+	}
+
 	var coord *fabric.Coordinator
 	if *coordinator {
+		var client *http.Client
+		if injector != nil {
+			client = &http.Client{Transport: &chaos.Transport{Injector: injector, Next: fabric.DefaultTransport()}}
+		}
 		var err error
 		coord, err = fabric.New(fabric.Config{
 			Service: svc,
 			Workers: splitURLs(*workerURLs),
+			Client:  client,
 			Lease:   *lease,
 		})
 		if err != nil {
@@ -104,11 +139,13 @@ func main() {
 		}
 		var err error
 		mgr, err = jobs.NewManager(jobs.Config{
-			Dir:             *jobsDir,
-			MaxConcurrent:   *maxJobs,
-			CheckpointEvery: *ckptEvery,
-			Exec:            exec,
-			Normalize:       svc.NormalizeJobRequest,
+			Dir:               *jobsDir,
+			MaxConcurrent:     *maxJobs,
+			MaxQueued:         *maxQueued,
+			CheckpointEvery:   *ckptEvery,
+			Exec:              exec,
+			Normalize:         svc.NormalizeJobRequest,
+			ResultsAppendHook: injector.AppendHook(),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)

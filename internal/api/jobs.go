@@ -95,7 +95,8 @@ type jobListResponse struct {
 // writeJobError maps job-subsystem errors onto HTTP statuses: unknown
 // ids are 404s, persistence failures (disk full, permissions) are 500s
 // so clients retry the submission instead of discarding it as invalid,
-// and everything else is a request error.
+// a saturated queue is a 503 with a Retry-After (the request was fine;
+// the node is shedding load), and everything else is a request error.
 func writeJobError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
@@ -103,6 +104,9 @@ func writeJobError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, jobs.ErrStorage):
 		status = http.StatusInternalServerError
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		status = http.StatusServiceUnavailable
 	}
 	writeError(w, status, err)
 }

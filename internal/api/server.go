@@ -1,6 +1,7 @@
 package api
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,6 +39,7 @@ func NewServer(s *Service) http.Handler {
 	mux.HandleFunc("/v1/risk", handlePoint(s.Risk))
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	if s.jobs != nil {
 		mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
@@ -184,14 +186,24 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Service) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, offset, limit int) {
 	w.Header().Set("Trailer", HeaderSweepPoints+", "+HeaderSweepHits+", "+HeaderSweepMisses)
 	w.Header().Set("Content-Type", NDJSONContentType)
+	framed := r.Header.Get(HeaderSweepIntegrity) == IntegrityCRC32C
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	wrote := false
 	stats, err := s.sweepRange(r.Context(), req, offset, limit, jobs.Interactive, nil, func(item SweepItem) error {
 		if err := r.Context().Err(); err != nil {
 			return err
 		}
+		buf.Reset()
 		if err := enc.Encode(item); err != nil {
+			return err
+		}
+		line := buf.Bytes()
+		if framed {
+			line = FrameLine(line)
+		}
+		if _, err := w.Write(line); err != nil {
 			return err
 		}
 		wrote = true
@@ -208,7 +220,8 @@ func (s *Service) streamSweep(w http.ResponseWriter, r *http.Request, req SweepR
 		// Mid-stream failure: the status line is already sent, so the
 		// error becomes the final NDJSON record, flushed so a still-
 		// connected client actually sees why the stream ended early.
-		enc.Encode(errorResponse{Error: err.Error()})
+		// Error records are never integrity-framed (see integrity.go).
+		json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -242,3 +255,58 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 		SimPoints:   s.SimPoints(),
 	})
 }
+
+// ReadyStatus is the /readyz report. It is deliberately distinct from
+// /healthz: health is liveness ("the process answers"), readiness is
+// load acceptance ("send this node work"). A node can be alive and
+// healthy yet degraded — its job queue saturated, or (behind a fabric
+// coordinator, which overlays its own fleet view) its workers dark.
+type ReadyStatus struct {
+	// Ready reports whether the node accepts work at all; a false value
+	// is served with a 503 so load balancers take the node out of
+	// rotation.
+	Ready bool `json:"ready"`
+	// Degraded reports reduced capacity — still serving, still correct,
+	// but shedding or absorbing load (saturated job queue, open worker
+	// circuits). Degraded nodes stay in rotation.
+	Degraded bool `json:"degraded"`
+	// Jobs carries the job subsystem's load snapshot when a manager is
+	// attached.
+	Jobs *jobs.Stats `json:"jobs,omitempty"`
+}
+
+// ReadyStatus returns the service's readiness: degraded when the job
+// queue is saturated (new submissions are being shed with 503s).
+func (s *Service) ReadyStatus() ReadyStatus {
+	st := ReadyStatus{Ready: true}
+	if s.jobs != nil {
+		js := s.jobs.Stats()
+		st.Jobs = &js
+		st.Degraded = js.Saturated
+	}
+	return st
+}
+
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	WriteReady(w, s.ReadyStatus())
+}
+
+// WriteReady serves a readiness report with its HTTP status contract
+// (503 only when not ready). The fabric coordinator reuses it for the
+// fleet-aware /readyz it overlays on this one.
+func WriteReady(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding response: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if ready, ok := v.(interface{ IsReady() bool }); ok && !ready.IsReady() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	w.Write(append(data, '\n'))
+}
+
+// IsReady lets WriteReady pick the status code for this report and any
+// struct embedding it.
+func (r ReadyStatus) IsReady() bool { return r.Ready }

@@ -1,0 +1,363 @@
+// Package chaos is the injectable fault plane of the fabric: a small,
+// deterministic fault-injection engine that the test suites (and the
+// -chaos dev flag of cmd/serve) script against every failure surface
+// the fleet can see — the coordinator↔worker HTTP path, the durable
+// results store, and the fabric merger.
+//
+// Faults are described by a Plan: a seed plus a list of Rules, each
+// arming one fault Class at one Site with a probability. An Injector
+// evaluates the plan; every draw comes from a seeded rng.Stream split
+// per site, so a chaos run is reproducible from its seed (and a CI
+// failure replays from the logged seed). The injector never touches
+// the hot path unless a rule matches its site: production builds run
+// with a nil injector and pay nothing.
+//
+// DESIGN.md, "Failure model", pins the expected end-to-end behavior of
+// every fault class.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Class enumerates the injectable fault classes.
+type Class string
+
+const (
+	// Drop fails the operation immediately (connection refused / write
+	// error): the cleanest failure, visible to the caller at once.
+	Drop Class = "drop"
+	// Delay stalls the operation before letting it through: the
+	// slow-network / overloaded-peer case retry budgets must absorb.
+	Delay Class = "delay"
+	// Corrupt lets the operation through but flips one payload byte:
+	// the silent-data-corruption case checksums and validation exist
+	// for. The flipped byte is never a '\n', so corruption tests framing
+	// integrity separately from record integrity.
+	Corrupt Class = "corrupt"
+	// Hang accepts the operation and never completes it: the
+	// half-open-connection case only deadlines and lease watchdogs can
+	// escape.
+	Hang Class = "hang"
+	// Partition makes a specific peer (or all peers) unreachable for
+	// every operation: the network-partition case circuit breakers and
+	// degraded-local execution exist for.
+	Partition Class = "partition"
+)
+
+// Classes lists every fault class, in a stable order — the chaos
+// matrix test iterates it so a newly added class cannot silently skip
+// coverage.
+var Classes = []Class{Drop, Delay, Corrupt, Hang, Partition}
+
+// Canonical site names. A Rule may use any site string; these are the
+// hook points the repo wires up.
+const (
+	// SiteComms is the coordinator→worker HTTP transport.
+	SiteComms = "comms"
+	// SiteStore is the jobs store's results append path.
+	SiteStore = "store"
+	// SiteMerge is the fabric merger's line intake.
+	SiteMerge = "merge"
+)
+
+// Rule arms one fault class at one site.
+type Rule struct {
+	// Site selects the hook point ("" arms every site).
+	Site string
+	// Class is the fault class to inject.
+	Class Class
+	// P is the per-operation probability in [0, 1].
+	P float64
+	// Peer restricts the rule to operations whose peer contains this
+	// substring (host:port for comms); "" matches every peer. Mostly
+	// used with Partition.
+	Peer string
+	// Delay is the injected stall for Delay-class rules (default 100ms).
+	Delay time.Duration
+}
+
+func (r Rule) validate() error {
+	switch r.Class {
+	case Drop, Delay, Corrupt, Hang, Partition:
+	default:
+		return fmt.Errorf("chaos: unknown fault class %q", r.Class)
+	}
+	if r.P < 0 || r.P > 1 {
+		return fmt.Errorf("chaos: rule %s:%s probability %v outside [0, 1]", r.Site, r.Class, r.P)
+	}
+	return nil
+}
+
+// Plan is a reproducible fault schedule: a seed plus the armed rules.
+// The zero Plan injects nothing.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// Decision is one injected fault: the class plus its parameters.
+type Decision struct {
+	Class Class
+	// Delay is the stall duration (Delay class).
+	Delay time.Duration
+	// Offset and XOR locate and define the byte flip (Corrupt class):
+	// the byte at Offset modulo the payload length is XORed. The
+	// injector picks an XOR that cannot produce or destroy a '\n'.
+	Offset int
+	XOR    byte
+}
+
+func (d *Decision) String() string {
+	switch d.Class {
+	case Delay:
+		return fmt.Sprintf("%s(%s)", d.Class, d.Delay)
+	case Corrupt:
+		return fmt.Sprintf("%s(@%d^%#x)", d.Class, d.Offset, d.XOR)
+	default:
+		return string(d.Class)
+	}
+}
+
+// Injector evaluates a Plan. It is safe for concurrent use; every
+// random draw comes from a per-site rng.Stream derived from the plan
+// seed, so a single-threaded schedule replays exactly and a concurrent
+// one replays in distribution.
+type Injector struct {
+	plan Plan
+	// Log, when non-nil, receives one line per injected fault (wired to
+	// log.Printf by the -chaos flag). Set before use.
+	Log func(format string, args ...any)
+
+	mu      sync.Mutex
+	streams map[string]*rng.Stream
+}
+
+// New returns an injector for the plan. A nil return means the plan
+// arms nothing (callers can skip wiring hooks entirely).
+func New(plan Plan) (*Injector, error) {
+	for _, r := range plan.Rules {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if len(plan.Rules) == 0 {
+		return nil, nil
+	}
+	return &Injector{plan: plan, streams: make(map[string]*rng.Stream)}, nil
+}
+
+// Plan returns the injector's plan (for logging and test replay).
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Decide rolls the plan's dice for one operation at site against peer.
+// It returns nil when no fault fires. Rules are evaluated in plan
+// order; the first that fires wins. A nil *Injector never injects, so
+// hook sites can call through it unconditionally.
+func (in *Injector) Decide(site, peer string) *Decision {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st, ok := in.streams[site]
+	if !ok {
+		h := fnv.New64a()
+		h.Write([]byte(site))
+		st = rng.New(in.plan.Seed).Split(h.Sum64())
+		in.streams[site] = st
+	}
+	for _, r := range in.plan.Rules {
+		if r.Site != "" && r.Site != site {
+			continue
+		}
+		if r.Peer != "" && !strings.Contains(peer, r.Peer) {
+			continue
+		}
+		// One draw per candidate rule, always consumed, so the draw
+		// sequence — and with it the replay — does not depend on which
+		// rules happen to match the peer.
+		u := st.Float64()
+		if u >= r.P {
+			continue
+		}
+		d := &Decision{Class: r.Class}
+		switch r.Class {
+		case Delay:
+			d.Delay = r.Delay
+			if d.Delay <= 0 {
+				d.Delay = 100 * time.Millisecond
+			}
+		case Corrupt:
+			d.Offset = int(st.Uint64() % (1 << 20))
+			// Flip a low bit other than the one distinguishing '\n'
+			// (0x0a) from other bytes: XOR with 0x01 maps 0x0a↔0x0b, so
+			// a newline could be minted or destroyed. 0x04 cannot turn
+			// any byte into 0x0a, nor 0x0a into anything with the 0x04
+			// bit pattern of a newline — framing is preserved.
+			d.XOR = 0x04
+		}
+		if in.Log != nil {
+			in.Log("chaos: inject %s at %s (peer %q)", d, site, peer)
+		}
+		return d
+	}
+	return nil
+}
+
+// CorruptLine applies a Corrupt decision to one record: it flips the
+// decision's byte inside the record body, never touching the trailing
+// newline. Records of length <= 1 pass through (there is no body
+// byte to flip).
+func (d *Decision) CorruptLine(line []byte) []byte {
+	body := len(line)
+	if body > 0 && line[body-1] == '\n' {
+		body--
+	}
+	if d.Class != Corrupt || body == 0 {
+		return line
+	}
+	out := append([]byte(nil), line...)
+	out[d.Offset%body] ^= d.XOR
+	return out
+}
+
+// AppendHook returns a results-store append hook (see
+// jobs.Config.ResultsAppendHook) that corrupts record bytes on their
+// way to disk per the plan's SiteStore rules — simulating media
+// corruption: the checksum of the true record is already computed, so
+// recovery must detect the mismatch. Returns nil when the plan never
+// fires at the store site, and a nil *Injector yields a nil hook.
+func (in *Injector) AppendHook() func(line []byte) []byte {
+	if in == nil || !in.arms(SiteStore) {
+		return nil
+	}
+	return func(line []byte) []byte {
+		if d := in.Decide(SiteStore, ""); d != nil && d.Class == Corrupt {
+			return d.CorruptLine(line)
+		}
+		return line
+	}
+}
+
+// LineHook returns a merger intake hook (see fabric.Merger.SetHook)
+// that corrupts or tears delivered lines per the plan's SiteMerge
+// rules. Drop-class decisions tear the line (strip its newline), which
+// the merger must reject; Corrupt-class flip a body byte. Returns nil
+// when the plan never fires at the merge site.
+func (in *Injector) LineHook() func(i int, line []byte) []byte {
+	if in == nil || !in.arms(SiteMerge) {
+		return nil
+	}
+	return func(i int, line []byte) []byte {
+		d := in.Decide(SiteMerge, strconv.Itoa(i))
+		if d == nil {
+			return line
+		}
+		switch d.Class {
+		case Corrupt:
+			return d.CorruptLine(line)
+		case Drop:
+			if n := len(line); n > 0 && line[n-1] == '\n' {
+				return line[:n-1] // torn delivery
+			}
+		}
+		return line
+	}
+}
+
+// arms reports whether any rule can fire at the site.
+func (in *Injector) arms(site string) bool {
+	for _, r := range in.plan.Rules {
+		if (r.Site == "" || r.Site == site) && r.P > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ParsePlan parses the -chaos flag grammar: semicolon-separated
+// clauses, each either
+//
+//	seed=N
+//	[site:]class=p[@dur][#peer]
+//
+// e.g. "seed=42;comms:drop=0.1;comms:delay=0.05@200ms;store:corrupt=0.01;comms:partition=1#host:9001".
+// An omitted site arms every site. The empty string parses to the zero
+// (inactive) plan.
+func ParsePlan(s string) (Plan, error) {
+	var plan Plan
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(clause, "seed="); ok {
+			seed, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: bad seed %q: %v", rest, err)
+			}
+			plan.Seed = seed
+			continue
+		}
+		var r Rule
+		head, rest, ok := strings.Cut(clause, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("chaos: clause %q is not site:class=p or seed=N", clause)
+		}
+		if site, class, ok := strings.Cut(head, ":"); ok {
+			r.Site, r.Class = site, Class(class)
+		} else {
+			r.Class = Class(head)
+		}
+		rest, r.Peer, _ = strings.Cut(rest, "#")
+		if prob, dur, ok := strings.Cut(rest, "@"); ok {
+			d, err := time.ParseDuration(dur)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: clause %q: bad duration: %v", clause, err)
+			}
+			r.Delay = d
+			rest = prob
+		}
+		p, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return Plan{}, fmt.Errorf("chaos: clause %q: bad probability: %v", clause, err)
+		}
+		r.P = p
+		if err := r.validate(); err != nil {
+			return Plan{}, err
+		}
+		plan.Rules = append(plan.Rules, r)
+	}
+	return plan, nil
+}
+
+// String renders the plan back in the ParsePlan grammar (seed first,
+// rules in evaluation order), so logs show exactly what is armed and
+// the rendered string re-parses to an equivalent plan.
+func (p Plan) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	for _, r := range p.Rules {
+		var b strings.Builder
+		if r.Site != "" {
+			b.WriteString(r.Site)
+			b.WriteByte(':')
+		}
+		fmt.Fprintf(&b, "%s=%s", r.Class, strconv.FormatFloat(r.P, 'g', -1, 64))
+		if r.Delay > 0 {
+			fmt.Fprintf(&b, "@%s", r.Delay)
+		}
+		if r.Peer != "" {
+			fmt.Fprintf(&b, "#%s", r.Peer)
+		}
+		parts = append(parts, b.String())
+	}
+	return strings.Join(parts, ";")
+}

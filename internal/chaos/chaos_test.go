@@ -1,0 +1,261 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "seed=42;comms:drop=0.1;comms:delay=0.05@200ms;store:corrupt=0.01;comms:partition=1#host:9001"
+	plan, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 42 || len(plan.Rules) != 4 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Rules[1].Delay != 200*time.Millisecond {
+		t.Errorf("delay rule = %+v", plan.Rules[1])
+	}
+	if plan.Rules[3].Peer != "host:9001" || plan.Rules[3].P != 1 {
+		t.Errorf("partition rule = %+v", plan.Rules[3])
+	}
+	again, err := ParsePlan(plan.String())
+	if err != nil {
+		t.Fatalf("rendered plan %q does not re-parse: %v", plan.String(), err)
+	}
+	if again.String() != plan.String() {
+		t.Errorf("round trip: %q != %q", again.String(), plan.String())
+	}
+}
+
+func TestParsePlanRejects(t *testing.T) {
+	for _, bad := range []string{
+		"comms:drop=1.5",       // probability out of range
+		"comms:tickle=0.5",     // unknown class
+		"comms:drop",           // no probability
+		"seed=x",               // bad seed
+		"comms:delay=0.1@fast", // bad duration
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEmptyPlanInjectsNothing(t *testing.T) {
+	in, err := New(Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != nil {
+		t.Fatal("empty plan produced a live injector")
+	}
+	// A nil injector is callable and transparent at every hook.
+	if d := in.Decide(SiteComms, "x"); d != nil {
+		t.Errorf("nil injector decided %v", d)
+	}
+	if in.AppendHook() != nil || in.LineHook() != nil {
+		t.Error("nil injector produced hooks")
+	}
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	plan := Plan{Seed: 7, Rules: []Rule{{Site: SiteComms, Class: Drop, P: 0.5}}}
+	seq := func() []bool {
+		in, err := New(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Decide(SiteComms, "w") != nil
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identically seeded injectors", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired < 60 || fired > 140 {
+		t.Errorf("p=0.5 fired %d/200 times", fired)
+	}
+}
+
+func TestPeerFilterAndDrawAlignment(t *testing.T) {
+	// The peer filter must not consume draws differently: two injectors
+	// with the same seed, one probed with a matching peer and one not,
+	// stay aligned on subsequent draws.
+	plan := Plan{Seed: 3, Rules: []Rule{{Site: SiteComms, Class: Partition, P: 1, Peer: "dead"}}}
+	in, err := New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.Decide(SiteComms, "healthy:1"); d != nil {
+		t.Fatalf("partition fired for non-matching peer: %v", d)
+	}
+	if d := in.Decide(SiteComms, "dead:2"); d == nil || d.Class != Partition {
+		t.Fatalf("partition did not fire for matching peer: %v", d)
+	}
+}
+
+func TestCorruptLinePreservesFraming(t *testing.T) {
+	in, err := New(Plan{Seed: 1, Rules: []Rule{{Site: SiteStore, Class: Corrupt, P: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := in.AppendHook()
+	if hook == nil {
+		t.Fatal("no append hook for armed store site")
+	}
+	line := []byte(`{"protocol":"x","v":123}` + "\n")
+	for i := 0; i < 64; i++ {
+		got := hook(append([]byte(nil), line...))
+		if got[len(got)-1] != '\n' {
+			t.Fatal("corruption destroyed the trailing newline")
+		}
+		if bytes.IndexByte(got[:len(got)-1], '\n') >= 0 {
+			t.Fatal("corruption minted an interior newline")
+		}
+		if bytes.Equal(got, line) {
+			t.Fatalf("p=1 corrupt hook left iteration %d unchanged", i)
+		}
+	}
+}
+
+func TestLineHookTearsAndCorrupts(t *testing.T) {
+	in, err := New(Plan{Seed: 9, Rules: []Rule{{Site: SiteMerge, Class: Drop, P: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := in.LineHook()
+	line := []byte("{\"a\":1}\n")
+	torn := hook(0, line)
+	if n := len(torn); n != len(line)-1 || torn[n-1] == '\n' {
+		t.Fatalf("drop rule did not tear the line: %q", torn)
+	}
+}
+
+// transportFixture mounts a tiny NDJSON handler behind a chaos
+// transport.
+func transportFixture(t *testing.T, plan Plan) (*http.Client, string) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "{\"ok\":true}\n{\"ok\":true}\n")
+	}))
+	t.Cleanup(ts.Close)
+	in, err := New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &http.Client{Transport: &Transport{Injector: in}}, ts.URL
+}
+
+func TestTransportDrop(t *testing.T) {
+	client, url := transportFixture(t, Plan{Seed: 1, Rules: []Rule{{Site: SiteComms, Class: Drop, P: 1}}})
+	_, err := client.Get(url)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped request returned %v, want ErrInjected", err)
+	}
+}
+
+func TestTransportPartitionByPeer(t *testing.T) {
+	clientA, urlA := transportFixture(t, Plan{})
+	host := strings.TrimPrefix(urlA, "http://")
+	plan := Plan{Seed: 1, Rules: []Rule{{Site: SiteComms, Class: Partition, P: 1, Peer: host}}}
+	in, err := New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: &Transport{Injector: in}}
+	if _, err := client.Get(urlA); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned peer reachable: %v", err)
+	}
+	// A different peer sails through.
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer other.Close()
+	resp, err := client.Get(other.URL)
+	if err != nil {
+		t.Fatalf("non-partitioned peer unreachable: %v", err)
+	}
+	resp.Body.Close()
+	_ = clientA
+}
+
+func TestTransportHangRespectsContext(t *testing.T) {
+	client, url := transportFixture(t, Plan{Seed: 1, Rules: []Rule{{Site: SiteComms, Class: Hang, P: 1}}})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("hung request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hang ignored the context for %s", elapsed)
+	}
+}
+
+func TestTransportCorruptFlipsOneBodyByte(t *testing.T) {
+	clean, url := transportFixture(t, Plan{})
+	resp, err := clean.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	client, _ := transportFixture(t, Plan{Seed: 5, Rules: []Rule{{Site: SiteComms, Class: Corrupt, P: 1}}})
+	resp, err = client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if bytes.Equal(got, want) {
+		t.Fatal("corrupt transport returned clean bytes")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("corruption changed the length: %d != %d", len(got), len(want))
+	}
+	if bytes.Count(got, []byte{'\n'}) != bytes.Count(want, []byte{'\n'}) {
+		t.Fatal("corruption changed the newline framing")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestTransportDelay(t *testing.T) {
+	client, url := transportFixture(t, Plan{Seed: 1, Rules: []Rule{{Site: SiteComms, Class: Delay, P: 1, Delay: 80 * time.Millisecond}}})
+	start := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("delayed request returned after only %s", elapsed)
+	}
+}

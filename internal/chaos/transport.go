@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ErrInjected marks every transport-level fault this package
+// manufactures, so tests (and retry layers) can tell an injected
+// failure from a real one with errors.Is.
+var ErrInjected = fmt.Errorf("chaos: injected fault")
+
+// injectedError wraps a decision as the error a faulted round trip
+// returns.
+type injectedError struct{ d *Decision }
+
+func (e *injectedError) Error() string { return fmt.Sprintf("chaos: injected %s", e.d) }
+func (e *injectedError) Unwrap() error { return ErrInjected }
+
+// Transport wraps an http.RoundTripper with comms fault injection at
+// SiteComms: Drop and Partition fail the request outright, Delay
+// stalls it, Hang blocks until the request context dies, and Corrupt
+// flips one byte of the response body stream. A nil Injector is fully
+// transparent.
+type Transport struct {
+	Injector *Injector
+	// Next performs the real round trips (default
+	// http.DefaultTransport).
+	Next http.RoundTripper
+}
+
+func (t *Transport) next() http.RoundTripper {
+	if t.Next != nil {
+		return t.Next
+	}
+	return http.DefaultTransport
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.Injector.Decide(SiteComms, req.URL.Host)
+	if d == nil {
+		return t.next().RoundTrip(req)
+	}
+	switch d.Class {
+	case Drop, Partition:
+		return nil, &injectedError{d}
+	case Hang:
+		// The half-open connection: the dial "succeeds" but nothing ever
+		// comes back. Only the caller's deadline (context, lease
+		// watchdog, response-header timeout) gets out.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("%w (interrupted: %v)", &injectedError{d}, req.Context().Err())
+	case Delay:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d.Delay):
+		}
+		return t.next().RoundTrip(req)
+	case Corrupt:
+		resp, err := t.next().RoundTrip(req)
+		if err != nil || resp.Body == nil {
+			return resp, err
+		}
+		resp.Body = &corruptBody{rc: resp.Body, offset: int64(d.Offset), xor: d.XOR}
+		return resp, nil
+	}
+	return t.next().RoundTrip(req)
+}
+
+// corruptBody flips one byte of the wrapped stream: the decision's
+// offset, taken modulo the first non-empty read, so the flip always
+// lands whatever the body length. Newlines are never flipped into or
+// out of existence — the offset skips them and the XOR mask cannot
+// mint one — so corruption exercises record integrity, not framing.
+type corruptBody struct {
+	rc     io.ReadCloser
+	offset int64
+	xor    byte
+	done   bool
+}
+
+func (c *corruptBody) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	if n > 0 && !c.done {
+		i := int(c.offset % int64(n))
+		if p[i] == '\n' {
+			i = (i + 1) % n
+		}
+		if p[i] != '\n' {
+			p[i] ^= c.xor
+			c.done = true
+		}
+	}
+	return n, err
+}
+
+func (c *corruptBody) Close() error { return c.rc.Close() }

@@ -1,0 +1,128 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic circuit-breaker state machine:
+//
+//	closed ──(threshold consecutive failures)──▶ open
+//	open ──(cooldown elapses)──▶ half-open
+//	half-open ──(probe succeeds)──▶ closed
+//	half-open ──(probe fails)──▶ open (cooldown restarts)
+//
+// One breaker guards one worker, process-wide: its verdict persists
+// across sweeps, so a worker that burned its budget during one sweep
+// is not naively hammered by the next.
+type breakerState int
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case bkOpen:
+		return "open"
+	case bkHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-worker circuit breaker. All methods are safe for
+// concurrent use (several sweeps may drive one worker's breaker at
+// once).
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	fails     int // consecutive failures
+	openUntil time.Time
+	probing   bool // a half-open probe dispatch is in flight
+	threshold int
+	cooldown  time.Duration
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a dispatch to this worker may proceed now.
+// An open circuit admits nothing until its cooldown elapses, then
+// exactly one probe at a time (half-open); a probe that never turns
+// into a dispatch must be returned via CancelProbe.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkClosed:
+		return true
+	case bkOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = bkHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// CancelProbe returns an unused half-open probe slot (the worker loop
+// claimed it but the sweep ended before a dispatch ran).
+func (b *breaker) CancelProbe() {
+	b.mu.Lock()
+	if b.state == bkHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// Success records a completed dispatch: the circuit closes and the
+// failure run resets.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.state = bkClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a failed dispatch: a half-open probe reopens the
+// circuit immediately, a closed circuit opens once the consecutive
+// run reaches the threshold.
+func (b *breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	b.fails++
+	b.probing = false
+	if b.state == bkHalfOpen || b.fails >= b.threshold {
+		b.state = bkOpen
+		b.openUntil = now.Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// Closed reports whether the circuit is closed (the worker is believed
+// healthy). Open and half-open circuits both count as impaired: a
+// probe in flight is hope, not health.
+func (b *breaker) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == bkClosed
+}
+
+// State renders the current state for /readyz.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/chaos"
+)
+
+// chaosSeed is the matrix's plan seed: CHAOS_SEED from the environment
+// (the CI chaos shard randomizes it per run) or a fixed default. It is
+// always logged so a failing run replays exactly.
+func chaosSeed(t *testing.T) uint64 {
+	t.Helper()
+	env := os.Getenv("CHAOS_SEED")
+	if env == "" {
+		return 20260808
+	}
+	seed, err := strconv.ParseUint(env, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED=%q: %v", env, err)
+	}
+	return seed
+}
+
+// TestFabricChaosMatrix is the chaos oracle: every fault class the
+// chaos package can inject, armed on the coordinator→worker transport
+// of a healthy 3-node fleet, and the sweep must still complete
+// byte-identical to a single-node run — faults surface as retries,
+// open circuits or degraded local execution, never as silent
+// truncation, corruption or a hang past the test deadline.
+//
+// chaos.Classes is iterated, so adding a fault class without matrix
+// coverage fails here.
+func TestFabricChaosMatrix(t *testing.T) {
+	seed := chaosSeed(t)
+	canonical, want := singleNodeLines(t, sweepBody)
+	for _, class := range chaos.Classes {
+		t.Run(string(class), func(t *testing.T) {
+			urls := make([]string, 3)
+			for i := range urls {
+				ts := httptest.NewServer(api.NewServer(api.NewService(testOptions())))
+				t.Cleanup(ts.Close)
+				urls[i] = ts.URL
+			}
+			rule := chaos.Rule{Site: chaos.SiteComms, Class: class, P: 0.3}
+			switch class {
+			case chaos.Delay:
+				rule.Delay = 5 * time.Millisecond
+			case chaos.Hang:
+				// Every hang burns a full lease before the watchdog frees
+				// the slot; keep the rate where the sweep finishes well
+				// inside the deadline.
+				rule.P = 0.15
+			case chaos.Partition:
+				// One worker fully unreachable: its circuit must open and
+				// the survivors absorb its ranges.
+				rule.P = 1
+				rule.Peer = strings.TrimPrefix(urls[0], "http://")
+			}
+			plan := chaos.Plan{Seed: seed, Rules: []chaos.Rule{rule}}
+			inj, err := chaos.New(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("chaos plan %q (replay: CHAOS_SEED=%d)", plan, seed)
+			coord, err := New(Config{
+				Service: api.NewService(testOptions()),
+				Workers: urls,
+				Client: &http.Client{
+					Transport: &chaos.Transport{Injector: inj, Next: DefaultTransport()},
+				},
+				Lease:           300 * time.Millisecond,
+				RetryBackoff:    time.Millisecond,
+				RetryBackoffCap: 20 * time.Millisecond,
+				BreakerCooldown: 100 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			var lines [][]byte
+			err = coord.SweepStreamFrom(ctx, canonical, 0, nil, func(line []byte) error {
+				lines = append(lines, append([]byte(nil), line...))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("sweep under %s chaos: %v", class, err)
+			}
+			requireIdentical(t, lines, want)
+			if class == chaos.Partition && !coord.Status().Degraded {
+				t.Error("partitioned worker's circuit never opened")
+			}
+		})
+	}
+}

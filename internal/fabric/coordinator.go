@@ -8,27 +8,32 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/jobs"
+	"repro/internal/rng"
 )
 
 // Config configures a Coordinator.
 type Config struct {
 	// Service is the coordinator's local evaluation service, used for
-	// request normalization and point-key expansion — never for
-	// simulation (the workers simulate). Workers must run the same
-	// grid limits (maxgrid, maxruns) or dispatches can be rejected.
+	// request normalization and point-key expansion — and, when the
+	// fleet degrades, for executing ranges in-process. Workers must run
+	// the same grid limits (maxgrid, maxruns) or dispatches can be
+	// rejected.
 	Service *api.Service
 	// Workers lists the worker base URLs (e.g. http://host:8080).
 	Workers []string
-	// Client issues the dispatch requests (default: a fresh
-	// http.Client with no global timeout; the per-dispatch lease is
-	// the timeout discipline).
+	// Client issues the dispatch requests (default: a client on
+	// DefaultTransport — explicit dial/TLS/response-header timeouts, no
+	// whole-request timeout; the per-dispatch lease is the liveness
+	// discipline once a stream is flowing).
 	Client *http.Client
 	// Lease is the per-dispatch heartbeat budget: a dispatch that
 	// delivers no line for Lease is cancelled and its unfinished
@@ -42,18 +47,63 @@ type Config struct {
 	// identical, so stealing never perturbs the output.
 	StealAfter time.Duration
 	// MaxAttempts bounds the dispatch attempts per range before the
-	// sweep fails (default 3 × worker count, minimum 4).
+	// range is handed to the in-process executor — or, with
+	// DisableLocalFallback, before the sweep fails (default 3 × worker
+	// count, minimum 4).
 	MaxAttempts int
 	// Replicas is the consistent-hash ring's virtual-node count per
 	// worker (default DefaultReplicas).
 	Replicas int
+	// RetryBackoff is the base of the capped exponential backoff a
+	// range waits out between dispatch attempts (default 25ms). The
+	// actual delay is full-jitter: uniform in [0, min(cap, base·2ⁿ)].
+	RetryBackoff time.Duration
+	// RetryBackoffCap bounds the backoff window (default 1s).
+	RetryBackoffCap time.Duration
+	// BreakerThreshold is how many consecutive dispatch failures open a
+	// worker's circuit (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit sheds all claims
+	// before admitting a half-open probe (default Lease).
+	BreakerCooldown time.Duration
+	// DisableLocalFallback turns off degraded in-process execution:
+	// a range that exhausts MaxAttempts fails the sweep instead of
+	// falling back to the coordinator's own Service. Mostly for tests
+	// that pin the fail-loudly path.
+	DisableLocalFallback bool
+}
+
+// DefaultTransport returns the transport the coordinator dials workers
+// with when Config.Client is nil: explicit connect, TLS-handshake and
+// response-header timeouts so a dark or wedged worker fails a dispatch
+// in bounded time instead of parking a scheduler slot forever. There
+// is deliberately no whole-request timeout — a healthy dispatch
+// streams for as long as its range takes; once headers have arrived
+// the lease watchdog owns liveness.
+func DefaultTransport() *http.Transport {
+	return &http.Transport{
+		Proxy:                 http.ProxyFromEnvironment,
+		DialContext:           (&net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ResponseHeaderTimeout: 15 * time.Second,
+		MaxIdleConnsPerHost:   16,
+		IdleConnTimeout:       90 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
 }
 
 // Coordinator shards sweeps across a fleet of workers. It is safe for
-// concurrent use; each sweep runs its own scheduler and merger.
+// concurrent use; each sweep runs its own scheduler and merger, while
+// the per-worker circuit breakers persist across sweeps.
 type Coordinator struct {
 	cfg  Config
 	ring *Ring
+
+	breakers    []*breaker
+	localPoints atomic.Int64 // grid points executed in-process, degraded
+
+	jmu    sync.Mutex
+	jitter *rng.Stream
 }
 
 // New validates the config and builds the coordinator's hash ring.
@@ -65,11 +115,18 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Client == nil {
-		cfg.Client = &http.Client{}
-	}
 	if cfg.Lease <= 0 {
 		cfg.Lease = 15 * time.Second
+	}
+	if cfg.Client == nil {
+		tr := DefaultTransport()
+		if cfg.Lease > tr.ResponseHeaderTimeout {
+			// A lease above the default header timeout means the
+			// operator expects slower first points; don't let the
+			// transport pre-empt the watchdog.
+			tr.ResponseHeaderTimeout = cfg.Lease
+		}
+		cfg.Client = &http.Client{Transport: tr}
 	}
 	if cfg.StealAfter <= 0 {
 		cfg.StealAfter = cfg.Lease / 2
@@ -80,11 +137,94 @@ func New(cfg Config) (*Coordinator, error) {
 			cfg.MaxAttempts = 4
 		}
 	}
-	return &Coordinator{cfg: cfg, ring: ring}, nil
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
+	if cfg.RetryBackoffCap <= 0 {
+		cfg.RetryBackoffCap = time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = cfg.Lease
+	}
+	c := &Coordinator{cfg: cfg, ring: ring}
+	for range cfg.Workers {
+		c.breakers = append(c.breakers, newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown))
+	}
+	// Backoff jitter is the one place the coordinator wants real
+	// entropy: two coordinators sharing a recovering fleet must not
+	// re-dispatch in lockstep. Nothing byte-visible depends on it.
+	c.jitter = rng.New(uint64(time.Now().UnixNano()))
+	return c, nil
 }
 
 // Ring returns the coordinator's consistent-hash ring.
 func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// WorkerStatus is one worker's circuit view, surfaced on /readyz.
+type WorkerStatus struct {
+	URL     string `json:"url"`
+	Circuit string `json:"circuit"` // closed | open | half-open
+}
+
+// FleetStatus summarizes the coordinator's live view of its fleet.
+type FleetStatus struct {
+	Workers []WorkerStatus `json:"workers"`
+	// Degraded is true when any worker's circuit is not closed: sweeps
+	// still complete (healthy workers absorb the load, the coordinator
+	// itself backstops), but capacity is impaired and /readyz says so.
+	Degraded bool `json:"degraded"`
+	// LocalPoints counts grid points this coordinator executed
+	// in-process because the fleet could not.
+	LocalPoints int64 `json:"localPoints"`
+}
+
+// Status reports per-worker circuit state and the degraded-execution
+// counters. It never blocks on sweep progress.
+func (c *Coordinator) Status() FleetStatus {
+	st := FleetStatus{Workers: make([]WorkerStatus, len(c.breakers))}
+	for i, b := range c.breakers {
+		state := b.State()
+		st.Workers[i] = WorkerStatus{URL: c.ring.workers[i], Circuit: state}
+		if state != "closed" {
+			st.Degraded = true
+		}
+	}
+	st.LocalPoints = c.localPoints.Load()
+	return st
+}
+
+// fleetDark reports whether every worker's circuit is impaired (open,
+// or half-open with the probe unresolved): the signal for the local
+// loop to stop waiting on the fleet and claim pending ranges itself.
+func (c *Coordinator) fleetDark() bool {
+	for _, b := range c.breakers {
+		if b.Closed() {
+			return false
+		}
+	}
+	return true
+}
+
+// backoffDelay is the capped-exponential full-jitter delay a range
+// waits before dispatch attempt n+1: uniform in [0, min(cap, base·2ⁿ)].
+// Full jitter (spreading retries over the whole window, not around its
+// midpoint) keeps re-dispatches of distinct ranges from
+// re-synchronizing against a just-recovered worker.
+func (c *Coordinator) backoffDelay(attempts int) time.Duration {
+	window := c.cfg.RetryBackoffCap
+	if attempts < 20 { // beyond 2²⁰ the shift is past any sane cap
+		if d := c.cfg.RetryBackoff << uint(attempts-1); d < window {
+			window = d
+		}
+	}
+	c.jmu.Lock()
+	u := c.jitter.Float64()
+	c.jmu.Unlock()
+	return time.Duration(u * float64(window))
+}
 
 // task is one key range's scheduling state. start advances over the
 // delivered prefix on every (re)dispatch accounting pass, so a requeue
@@ -97,6 +237,8 @@ type task struct {
 	lastWorker int // last worker to fail it; steered away on requeue
 	progress   time.Time
 	completed  bool
+	notBefore  time.Time // retry backoff gate: ineligible until then
+	localOnly  bool      // remote budget spent; in-process executor only
 }
 
 // sched is one sweep's scheduler: a pending queue plus the stealing
@@ -131,8 +273,9 @@ func (s *sched) finished() (bool, error) {
 // Preference order: a pending range this worker owns (ring
 // assignment), then a stolen pending range (largest first, skipping
 // ranges this worker just failed), then a speculative duplicate of an
-// in-flight range with stale progress. Returns nil when the sweep is
-// done or failed.
+// in-flight range with stale progress. Ranges sitting out a retry
+// backoff or marked local-only are invisible to workers. Returns nil
+// when the sweep is done or failed.
 func (s *sched) next(ctx context.Context, w int, stealAfter time.Duration) *task {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -140,9 +283,11 @@ func (s *sched) next(ctx context.Context, w int, stealAfter time.Duration) *task
 		if s.done || s.failed != nil || ctx.Err() != nil {
 			return nil
 		}
+		now := time.Now()
+		eligible := func(t *task) bool { return !t.localOnly && !now.Before(t.notBefore) }
 		best := -1
 		for i, t := range s.pending {
-			if t.owner == w {
+			if t.owner == w && eligible(t) {
 				best = i
 				break
 			}
@@ -150,6 +295,9 @@ func (s *sched) next(ctx context.Context, w int, stealAfter time.Duration) *task
 		if best < 0 {
 			size := 0
 			for i, t := range s.pending {
+				if !eligible(t) {
+					continue
+				}
 				if t.lastWorker == w && t.attempts > 0 {
 					continue // let another worker try what this one failed
 				}
@@ -158,8 +306,13 @@ func (s *sched) next(ctx context.Context, w int, stealAfter time.Duration) *task
 				}
 			}
 		}
-		if best < 0 && len(s.pending) > 0 {
-			best = 0 // nothing better: retry even a range this worker failed
+		if best < 0 {
+			for i, t := range s.pending {
+				if eligible(t) {
+					best = i // nothing better: retry even a range this worker failed
+					break
+				}
+			}
 		}
 		if best >= 0 {
 			t := s.pending[best]
@@ -169,12 +322,12 @@ func (s *sched) next(ctx context.Context, w int, stealAfter time.Duration) *task
 		}
 		// Idle with nothing pending: speculatively duplicate the
 		// stalest in-flight range that has gone quiet. The duplicate
-		// races the original; the merger dedupes by index.
-		now := time.Now()
+		// races the original; the merger dedupes by index. Local-only
+		// ranges are never duplicated back onto the fleet.
 		var cand *task
 		size := 0
 		for _, t := range s.tasks {
-			if t.completed || t.copies != 1 || now.Sub(t.progress) < stealAfter {
+			if t.completed || t.localOnly || t.copies != 1 || now.Sub(t.progress) < stealAfter {
 				continue
 			}
 			if n := t.end - t.start; n > size {
@@ -189,11 +342,37 @@ func (s *sched) next(ctx context.Context, w int, stealAfter time.Duration) *task
 	}
 }
 
+// nextLocal blocks until a range is eligible for in-process execution
+// and claims it: any range marked local-only (its remote attempt
+// budget is spent), or — while the whole fleet's circuits are
+// impaired — any pending range at all, retry backoff notwithstanding
+// (a delay aimed at a fleet known to be dark protects nothing).
+// Returns nil when the sweep is done or failed.
+func (s *sched) nextLocal(ctx context.Context, dark func() bool) *task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.done || s.failed != nil || ctx.Err() != nil {
+			return nil
+		}
+		allDark := dark()
+		for i, t := range s.pending {
+			if t.localOnly || allDark {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				t.copies++
+				return t
+			}
+		}
+		s.cond.Wait()
+	}
+}
+
 // finish accounts for a returned dispatch: the delivered prefix is
 // retired, a fully covered range completes, and an unfinished suffix
-// is requeued — or the sweep failed once the range exhausts its
-// attempts.
-func (s *sched) finish(t *task, w int, err error, m *Merger, maxAttempts int) {
+// is requeued behind its backoff — or handed to the in-process
+// executor once the range exhausts its remote attempts (with
+// DisableLocalFallback, the sweep fails instead).
+func (c *Coordinator) finish(s *sched, t *task, w int, err error, m *Merger) {
 	s.mu.Lock()
 	t.copies--
 	gap := m.FirstGap(t.start, t.end)
@@ -217,11 +396,20 @@ func (s *sched) finish(t *task, w int, err error, m *Merger, maxAttempts int) {
 	}
 	t.lastWorker = w
 	t.attempts++
-	if t.attempts >= maxAttempts {
-		s.mu.Unlock()
-		s.fail(fmt.Errorf("fabric: range [%d, %d) exhausted %d dispatch attempts, last error: %v",
-			t.start, t.end, t.attempts, err))
-		return
+	if !t.localOnly && t.attempts >= c.cfg.MaxAttempts {
+		if c.cfg.DisableLocalFallback {
+			s.mu.Unlock()
+			s.fail(fmt.Errorf("fabric: range [%d, %d) exhausted %d dispatch attempts, last error: %v",
+				t.start, t.end, t.attempts, err))
+			return
+		}
+		// Degrade rather than die: the range's remote budget is spent,
+		// so it is withdrawn from the fleet and handed to the local
+		// loop.
+		t.localOnly = true
+	}
+	if !t.localOnly {
+		t.notBefore = time.Now().Add(c.backoffDelay(t.attempts))
 	}
 	s.pending = append(s.pending, t)
 	s.mu.Unlock()
@@ -290,9 +478,9 @@ func (c *Coordinator) run(ctx context.Context, request []byte, keys []string, fr
 		s.pending = append(s.pending, t)
 	}
 
-	// The waker gives cond.Wait a clock: steal thresholds and context
-	// cancellation are time-based conditions no cond broadcast fires
-	// for on its own.
+	// The waker gives cond.Wait a clock: steal thresholds, retry
+	// backoffs and context cancellation are time-based conditions no
+	// cond broadcast fires for on its own.
 	wake := time.NewTicker(c.wakeEvery())
 	stop := make(chan struct{})
 	defer func() { wake.Stop(); close(stop) }()
@@ -314,6 +502,18 @@ func (c *Coordinator) run(ctx context.Context, request []byte, keys []string, fr
 			defer wg.Done()
 			c.workerLoop(ctx, s, m, request, w)
 		}(w)
+	}
+	if !c.cfg.DisableLocalFallback {
+		var req api.SweepRequest
+		if err := json.Unmarshal(request, &req); err != nil {
+			cancel()
+			return fmt.Errorf("fabric: decoding request: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.localLoop(ctx, s, m, req)
+		}()
 	}
 	wg.Wait()
 
@@ -347,43 +547,120 @@ func (c *Coordinator) wakeEvery() time.Duration {
 }
 
 // workerLoop claims ranges for one worker until the sweep completes.
+// An open circuit sheds the worker's claims entirely: its ranges flow
+// to healthy workers (or the local loop) instead of burning attempt
+// budget against a peer known to be dark.
 func (c *Coordinator) workerLoop(ctx context.Context, s *sched, m *Merger, request []byte, w int) {
+	b := c.breakers[w]
 	for {
-		t := s.next(ctx, w, c.cfg.StealAfter)
-		if t == nil {
-			return
-		}
-		err := c.dispatch(ctx, s, m, request, t, w)
-		s.finish(t, w, err, m, c.cfg.MaxAttempts)
-		if err != nil && ctx.Err() == nil {
-			// A failed worker pauses before its next claim, so a dead
-			// node does not spin through every range's attempt budget
-			// while live workers are still delivering.
+		for !b.Allow(time.Now()) {
+			if done, failed := s.finished(); done || failed != nil || ctx.Err() != nil {
+				return
+			}
 			select {
 			case <-ctx.Done():
 				return
 			case <-time.After(c.wakeEvery()):
 			}
 		}
+		t := s.next(ctx, w, c.cfg.StealAfter)
+		if t == nil {
+			b.CancelProbe()
+			return
+		}
+		attempted, err := c.dispatch(ctx, s, m, request, t, w)
+		switch {
+		case !attempted:
+			// The range was already covered by a racing duplicate; no
+			// request reached the worker, so its circuit learned
+			// nothing.
+			b.CancelProbe()
+		case err == nil:
+			b.Success()
+		case ctx.Err() == nil:
+			b.Failure(time.Now())
+		}
+		c.finish(s, t, w, err, m)
 	}
+}
+
+// localLoop is the degraded-execution backstop: it claims ranges the
+// fleet can no longer serve and runs them through the coordinator's
+// own Service. A local execution failure is terminal for the sweep —
+// there is no path more reliable left to retry on.
+func (c *Coordinator) localLoop(ctx context.Context, s *sched, m *Merger, req api.SweepRequest) {
+	for {
+		t := s.nextLocal(ctx, c.fleetDark)
+		if t == nil {
+			return
+		}
+		err := c.runLocal(ctx, s, m, req, t)
+		if err != nil && ctx.Err() == nil {
+			s.fail(fmt.Errorf("fabric: degraded local execution of range [%d, %d): %w", t.start, t.end, err))
+		}
+		c.finish(s, t, -1, err, m)
+	}
+}
+
+// runLocal executes one claimed range in-process through the same
+// sweep path a worker runs, encoding each item exactly as
+// api.JobExecutor does — so degraded output stays byte-identical to
+// the fleet's. Priority is Batch: degraded bulk work must not starve
+// interactive point queries on the local pool.
+func (c *Coordinator) runLocal(ctx context.Context, s *sched, m *Merger, req api.SweepRequest, t *task) error {
+	s.mu.Lock()
+	start, end := t.start, t.end
+	s.mu.Unlock()
+	// Skip whatever a racing remote duplicate has already delivered.
+	if start = m.FirstGap(start, end); start >= end {
+		return nil
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	i := start
+	_, err := c.cfg.Service.SweepStreamRange(ctx, req, start, end-start, jobs.Batch, func(item api.SweepItem) error {
+		buf.Reset()
+		if err := enc.Encode(item); err != nil {
+			return err
+		}
+		if _, err := m.Add(i, buf.Bytes()); err != nil {
+			return err
+		}
+		i++
+		s.touch(t)
+		c.localPoints.Add(1)
+		return nil
+	})
+	return err
 }
 
 // errorRecord matches the {"error": ...} terminal NDJSON record a
 // worker emits when its stream aborts mid-range. A SweepItem line can
-// never start this way (its first field is "protocol").
+// never start this way (its first field is "protocol"), and an
+// integrity-framed line starts with hex digits.
 var errorRecord = []byte(`{"error":`)
 
+// ErrCorruptLine marks a worker-delivered result line that failed
+// integrity verification. It fails the dispatch (the range retries on
+// another attempt), never the sweep.
+var ErrCorruptLine = errors.New("fabric: corrupt result line")
+
 // dispatch sends one range to one worker and feeds its lines into the
-// merger, under the lease + heartbeat watchdog. It returns nil when
-// the range's remaining points were all delivered (by this dispatch or
-// a racing duplicate).
-func (c *Coordinator) dispatch(ctx context.Context, s *sched, m *Merger, request []byte, t *task, w int) error {
+// merger, under the lease + heartbeat watchdog. The response is
+// integrity-framed (api.HeaderSweepIntegrity): each line's checksum is
+// verified before the merger may emit it, so a byte flipped in flight
+// becomes a typed retryable error instead of silently breaking byte
+// identity. Returns nil when the range's remaining points were all
+// delivered (by this dispatch or a racing duplicate); attempted is
+// false when no request was issued at all, so the worker's circuit
+// breaker only learns from real attempts.
+func (c *Coordinator) dispatch(ctx context.Context, s *sched, m *Merger, request []byte, t *task, w int) (attempted bool, _ error) {
 	s.mu.Lock()
 	start, end := t.start, t.end
 	s.mu.Unlock()
 	// Skip whatever a racing duplicate has already delivered.
 	if start = m.FirstGap(start, end); start >= end {
-		return nil
+		return false, nil
 	}
 
 	dctx, cancel := context.WithCancel(ctx)
@@ -395,34 +672,47 @@ func (c *Coordinator) dispatch(ctx context.Context, s *sched, m *Merger, request
 	url := fmt.Sprintf("%s/v1/sweep?offset=%d&limit=%d", strings.TrimSuffix(worker, "/"), start, end-start)
 	hreq, err := http.NewRequestWithContext(dctx, http.MethodPost, url, bytes.NewReader(request))
 	if err != nil {
-		return err
+		return true, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set("Accept", api.NDJSONContentType)
+	hreq.Header.Set(api.HeaderSweepIntegrity, api.IntegrityCRC32C)
 	resp, err := c.cfg.Client.Do(hreq)
 	if err != nil {
-		return fmt.Errorf("fabric: worker %s: %w", worker, err)
+		return true, fmt.Errorf("fabric: worker %s: %w", worker, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return fmt.Errorf("fabric: worker %s: status %d: %s", worker, resp.StatusCode, bytes.TrimSpace(body))
+		return true, fmt.Errorf("fabric: worker %s: status %d: %s", worker, resp.StatusCode, bytes.TrimSpace(body))
 	}
 
 	br := bufio.NewReaderSize(resp.Body, 64<<10)
 	for i := start; i < end; i++ {
-		line, err := br.ReadBytes('\n')
+		framed, err := br.ReadBytes('\n')
 		if err != nil {
-			return fmt.Errorf("fabric: worker %s: stream ended %d points early: %w", worker, end-i, err)
+			return true, fmt.Errorf("fabric: worker %s: stream ended %d points early: %w", worker, end-i, err)
 		}
-		if bytes.HasPrefix(line, errorRecord) {
-			return fmt.Errorf("fabric: worker %s: mid-stream abort: %s", worker, bytes.TrimSpace(line))
+		if bytes.HasPrefix(framed, errorRecord) {
+			return true, fmt.Errorf("fabric: worker %s: mid-stream abort: %s", worker, bytes.TrimSpace(framed))
+		}
+		line, err := api.UnframeLine(framed)
+		if err != nil {
+			return true, fmt.Errorf("fabric: worker %s: point %d: %w: %v", worker, i, ErrCorruptLine, err)
+		}
+		if !json.Valid(line) {
+			return true, fmt.Errorf("fabric: worker %s: point %d: %w: not JSON", worker, i, ErrCorruptLine)
 		}
 		if _, err := m.Add(i, line); err != nil {
+			if errors.Is(err, ErrMalformedLine) {
+				// Torn or unframed delivery: this dispatch failed, the
+				// range retries elsewhere.
+				return true, fmt.Errorf("fabric: worker %s: point %d: %w", worker, i, err)
+			}
 			// The merge window or the downstream consumer failed; both
 			// doom the sweep, not just this dispatch.
 			s.fail(err)
-			return err
+			return true, err
 		}
 		s.touch(t)
 		select {
@@ -430,7 +720,7 @@ func (c *Coordinator) dispatch(ctx context.Context, s *sched, m *Merger, request
 		default:
 		}
 	}
-	return nil
+	return true, nil
 }
 
 // watchdog cancels the dispatch when no line lands within the lease.

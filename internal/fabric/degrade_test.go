@@ -1,0 +1,276 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/rng"
+)
+
+// deadFleet returns a coordinator whose workers are all dark: their
+// listeners are closed before the first dispatch, so every dial fails
+// fast with connection-refused.
+func deadFleet(t *testing.T, n int, cfg Config) *Coordinator {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		ts := httptest.NewServer(api.NewServer(api.NewService(testOptions())))
+		urls[i] = ts.URL
+		ts.Close()
+	}
+	cfg.Workers = urls
+	if cfg.Service == nil {
+		cfg.Service = api.NewService(testOptions())
+	}
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+// TestFabricAllWorkersDarkDegradesLocal is the degradation oracle: a
+// coordinator whose whole fleet is unreachable completes the sweep
+// through its own Service, byte-identical to a single-node run, and
+// reports the fleet degraded.
+func TestFabricAllWorkersDarkDegradesLocal(t *testing.T) {
+	canonical, want := singleNodeLines(t, sweepBody)
+	coord := deadFleet(t, 3, Config{
+		Lease:           200 * time.Millisecond,
+		RetryBackoff:    time.Millisecond,
+		RetryBackoffCap: 10 * time.Millisecond,
+		BreakerCooldown: time.Minute, // no probes during the test window
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var lines [][]byte
+	err := coord.SweepStreamFrom(ctx, canonical, 0, nil, func(line []byte) error {
+		lines = append(lines, append([]byte(nil), line...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("dark-fleet sweep did not degrade to local execution: %v", err)
+	}
+	requireIdentical(t, lines, want)
+
+	st := coord.Status()
+	if !st.Degraded {
+		t.Error("status not degraded after an all-dark sweep")
+	}
+	if st.LocalPoints != int64(len(want)) {
+		t.Errorf("local points = %d, want %d", st.LocalPoints, len(want))
+	}
+	for _, w := range st.Workers {
+		if w.Circuit == "closed" {
+			t.Errorf("worker %s circuit closed after refusing every dial", w.URL)
+		}
+	}
+
+	// The degradation is visible on the coordinator's /readyz — ready
+	// (it still serves, as the sweep above proved) but degraded, with
+	// the fleet circuits attached — while /healthz stays a plain ok
+	// liveness probe.
+	handler := coord.Handler(api.NewServer(coord.cfg.Service))
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/readyz status %d, want 200 (degraded nodes stay in rotation)", rec.Code)
+	}
+	var ready struct {
+		Ready    bool `json:"ready"`
+		Degraded bool `json:"degraded"`
+		Fleet    struct {
+			Degraded bool           `json:"degraded"`
+			Workers  []WorkerStatus `json:"workers"`
+		} `json:"fleet"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Ready || !ready.Degraded || !ready.Fleet.Degraded || len(ready.Fleet.Workers) != 3 {
+		t.Fatalf("/readyz body: %s", rec.Body.Bytes())
+	}
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != 200 || !health.OK {
+		t.Fatalf("/healthz of a degraded node: status %d, body %s", rec.Code, rec.Body.Bytes())
+	}
+}
+
+// TestFabricPartialDarkStaysRemote: with one worker dark out of three
+// (its listener closed, every dial refused), the survivors absorb its
+// ranges, its circuit opens and sheds further claims, the output stays
+// byte-identical, and status reports degradation without the sweep
+// having failed.
+func TestFabricPartialDarkStaysRemote(t *testing.T) {
+	canonical, want := singleNodeLines(t, sweepBody)
+	urls := make([]string, 3)
+	for i := range urls {
+		ts := httptest.NewServer(api.NewServer(api.NewService(testOptions())))
+		urls[i] = ts.URL
+		if i == 0 {
+			ts.Close() // the dark worker: refuses every dial
+		} else {
+			t.Cleanup(ts.Close)
+		}
+	}
+	coord, err := New(Config{
+		Service:          api.NewService(testOptions()),
+		Workers:          urls,
+		Lease:            300 * time.Millisecond,
+		MaxAttempts:      60,
+		RetryBackoff:     time.Millisecond,
+		RetryBackoffCap:  20 * time.Millisecond,
+		BreakerThreshold: 1, // first refused dial opens the circuit
+		BreakerCooldown:  time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dark worker may own no range on a small grid and sit out a
+	// fast sweep entirely; repeat (byte-checking every run) until it
+	// has provably been tried and shed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		requireIdentical(t, collectDistributed(t, coord, canonical, 0), want)
+		if coord.Status().Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dark worker's circuit never opened")
+		}
+	}
+	healthy := 0
+	for _, w := range coord.Status().Workers {
+		if w.Circuit == "closed" {
+			healthy++
+		}
+	}
+	if healthy != 2 {
+		t.Fatalf("%d circuits closed, want 2 (exactly the healthy workers): %+v", healthy, coord.Status().Workers)
+	}
+}
+
+// TestFabricBreakerRecovers: a worker that comes back is readmitted
+// through the half-open probe and the fleet returns to non-degraded
+// status.
+func TestFabricBreakerRecovers(t *testing.T) {
+	canonical, want := singleNodeLines(t, sweepBody)
+	coord, faults := newFleet(t, 2, Config{
+		Lease:            300 * time.Millisecond,
+		MaxAttempts:      60,
+		RetryBackoff:     time.Millisecond,
+		RetryBackoffCap:  10 * time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	faults[1].mu.Lock()
+	faults[1].hang = true
+	faults[1].mu.Unlock()
+	// Hanging fails every dispatch through the lease watchdog — even a
+	// 1-point probe cannot slip through and re-close the circuit — so
+	// the worker is guaranteed degraded once it has been tried.
+	deadline := time.Now().Add(10 * time.Second)
+	for !coord.Status().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatal("worker 1's circuit never opened")
+		}
+		requireIdentical(t, collectDistributed(t, coord, canonical, 0), want)
+	}
+
+	faults[1].mu.Lock()
+	faults[1].hang = false
+	faults[1].mu.Unlock()
+	// A fresh sweep after the cooldown lets the probe through and
+	// closes the circuit again.
+	deadline = time.Now().Add(10 * time.Second)
+	for coord.Status().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatal("circuit never re-closed after the worker recovered")
+		}
+		time.Sleep(60 * time.Millisecond)
+		requireIdentical(t, collectDistributed(t, coord, canonical, 0), want)
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Now()
+	b := newBreaker(2, time.Minute)
+	if !b.Allow(now) || b.State() != "closed" {
+		t.Fatal("fresh breaker not closed")
+	}
+	b.Failure(now)
+	if !b.Allow(now) {
+		t.Fatal("one failure below threshold opened the circuit")
+	}
+	b.Failure(now)
+	if b.Allow(now) {
+		t.Fatal("threshold failures did not open the circuit")
+	}
+	if b.State() != "open" {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+	// Cooldown elapses: exactly one probe is admitted.
+	later := now.Add(2 * time.Minute)
+	if !b.Allow(later) {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	if b.Allow(later) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe fails: straight back to open, cooldown restarted.
+	b.Failure(later)
+	if b.Allow(later) || b.State() != "open" {
+		t.Fatal("failed probe did not reopen the circuit")
+	}
+	// Next probe succeeds: closed again.
+	final := later.Add(2 * time.Minute)
+	if !b.Allow(final) {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if !b.Closed() || !b.Allow(final) {
+		t.Fatal("successful probe did not close the circuit")
+	}
+	// An unused probe slot is returned by CancelProbe.
+	b.Failure(final)
+	b.Failure(final)
+	probeAt := final.Add(2 * time.Minute)
+	if !b.Allow(probeAt) {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.CancelProbe()
+	if !b.Allow(probeAt) {
+		t.Fatal("cancelled probe slot not reusable")
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	c := &Coordinator{cfg: Config{RetryBackoff: 10 * time.Millisecond, RetryBackoffCap: 80 * time.Millisecond}}
+	c.jitter = rng.New(1)
+	for attempts := 1; attempts <= 64; attempts++ {
+		window := 80 * time.Millisecond
+		if attempts <= 3 {
+			window = 10 * time.Millisecond << uint(attempts-1)
+		}
+		for i := 0; i < 32; i++ {
+			if d := c.backoffDelay(attempts); d < 0 || d > window {
+				t.Fatalf("attempt %d: delay %s outside [0, %s]", attempts, d, window)
+			}
+		}
+	}
+}

@@ -279,12 +279,14 @@ func TestFabricStaleWorkerStolen(t *testing.T) {
 	requireIdentical(t, collectDistributed(t, coord, canonical, 0), want)
 }
 
-// TestFabricAllWorkersBroken: when every dispatch fails, the sweep
-// fails with the worker's error after the attempt budget — never a
-// silent truncation.
+// TestFabricAllWorkersBroken: with local fallback disabled, a sweep
+// over a dead fleet fails with the worker's error after the attempt
+// budget — never a silent truncation. (With fallback on — the default
+// — the same fleet degrades to local execution; see
+// TestFabricAllWorkersDarkDegradesLocal.)
 func TestFabricAllWorkersBroken(t *testing.T) {
 	canonical, _ := singleNodeLines(t, sweepBody)
-	coord, faults := newFleet(t, 2, Config{Lease: 100 * time.Millisecond, MaxAttempts: 3})
+	coord, faults := newFleet(t, 2, Config{Lease: 100 * time.Millisecond, MaxAttempts: 3, DisableLocalFallback: true})
 	for _, f := range faults {
 		f.cutAfter = 1 // dies inside the first line of every response
 	}

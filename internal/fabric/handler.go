@@ -19,7 +19,23 @@ func (c *Coordinator) Handler(inner http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", inner)
 	mux.HandleFunc("/v1/sweep", c.handleSweep)
+	mux.HandleFunc("/readyz", c.handleReady)
 	return mux
+}
+
+// handleReady overlays the coordinator's fleet view on the local
+// service's readiness report: the node is degraded when the service
+// says so (saturated job queue) OR any worker circuit is non-closed —
+// sweeps still complete (survivors absorb ranges, local fallback
+// covers a dark fleet) but with reduced capacity. /healthz stays a
+// plain liveness probe; only /readyz carries the degradation signal.
+func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := struct {
+		api.ReadyStatus
+		Fleet FleetStatus `json:"fleet"`
+	}{c.cfg.Service.ReadyStatus(), c.Status()}
+	st.Degraded = st.Degraded || st.Fleet.Degraded
+	api.WriteReady(w, st)
 }
 
 // handleSweep is the coordinator-mode twin of the single-node /v1/sweep
@@ -100,11 +116,15 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) streamSweep(w http.ResponseWriter, r *http.Request, canonical []byte, keys []string, from, to int) {
 	w.Header().Set("Trailer", api.HeaderSweepPoints)
 	w.Header().Set("Content-Type", api.NDJSONContentType)
+	framed := r.Header.Get(api.HeaderSweepIntegrity) == api.IntegrityCRC32C
 	flusher, _ := w.(http.Flusher)
 	wrote := 0
 	err := c.run(r.Context(), canonical, keys, from, to, func(line []byte) error {
 		if err := r.Context().Err(); err != nil {
 			return err
+		}
+		if framed {
+			line = api.FrameLine(line)
 		}
 		if _, err := w.Write(line); err != nil {
 			return err

@@ -1,9 +1,18 @@
 package fabric
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrMalformedLine marks a delivered line that violates NDJSON framing
+// (empty, missing its trailing newline, or carrying an interior
+// newline) — the shape of a torn or spliced delivery. The rejection is
+// NOT sticky: the bad delivery is refused, the merger stays healthy,
+// and a later intact delivery of the same point merges normally.
+var ErrMalformedLine = errors.New("fabric: malformed result line")
 
 // Merger folds concurrently arriving worker result lines back into
 // canonical grid order. It accepts (index, line) pairs for the window
@@ -25,7 +34,8 @@ type Merger struct {
 	end     int
 	buffer  map[int][]byte // accepted, not yet emitted (out-of-order arrivals)
 	emit    func(line []byte) error
-	err     error // sticky first emit error
+	hook    func(i int, line []byte) []byte // fault-injection intake hook
+	err     error                           // sticky first emit error
 	emitted int
 }
 
@@ -36,10 +46,22 @@ func NewMerger(start, end int, emit func(line []byte) error) *Merger {
 	return &Merger{next: start, start: start, end: end, buffer: make(map[int][]byte), emit: emit}
 }
 
+// SetHook installs a line-intake hook, called on every Add before
+// validation with the point index and the delivered bytes; whatever it
+// returns is merged in the line's place. It exists for fault injection
+// (chaos.Injector.LineHook tears or corrupts deliveries on their way
+// in) and must be set before the first Add.
+func (m *Merger) SetHook(hook func(i int, line []byte) []byte) {
+	m.mu.Lock()
+	m.hook = hook
+	m.mu.Unlock()
+}
+
 // Add accepts the line of grid point i. It returns fresh=false when
 // the point was already delivered by another dispatch (the duplicate
-// is dropped), and the sticky emit error once the downstream consumer
-// has failed. The line is copied: callers may reuse their read buffer.
+// is dropped), ErrMalformedLine (non-sticky) for a torn delivery, and
+// the sticky emit error once the downstream consumer has failed. The
+// line is copied: callers may reuse their read buffer.
 func (m *Merger) Add(i int, line []byte) (fresh bool, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -48,6 +70,14 @@ func (m *Merger) Add(i int, line []byte) (fresh bool, err error) {
 	}
 	if i < m.start || i >= m.end {
 		return false, fmt.Errorf("fabric: point index %d outside merge window [%d, %d)", i, m.start, m.end)
+	}
+	if m.hook != nil {
+		line = m.hook(i, line)
+	}
+	if n := len(line); n == 0 || line[n-1] != '\n' {
+		return false, fmt.Errorf("%w: point %d: no trailing newline in %d bytes", ErrMalformedLine, i, n)
+	} else if bytes.IndexByte(line[:n-1], '\n') >= 0 {
+		return false, fmt.Errorf("%w: point %d: interior newline", ErrMalformedLine, i)
 	}
 	if i < m.next {
 		return false, nil // already emitted

@@ -168,15 +168,93 @@ func TestMergerStickyEmitError(t *testing.T) {
 	}
 }
 
+// TestMergerTornDeliveryNonSticky pins the malformed-line contract: a
+// torn delivery is refused with ErrMalformedLine, the merger stays
+// healthy (the error is not sticky), and a later intact delivery of
+// the same point merges normally.
+func TestMergerTornDeliveryNonSticky(t *testing.T) {
+	var got [][]byte
+	m := NewMerger(0, 2, func(line []byte) error {
+		got = append(got, append([]byte(nil), line...))
+		return nil
+	})
+	intact := lineFor(0)
+	for _, torn := range [][]byte{
+		nil,                       // empty delivery
+		intact[:len(intact)-1],    // trailing newline stripped
+		append(intact, "{}\n"...), // spliced: interior newline
+	} {
+		fresh, err := m.Add(0, torn)
+		if fresh || !errors.Is(err, ErrMalformedLine) {
+			t.Fatalf("Add(0, %q) = (%v, %v), want ErrMalformedLine", torn, fresh, err)
+		}
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("torn deliveries stuck the merger: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if fresh, err := m.Add(i, lineFor(i)); !fresh || err != nil {
+			t.Fatalf("intact Add(%d) after tears = (%v, %v)", i, fresh, err)
+		}
+	}
+	if !m.Done() {
+		t.Fatal("merger not done after intact re-deliveries")
+	}
+	checkCanonical(t, got, 0, 2)
+}
+
+// TestMergerHookInjectsTear exercises the chaos intake hook: a hook
+// that tears a point's first delivery makes that Add fail with
+// ErrMalformedLine; the retry (hook passes it through) completes the
+// canonical merge.
+func TestMergerHookInjectsTear(t *testing.T) {
+	var got [][]byte
+	m := NewMerger(0, 5, func(line []byte) error {
+		got = append(got, append([]byte(nil), line...))
+		return nil
+	})
+	torn := 0
+	m.SetHook(func(i int, line []byte) []byte {
+		if i == 2 && torn == 0 {
+			torn++
+			return line[:len(line)-1]
+		}
+		return line
+	})
+	for i := 0; i < 5; i++ {
+		fresh, err := m.Add(i, lineFor(i))
+		if i == 2 {
+			if fresh || !errors.Is(err, ErrMalformedLine) {
+				t.Fatalf("hooked Add(2) = (%v, %v), want ErrMalformedLine", fresh, err)
+			}
+			if fresh, err = m.Add(i, lineFor(i)); !fresh || err != nil {
+				t.Fatalf("retry Add(2) = (%v, %v)", fresh, err)
+			}
+			continue
+		}
+		if !fresh || err != nil {
+			t.Fatalf("Add(%d) = (%v, %v)", i, fresh, err)
+		}
+	}
+	if !m.Done() {
+		t.Fatal("merger not done")
+	}
+	checkCanonical(t, got, 0, 5)
+}
+
 // FuzzMergerInterleaving lets the fuzzer search delivery schedules for
 // an ordering, duplication or dropped-line violation. Each fuzz input
 // byte selects the next delivery among the not-yet-delivered indices
-// (plus re-deliveries of already-delivered ones), so any byte string is
-// a valid schedule.
+// (plus re-deliveries of already-delivered ones) and may tear the
+// delivery — strip its newline or splice two lines together — which
+// must bounce with ErrMalformedLine and leave the merger healthy, so
+// any byte string is a valid schedule.
 func FuzzMergerInterleaving(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3})
 	f.Add([]byte{9, 9, 9, 0, 0, 1})
 	f.Add([]byte{255, 128, 7, 7, 63, 2, 90, 4, 4, 4})
+	f.Add([]byte{2, 6, 2, 130, 6, 3, 7, 11})  // torn then re-delivered
+	f.Add([]byte{254, 250, 246, 242, 238, 0}) // tears across the window
 	f.Fuzz(func(t *testing.T, schedule []byte) {
 		const end = 17
 		var got [][]byte
@@ -191,12 +269,28 @@ func FuzzMergerInterleaving(f *testing.F) {
 		delivered := make([]int, 0, end)
 		for _, b := range schedule {
 			var i int
-			if len(pending) > 0 && (b%2 == 0 || len(delivered) == 0) {
-				k := int(b/2) % len(pending)
+			fromPending := len(pending) > 0 && (b&1 == 0 || len(delivered) == 0)
+			if fromPending {
+				k := int(b>>2) % len(pending)
 				i = pending[k]
 				pending = append(pending[:k], pending[k+1:]...)
 			} else {
-				i = delivered[int(b/2)%len(delivered)] // duplicate delivery
+				i = delivered[int(b>>2)%len(delivered)] // duplicate delivery
+			}
+			if b&2 != 0 { // torn delivery: refused, index still owed
+				line := lineFor(i)
+				if b >= 128 {
+					line = append(line, lineFor(i)...) // splice: interior '\n'
+				} else {
+					line = line[:len(line)-1] // strip trailing '\n'
+				}
+				if fresh, err := m.Add(i, line); fresh || !errors.Is(err, ErrMalformedLine) {
+					t.Fatalf("torn Add(%d) = (%v, %v), want ErrMalformedLine", i, fresh, err)
+				}
+				if fromPending {
+					pending = append(pending, i)
+				}
+				continue
 			}
 			delivered = append(delivered, i)
 			if _, err := m.Add(i, lineFor(i)); err != nil {

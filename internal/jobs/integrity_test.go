@@ -1,0 +1,347 @@
+package jobs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// appendResults runs n stub records through the integrity-tracked
+// append path, leaving a valid results file and checksum sidecar.
+func appendResults(t *testing.T, store *Store, id string, n int) {
+	t.Helper()
+	rf, lines, err := store.OpenResults(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := lines; i < n; i++ {
+		if err := rf.Append(stubLine(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flipByte corrupts one byte of a file in place, avoiding newlines so
+// the damage cannot masquerade as a torn tail.
+func flipByte(t *testing.T, path string, offset int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[offset] == '\n' {
+		t.Fatalf("offset %d is a newline; pick a byte inside a record", offset)
+	}
+	data[offset] ^= 0x04
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestResultsCorruptionDetected pins the integrity oracle: a byte
+// flipped in the middle of a durable, attested record surfaces as
+// ErrCorruptResults at the next open — not as a clean resume over
+// poisoned data.
+func TestResultsCorruptionDetected(t *testing.T) {
+	store := newTestStore(t)
+	id := "job-0dd0cafe"
+	if err := store.Create(Meta{ID: id, State: Running}, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	appendResults(t, store, id, 5)
+
+	// Flip a byte inside record 2 — mid-file, far from the tail that
+	// newline-counting recovery already handles.
+	flipByte(t, store.ResultsPath(id), len(wantLines(2))+4)
+
+	rf, _, err := store.OpenResults(id)
+	if err == nil {
+		rf.Close()
+		t.Fatal("mid-file corruption opened cleanly")
+	}
+	if !errors.Is(err, ErrCorruptResults) {
+		t.Fatalf("corruption surfaced as %v, want ErrCorruptResults", err)
+	}
+	if !strings.Contains(err.Error(), "record 2") {
+		t.Errorf("error does not name the corrupt record: %v", err)
+	}
+}
+
+// TestResultsLegacySidecarBackfill: a results file from before the
+// sidecar existed (or whose sums were lost) opens cleanly, gets its
+// sums backfilled from the surviving lines, and is protected from
+// then on.
+func TestResultsLegacySidecarBackfill(t *testing.T) {
+	store := newTestStore(t)
+	id := "job-1e9ac000"
+	if err := store.Create(Meta{ID: id, State: Running}, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store.ResultsPath(id), wantLines(4), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, lines, err := store.OpenResults(id)
+	if err != nil {
+		t.Fatalf("legacy store rejected: %v", err)
+	}
+	rf.Close()
+	if lines != 4 {
+		t.Fatalf("recovered %d lines, want 4", lines)
+	}
+	sums, err := os.ReadFile(store.SumsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 4*sumRecordLen {
+		t.Fatalf("backfilled sidecar is %d bytes, want %d", len(sums), 4*sumRecordLen)
+	}
+
+	// The backfilled sums are live: corruption is now detectable.
+	flipByte(t, store.ResultsPath(id), 2)
+	if _, _, err := store.OpenResults(id); !errors.Is(err, ErrCorruptResults) {
+		t.Fatalf("corruption after backfill surfaced as %v, want ErrCorruptResults", err)
+	}
+}
+
+// TestResultsSidecarTornTail: a sidecar that crashed mid-append (torn
+// final record, or garbage where a record should be) is repaired from
+// the results lines, never reported as corruption.
+func TestResultsSidecarTornTail(t *testing.T) {
+	store := newTestStore(t)
+	id := "job-70a2caf0"
+	if err := store.Create(Meta{ID: id, State: Running}, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	appendResults(t, store, id, 5)
+
+	sums, err := os.ReadFile(store.SumsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the sidecar mid-record 3 and append garbage.
+	torn := append(append([]byte{}, sums[:3*sumRecordLen+4]...), "zzzz"...)
+	if err := os.WriteFile(store.SumsPath(id), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, lines, err := store.OpenResults(id)
+	if err != nil {
+		t.Fatalf("torn sidecar rejected: %v", err)
+	}
+	rf.Close()
+	if lines != 5 {
+		t.Fatalf("recovered %d lines, want 5", lines)
+	}
+	repaired, err := os.ReadFile(store.SumsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(repaired, sums) {
+		t.Errorf("repaired sidecar differs from the original:\n%q\nwant:\n%q", repaired, sums)
+	}
+}
+
+// TestResultsSidecarExtraEntries: after a crash that tore the results
+// tail but landed its sum, the extra sidecar entries are dropped along
+// with the torn line — a false "corruption" here would brick every
+// job that crashed at the wrong instant.
+func TestResultsSidecarExtraEntries(t *testing.T) {
+	store := newTestStore(t)
+	id := "job-7ea27a11"
+	if err := store.Create(Meta{ID: id, State: Running}, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	appendResults(t, store, id, 5)
+	// Tear record 4 out of the results file; its sum stays behind.
+	if err := os.Truncate(store.ResultsPath(id), int64(len(wantLines(4))+3)); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, lines, err := store.OpenResults(id)
+	if err != nil {
+		t.Fatalf("stale sidecar entries rejected the open: %v", err)
+	}
+	rf.Close()
+	if lines != 4 {
+		t.Fatalf("recovered %d lines, want 4", lines)
+	}
+	sums, err := os.ReadFile(store.SumsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 4*sumRecordLen {
+		t.Fatalf("sidecar kept %d bytes, want %d (extras dropped)", len(sums), 4*sumRecordLen)
+	}
+}
+
+// TestManagerQuarantinesCorruptJob: recovery of a corrupt job marks
+// THAT job failed with the typed error and nothing else — submissions
+// keep flowing through the same manager.
+func TestManagerQuarantinesCorruptJob(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, _, err := stubNormalize([]byte(`{"n": 8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := IDFor(canonical)
+	// A job that died mid-run with 5 durable, attested records...
+	if err := store.Create(Meta{ID: id, State: Running, Total: 8, Completed: 5, CreatedAt: 1}, canonical); err != nil {
+		t.Fatal(err)
+	}
+	appendResults(t, store, id, 5)
+	// ...one of which rotted on the media before the restart.
+	flipByte(t, store.ResultsPath(id), len(wantLines(3))+4)
+
+	m := newTestManager(t, dir, nil)
+	final, err := m.Wait(waitCtx(t), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != Failed {
+		t.Fatalf("corrupt job state = %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "corrupt results file") {
+		t.Errorf("failure not typed as corruption: %q", final.Error)
+	}
+
+	// The quarantine is per-job: the manager still runs fresh work.
+	meta, created, err := m.Submit([]byte(`{"n": 3}`))
+	if err != nil || !created {
+		t.Fatalf("submit after quarantine: %v (created %v)", err, created)
+	}
+	if final, err := m.Wait(waitCtx(t), meta.ID); err != nil || final.State != Done {
+		t.Fatalf("job after quarantine: %+v, %v", final, err)
+	}
+}
+
+// TestResultsAppendHookCorruptsMedia wires the fault-injection hook
+// end to end: the hook damages bytes on their way to disk, the job
+// itself completes (the executor saw clean lines), and the damage is
+// caught by the next recovery's integrity scan.
+func TestResultsAppendHookCorruptsMedia(t *testing.T) {
+	dir := t.TempDir()
+	hit := 0
+	m, err := NewManager(Config{
+		Dir:             dir,
+		CheckpointEvery: 2,
+		Exec:            stubExec(nil),
+		Normalize:       stubNormalize,
+		ResultsAppendHook: func(line []byte) []byte {
+			hit++
+			if hit != 3 {
+				return line
+			}
+			out := append([]byte(nil), line...)
+			out[1] ^= 0x04
+			return out
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	meta, _, err := m.Submit([]byte(`{"n": 6}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, werr := m.Wait(waitCtx(t), meta.ID); werr != nil || final.State != Done {
+		t.Fatalf("job under media-corruption hook: %+v, %v", final, werr)
+	}
+	if _, _, err := m.Store().OpenResults(meta.ID); !errors.Is(err, ErrCorruptResults) {
+		t.Fatalf("hook damage surfaced as %v, want ErrCorruptResults", err)
+	}
+}
+
+// TestManagerQueueBound: MaxQueued sheds only brand-new submissions —
+// dedupes pass through — and Stats reports the saturation.
+func TestManagerQueueBound(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	m, err := NewManager(Config{
+		Dir:           t.TempDir(),
+		MaxConcurrent: 1,
+		MaxQueued:     1,
+		Exec:          stubExec(gate),
+		Normalize:     stubNormalize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Job A blocks at point 1 and holds the single runner.
+	blocked, _, err := m.Submit([]byte(`{"n": 3, "waitAt": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if meta, err := m.Get(blocked.ID); err == nil && meta.State == Running {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job A never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Job B fills the queue.
+	queued, _, err := m.Submit([]byte(`{"n": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Queued != 1 || st.Running != 1 || !st.Saturated {
+		t.Fatalf("stats at saturation: %+v", st)
+	}
+	// Job C is new: shed with the typed error, not created.
+	if _, _, err := m.Submit([]byte(`{"n": 4}`)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submission over the bound: %v, want ErrQueueFull", err)
+	}
+	if _, err := m.Get(IDFor(mustCanonical(t, `{"n": 4}`))); !errors.Is(err, ErrNotFound) {
+		t.Fatal("shed submission left a job behind")
+	}
+	// Resubmitting B dedupes despite the full queue.
+	if meta, created, err := m.Submit([]byte(`{"n": 2}`)); err != nil || created || meta.ID != queued.ID {
+		t.Fatalf("dedupe under saturation: %+v created=%v err=%v", meta, created, err)
+	}
+
+	gate <- struct{}{} // unblock A; B drains behind it
+	for _, id := range []string{blocked.ID, queued.ID} {
+		if final, err := m.Wait(waitCtx(t), id); err != nil || final.State != Done {
+			t.Fatalf("job %s after saturation: %+v, %v", id, final, err)
+		}
+	}
+}
+
+func mustCanonical(t *testing.T, request string) []byte {
+	t.Helper()
+	canonical, _, err := stubNormalize([]byte(request))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canonical
+}

@@ -1,0 +1,172 @@
+package jobs
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+)
+
+// leaseManager is newTestManager with a caller-owned gate and a fast
+// janitor, for the shared-store tests.
+func leaseManager(t *testing.T, dir string, gate chan struct{}) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{
+		Dir:             dir,
+		MaxConcurrent:   2,
+		CheckpointEvery: 2,
+		LeaseProbeEvery: 10 * time.Millisecond,
+		Exec:            stubExec(gate),
+		Normalize:       stubNormalize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// waitState polls until the job reaches the wanted state on the given
+// manager (the cross-manager paths are asynchronous: janitor probes,
+// runner scheduling).
+func waitState(t *testing.T, m *Manager, id string, want State) Meta {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		meta, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.State == want {
+			return meta
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, meta.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSharedStoreDisjointJobsConcurrent: two managers over ONE store
+// directory execute disjoint jobs at the same time — the per-job
+// leases that replaced the store-wide flock make the store a shared
+// substrate, not a single-writer resource. Both jobs are observed
+// simultaneously mid-execution (each blocked inside its executor)
+// before either finishes.
+func TestSharedStoreDisjointJobsConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	gateA := make(chan struct{})
+	gateB := make(chan struct{})
+	m1 := leaseManager(t, dir, gateA)
+	m2 := leaseManager(t, dir, gateB)
+
+	metaA, created, err := m1.Submit([]byte(`{"n": 6, "waitAt": 3}`))
+	if err != nil || !created {
+		t.Fatalf("submit A: %v (created %v)", err, created)
+	}
+	metaB, created, err := m2.Submit([]byte(`{"n": 5, "waitAt": 2}`))
+	if err != nil || !created {
+		t.Fatalf("submit B: %v (created %v)", err, created)
+	}
+	// Both running at once, on one directory.
+	waitState(t, m1, metaA.ID, Running)
+	waitState(t, m2, metaB.ID, Running)
+	close(gateA)
+	close(gateB)
+	if final, err := m1.Wait(waitCtx(t), metaA.ID); err != nil || final.State != Done || final.Completed != 6 {
+		t.Fatalf("job A final %+v, err %v", final, err)
+	}
+	if final, err := m2.Wait(waitCtx(t), metaB.ID); err != nil || final.State != Done || final.Completed != 5 {
+		t.Fatalf("job B final %+v, err %v", final, err)
+	}
+	for id, n := range map[string]int{metaA.ID: 6, metaB.ID: 5} {
+		data, err := os.ReadFile(m1.store.ResultsPath(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, wantLines(n)) {
+			t.Errorf("job %s results:\n%s\nwant:\n%s", id, data, wantLines(n))
+		}
+	}
+}
+
+// TestLeaseSingleExecutor: the same request submitted to two managers
+// sharing a directory executes exactly once — the second manager
+// adopts the on-disk job as a remote mirror, follows the holder's
+// checkpoints, and reports the terminal state without ever appending
+// to the results file itself.
+func TestLeaseSingleExecutor(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	m1 := leaseManager(t, dir, gate)
+	m2 := leaseManager(t, dir, nil)
+
+	meta, created, err := m1.Submit([]byte(`{"n": 8, "waitAt": 4}`))
+	if err != nil || !created {
+		t.Fatalf("submit: %v (created %v)", err, created)
+	}
+	waitState(t, m1, meta.ID, Running)
+	adopted, created, err := m2.Submit([]byte(`{"n": 8, "waitAt": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || adopted.ID != meta.ID {
+		t.Fatalf("adoption created a new job: %+v (created %v)", adopted, created)
+	}
+	close(gate)
+	if final, err := m1.Wait(waitCtx(t), meta.ID); err != nil || final.State != Done {
+		t.Fatalf("holder final %+v, err %v", final, err)
+	}
+	// The mirror converges on the holder's terminal state via the
+	// janitor, and the results file carries each line exactly once.
+	mirror := waitState(t, m2, meta.ID, Done)
+	if mirror.Completed != 8 {
+		t.Fatalf("mirror meta %+v", mirror)
+	}
+	data, err := os.ReadFile(m2.store.ResultsPath(meta.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, wantLines(8)) {
+		t.Errorf("results:\n%s\nwant:\n%s", data, wantLines(8))
+	}
+}
+
+// TestLeaseTakeoverAfterHolderDeath: a job whose executing manager
+// dies mid-run (lease released, disk state still "running") is taken
+// over by a sibling manager watching the same directory, resumes from
+// the last durable checkpoint, and finishes with a results file
+// byte-identical to an uninterrupted run.
+func TestLeaseTakeoverAfterHolderDeath(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	m1 := leaseManager(t, dir, gate)
+	closed := make(chan struct{})
+	close(closed) // m2's executor never blocks: resume runs straight through
+	m2 := leaseManager(t, dir, closed)
+
+	meta, created, err := m1.Submit([]byte(`{"n": 9, "waitAt": 5}`))
+	if err != nil || !created {
+		t.Fatalf("submit: %v (created %v)", err, created)
+	}
+	waitState(t, m1, meta.ID, Running)
+	if adopted, created, err := m2.Submit([]byte(`{"n": 9, "waitAt": 5}`)); err != nil || created || adopted.ID != meta.ID {
+		t.Fatalf("adopt: %+v (created %v, err %v)", adopted, created, err)
+	}
+	// The holder dies mid-job: Close cancels its executor, flushes the
+	// durable prefix, leaves "running" on disk and releases the lease.
+	m1.Close()
+	// The sibling's janitor notices the orphaned lease, takes the job
+	// over and resumes it from the durable offset.
+	final := waitState(t, m2, meta.ID, Done)
+	if final.Completed != 9 {
+		t.Fatalf("final meta %+v", final)
+	}
+	data, err := os.ReadFile(m2.store.ResultsPath(meta.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, wantLines(9)) {
+		t.Errorf("resumed results are not byte-identical:\n%s\nwant:\n%s", data, wantLines(9))
+	}
+}

@@ -1,17 +1,23 @@
 package jobs
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"sort"
 	"sync"
 	"time"
 )
+
+// ErrQueueFull marks a submission rejected because the pending-job
+// queue is at its configured bound. The HTTP layer maps it to 503
+// with a Retry-After: the job was NOT created and an identical
+// resubmission later will succeed (or dedupe) normally.
+var ErrQueueFull = errors.New("jobs: job queue is full")
 
 // Executor runs one job's request from a point offset: it must emit
 // exactly one '\n'-terminated NDJSON line per completed point, in the
@@ -39,15 +45,30 @@ type Config struct {
 	// CheckpointEvery flushes+fsyncs the results file and persists the
 	// progress marker every N completed points (default 16).
 	CheckpointEvery int
-	// LeaseProbeEvery is how often the manager re-probes jobs that are
-	// executing under another manager's lease (several managers may
-	// share one store directory), adopting their terminal states and
-	// taking over orphaned jobs whose holder died (default 1s).
+	// LeaseProbeEvery is how often, on average, the manager re-probes
+	// jobs that are executing under another manager's lease (several
+	// managers may share one store directory), adopting their terminal
+	// states and taking over orphaned jobs whose holder died (default
+	// 1s). Each wakeup is jittered uniformly over [p/2, 3p/2) so a
+	// fleet of managers sharing one directory never synchronizes into
+	// periodic scan stampedes.
 	LeaseProbeEvery time.Duration
+	// MaxQueued bounds the number of jobs awaiting execution: a
+	// submission that would create a NEW job while the queue is at the
+	// bound is rejected with ErrQueueFull. Deduped resubmissions and
+	// adoptions of jobs already on disk are never rejected — refusing
+	// those would lose no work and help no one. Zero means unbounded.
+	MaxQueued int
 	// Exec executes job requests.
 	Exec Executor
 	// Normalize canonicalizes and validates submissions.
 	Normalize Normalizer
+	// ResultsAppendHook, when non-nil, transforms each result line's
+	// bytes on their way to disk. Checksums are computed on the true
+	// line BEFORE the hook runs, so whatever the hook changes is
+	// media corruption the next recovery's integrity scan must catch.
+	// Fault injection only; production paths leave it nil.
+	ResultsAppendHook func(line []byte) []byte
 	// now stamps Meta times; tests may override. Nil uses time.Now.
 	now func() time.Time
 }
@@ -178,6 +199,35 @@ func (m *Manager) Close() {
 // diagnostics).
 func (m *Manager) Store() *Store { return m.store }
 
+// Stats is a point-in-time load snapshot of the job subsystem, the
+// jobs half of the /readyz readiness report.
+type Stats struct {
+	// Queued counts jobs awaiting a runner.
+	Queued int `json:"queued"`
+	// Running counts jobs executing under THIS manager's leases
+	// (remote-mirrored jobs are another manager's load).
+	Running int `json:"running"`
+	// MaxQueued echoes the configured queue bound; zero is unbounded.
+	MaxQueued int `json:"maxQueued,omitempty"`
+	// Saturated reports whether a new submission would be rejected
+	// with ErrQueueFull right now.
+	Saturated bool `json:"saturated,omitempty"`
+}
+
+// Stats returns the manager's current load snapshot.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{Queued: len(m.queue), MaxQueued: m.cfg.MaxQueued}
+	st.Saturated = st.MaxQueued > 0 && st.Queued >= st.MaxQueued
+	for _, j := range m.jobs {
+		if j.meta.State == Running && !j.remote {
+			st.Running++
+		}
+	}
+	return st
+}
+
 // Submit canonicalizes the request and creates (or dedupes to) its
 // content-keyed job. The boolean reports whether a new job was
 // created; resubmitting an identical request returns the existing
@@ -231,6 +281,12 @@ func (m *Manager) Submit(request []byte) (Meta, bool, error) {
 		adopted := j.meta
 		m.mu.Unlock()
 		return adopted, false, nil
+	}
+	if m.cfg.MaxQueued > 0 && len(m.queue) >= m.cfg.MaxQueued {
+		// Saturated: shed the NEW job before any disk work. Dedupes and
+		// adoptions (above) are never shed — they create no new load.
+		m.mu.Unlock()
+		return Meta{}, false, ErrQueueFull
 	}
 	j := &job{meta: meta, creating: true, subs: make(map[chan struct{}]struct{})}
 	m.jobs[id] = j
@@ -527,21 +583,25 @@ func (m *Manager) runJob(id string) {
 		fail(err)
 		return
 	}
-	f, offset, err := m.store.OpenResults(id)
+	// OpenResults verifies every durable record against the checksum
+	// sidecar before the job may resume: a corrupt results file fails
+	// the job here — quarantined with its typed error in the status,
+	// other jobs and the manager itself unharmed — rather than letting
+	// an executor append a clean suffix to a poisoned prefix.
+	rf, offset, err := m.store.OpenResults(id)
 	if err != nil {
 		fail(err)
 		return
 	}
-	defer f.Close()
+	defer rf.Close()
+	if m.cfg.ResultsAppendHook != nil {
+		rf.SetAppendHook(m.cfg.ResultsAppendHook)
+	}
 
-	w := bufio.NewWriter(f)
 	completed := offset
 	unflushed := 0
 	checkpoint := func() error {
-		if err := w.Flush(); err != nil {
-			return err
-		}
-		if err := f.Sync(); err != nil {
+		if err := rf.Sync(); err != nil {
 			return err
 		}
 		unflushed = 0
@@ -565,7 +625,7 @@ func (m *Manager) runJob(id string) {
 		if len(line) == 0 || line[len(line)-1] != '\n' || bytes.IndexByte(line[:len(line)-1], '\n') >= 0 {
 			return fmt.Errorf("jobs: executor emitted a malformed record (%d bytes)", len(line))
 		}
-		if _, err := w.Write(line); err != nil {
+		if err := rf.Append(line); err != nil {
 			return err
 		}
 		completed++
@@ -618,7 +678,7 @@ func (m *Manager) runJob(id string) {
 // not process identity, decide the executor.
 func (m *Manager) janitor() {
 	defer m.wg.Done()
-	t := time.NewTicker(m.cfg.LeaseProbeEvery)
+	t := time.NewTimer(m.probeInterval())
 	defer t.Stop()
 	for {
 		select {
@@ -627,7 +687,18 @@ func (m *Manager) janitor() {
 		case <-t.C:
 		}
 		m.probeRemote()
+		t.Reset(m.probeInterval())
 	}
+}
+
+// probeInterval jitters the janitor period uniformly over [p/2, 3p/2):
+// managers sharing a store directory are typically started together
+// (deploys, restarts), and identical fixed tickers would then hammer
+// the directory in lockstep forever. Nothing byte-visible depends on
+// the draw, so plain math/rand is fine here.
+func (m *Manager) probeInterval() time.Duration {
+	p := m.cfg.LeaseProbeEvery
+	return p/2 + time.Duration(rand.Int63n(int64(p)))
 }
 
 // probeRemote is one janitor pass over the remote-mirrored jobs.

@@ -390,7 +390,10 @@ func TestStoreRecoveryTruncatesTornTail(t *testing.T) {
 		t.Errorf("torn tail survived recovery: %q", data)
 	}
 	// Appends continue where the complete prefix ends.
-	if _, err := f.Write(stubLine(3)); err != nil {
+	if err := f.Append(stubLine(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
 		t.Fatal(err)
 	}
 	data, _ = os.ReadFile(store.ResultsPath(meta.ID))

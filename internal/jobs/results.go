@@ -1,0 +1,239 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// ErrCorruptResults marks a results file whose bytes no longer match
+// the per-record checksums in its sidecar: a record that was durably
+// written and summed has since changed on the media. The damage is
+// detected at open time — before any resume appends to the file — so
+// a corrupt job is quarantined (failed with this error) instead of
+// silently extending a poisoned prefix.
+var ErrCorruptResults = errors.New("jobs: corrupt results file")
+
+// castagnoli is the CRC-32C polynomial used for result-record sums
+// (hardware-accelerated on common platforms).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// sumRecordLen is the fixed width of one sidecar record: eight
+// lowercase hex digits of the line's CRC-32C plus a newline, so
+// record i lives exactly at byte offset i*sumRecordLen.
+const sumRecordLen = crc32.Size*2 + 1
+
+// SumsPath returns the path of a job's checksum sidecar: one
+// fixed-width CRC-32C record per results line, covering the line's
+// full bytes including its trailing newline. The sidecar is derived
+// data — results.ndjson stays byte-identical to what the executor
+// emitted — and exists so recovery can detect mid-file corruption,
+// not just the torn tail that newline-counting already catches.
+func (s *Store) SumsPath(id string) string {
+	return filepath.Join(s.jobDir(id), "results.sum")
+}
+
+// ResultsFile is an open, integrity-tracked results file: appends go
+// to results.ndjson and their checksums to the sidecar, and Sync makes
+// both durable (results first, so the sidecar never vouches for bytes
+// that were lost).
+type ResultsFile struct {
+	f    *os.File
+	sums *os.File
+	bw   *bufio.Writer
+	sw   *bufio.Writer
+	hook func(line []byte) []byte
+}
+
+// SetAppendHook installs a fault-injection hook over the results
+// append path. The checksum is computed on the true line BEFORE the
+// hook runs, and the hook's output is what lands on disk — exactly
+// the shape of media corruption, which the next recovery's integrity
+// scan must catch. Production paths leave this nil.
+func (r *ResultsFile) SetAppendHook(hook func(line []byte) []byte) { r.hook = hook }
+
+// Append buffers one result line and its checksum record.
+func (r *ResultsFile) Append(line []byte) error {
+	sum := crc32.Checksum(line, castagnoli)
+	out := line
+	if r.hook != nil {
+		out = r.hook(line)
+	}
+	if _, err := r.bw.Write(out); err != nil {
+		return storage(err)
+	}
+	if _, err := fmt.Fprintf(r.sw, "%08x\n", sum); err != nil {
+		return storage(err)
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs both files, results before sidecar: after a
+// crash the sidecar may trail the results (recovery backfills the
+// missing sums) or run ahead of a torn tail (recovery drops the
+// extras), but never attest to a record that was lost.
+func (r *ResultsFile) Sync() error {
+	if err := r.bw.Flush(); err != nil {
+		return storage(err)
+	}
+	if err := r.f.Sync(); err != nil {
+		return storage(err)
+	}
+	if err := r.sw.Flush(); err != nil {
+		return storage(err)
+	}
+	return storage(r.sums.Sync())
+}
+
+// Close flushes any buffered tail and closes both files.
+func (r *ResultsFile) Close() error {
+	err := r.bw.Flush()
+	if serr := r.sw.Flush(); err == nil {
+		err = serr
+	}
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := r.sums.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// OpenResults opens (creating if needed) a job's results file for
+// appending, after recovering from a possible crash: the file is
+// truncated to its last complete ('\n'-terminated) line, every
+// surviving line is verified against the checksum sidecar — a
+// mismatch is ErrCorruptResults — and the count of verified lines,
+// the resume offset, is returned. Sidecar entries the crash (or a
+// pre-sidecar store) never wrote are backfilled from the surviving
+// lines; entries beyond the surviving lines are dropped.
+func (s *Store) OpenResults(id string) (r *ResultsFile, lines int, err error) {
+	f, err := os.OpenFile(s.ResultsPath(id), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, storage(err)
+	}
+	lines, keep, sums, err := scanResults(f)
+	if err != nil {
+		f.Close()
+		return nil, 0, storage(err)
+	}
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return nil, 0, storage(err)
+	}
+	if _, err := f.Seek(keep, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, storage(err)
+	}
+	sf, err := s.openSums(id, sums)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return &ResultsFile{f: f, sums: sf, bw: bufio.NewWriter(f), sw: bufio.NewWriter(sf)}, lines, nil
+}
+
+// openSums opens the checksum sidecar and reconciles it against the
+// computed sums of the surviving result lines. Verification only
+// trusts well-formed sidecar records: the sidecar is append-only like
+// the results file, so a malformed record means a torn tail — the
+// suffix from there on is rewritten from the lines. A well-formed
+// record that disagrees with its line is the one unrecoverable state:
+// the results bytes changed after they were attested.
+func (s *Store) openSums(id string, want []uint32) (*os.File, error) {
+	sf, err := os.OpenFile(s.SumsPath(id), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, storage(err)
+	}
+	data, err := io.ReadAll(sf)
+	if err != nil {
+		sf.Close()
+		return nil, storage(err)
+	}
+	lines := len(want)
+	have := len(data) / sumRecordLen
+	if have > lines {
+		have = lines
+	}
+	for i := 0; i < have; i++ {
+		rec := data[i*sumRecordLen : (i+1)*sumRecordLen]
+		stored, perr := strconv.ParseUint(string(rec[:sumRecordLen-1]), 16, 32)
+		if perr != nil || rec[sumRecordLen-1] != '\n' {
+			have = i // torn from here on: rewrite the suffix
+			break
+		}
+		if uint32(stored) != want[i] {
+			sf.Close()
+			return nil, fmt.Errorf("%w: job %s: record %d checksum mismatch (stored %08x, computed %08x)",
+				ErrCorruptResults, id, i, uint32(stored), want[i])
+		}
+	}
+	tail := make([]byte, 0, (lines-have)*sumRecordLen)
+	for i := have; i < lines; i++ {
+		tail = fmt.Appendf(tail, "%08x\n", want[i])
+	}
+	if err := sf.Truncate(int64(have * sumRecordLen)); err != nil {
+		sf.Close()
+		return nil, storage(err)
+	}
+	if _, err := sf.Seek(int64(have*sumRecordLen), io.SeekStart); err != nil {
+		sf.Close()
+		return nil, storage(err)
+	}
+	if len(tail) > 0 {
+		if _, err := sf.Write(tail); err != nil {
+			sf.Close()
+			return nil, storage(err)
+		}
+		if err := sf.Sync(); err != nil {
+			sf.Close()
+			return nil, storage(err)
+		}
+	}
+	return sf, nil
+}
+
+// scanResults counts complete lines, returns the byte offset just
+// after the last one (everything beyond is a torn tail), and computes
+// each complete line's CRC-32C (trailing newline included) for
+// sidecar verification.
+func scanResults(f *os.File) (lines int, keep int64, sums []uint32, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, nil, err
+	}
+	buf := make([]byte, 64<<10)
+	var pos int64 // bytes consumed so far
+	var cur uint32
+	for {
+		n, rerr := f.Read(buf)
+		chunk := buf[:n]
+		for {
+			i := bytes.IndexByte(chunk, '\n')
+			if i < 0 {
+				break
+			}
+			cur = crc32.Update(cur, castagnoli, chunk[:i+1])
+			sums = append(sums, cur)
+			cur = 0
+			lines++
+			pos += int64(i) + 1
+			keep = pos
+			chunk = chunk[i+1:]
+		}
+		cur = crc32.Update(cur, castagnoli, chunk)
+		pos += int64(len(chunk))
+		if rerr == io.EOF {
+			return lines, keep, sums, nil
+		}
+		if rerr != nil {
+			return 0, 0, nil, rerr
+		}
+	}
+}

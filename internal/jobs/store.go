@@ -1,13 +1,11 @@
 package jobs
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -91,10 +89,13 @@ func IDFor(canonical []byte) string {
 //	<dir>/<id>/request.json   canonical request (immutable)
 //	<dir>/<id>/meta.json      Meta checkpoint (atomic tmp+rename)
 //	<dir>/<id>/results.ndjson one emitted line per completed point
+//	<dir>/<id>/results.sum    per-record CRC-32C sidecar (derived)
 //
 // results.ndjson is append-only and fsynced at every checkpoint; a
 // crash can leave at most a partial trailing line, which recovery
-// truncates before counting the resume offset.
+// truncates before counting the resume offset. The sidecar carries
+// one fixed-width checksum per record so recovery also detects
+// mid-file corruption, not just the torn tail (see OpenResults).
 type Store struct {
 	dir string
 }
@@ -262,62 +263,4 @@ func (s *Store) LeaseFree(id string) bool {
 	}
 	release()
 	return true
-}
-
-// OpenResults opens (creating if needed) a job's results file for
-// appending, after recovering from a possible crash: the file is
-// truncated to its last complete ('\n'-terminated) line and the count
-// of surviving lines — the resume offset — is returned. Each line is
-// one emitted point record; JSON strings escape raw newlines, so
-// counting '\n' bytes counts records exactly.
-func (s *Store) OpenResults(id string) (f *os.File, lines int, err error) {
-	f, err = os.OpenFile(s.ResultsPath(id), os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, 0, err
-	}
-	lines, keep, err := scanResults(f)
-	if err != nil {
-		f.Close()
-		return nil, 0, err
-	}
-	if err := f.Truncate(keep); err != nil {
-		f.Close()
-		return nil, 0, err
-	}
-	if _, err := f.Seek(keep, io.SeekStart); err != nil {
-		f.Close()
-		return nil, 0, err
-	}
-	return f, lines, nil
-}
-
-// scanResults counts complete lines and returns the byte offset just
-// after the last one (everything beyond is a torn tail).
-func scanResults(f *os.File) (lines int, keep int64, err error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, 0, err
-	}
-	buf := make([]byte, 64<<10)
-	var pos int64 // bytes consumed so far
-	for {
-		n, rerr := f.Read(buf)
-		chunk := buf[:n]
-		for {
-			i := bytes.IndexByte(chunk, '\n')
-			if i < 0 {
-				break
-			}
-			lines++
-			pos += int64(i) + 1
-			keep = pos
-			chunk = chunk[i+1:]
-		}
-		pos += int64(len(chunk))
-		if rerr == io.EOF {
-			return lines, keep, nil
-		}
-		if rerr != nil {
-			return 0, 0, rerr
-		}
-	}
 }
