@@ -5,17 +5,25 @@
 // with its equal-CI fixed-budget comparison, and the distributed
 // fabric's coordination overhead — and writes a machine-readable JSON
 // report, so every PR extends a comparable perf trajectory
-// (BENCH_PR6.json is this PR's committed snapshot).
+// (BENCH_PR8.json is this PR's committed snapshot). The lane-batched
+// kernel is reported per layer — runner_throughput (scalar oracle),
+// lane_exact (SoA + wave replay, bitwise-scalar), lane_fast_inverse
+// (closed-form replay, inverse-CDF sampler) and engine_throughput
+// (production: closed-form replay + ziggurat) — so the committed
+// report decomposes the speedup.
 //
 // Usage:
 //
 //	go run ./cmd/bench [-short] [-out bench.json] \
-//	    [-baseline BENCH_PR6.json] [-max-regress 0.25]
+//	    [-baseline BENCH_PR8.json] [-max-regress 0.25] \
+//	    [-cpuprofile cpu.pprof]
 //
-// With -baseline, the measured engine-throughput, detailed-runner,
-// job-overhead and adaptive-sweep ns/op are compared against the
-// committed report and the process exits non-zero when any regressed
-// by more than -max-regress (CI's regression gate).
+// With -baseline, the measured headline ns/op rows are compared
+// against the committed report and the process exits non-zero when
+// any regressed by more than -max-regress (CI's regression gate).
+// With -cpuprofile, the benchmark loop runs under the CPU profiler;
+// the resulting profile is what cmd/bench/default.pgo is built from
+// (go build -pgo picks it up for the release binary).
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"repro/internal/api"
@@ -113,25 +122,65 @@ func metric(name string, r testing.BenchmarkResult) Metric {
 	return m
 }
 
-// benchEngineThroughput measures sim.Run (compile + simulate per call).
-func benchEngineThroughput(short bool) Metric {
-	cfg := throughputConfig(short)
+// laneLayerMetric measures one configuration of the lane-batched
+// kernel on the fixed throughput workload, reported per run: compile
+// once, then drive full-width RunBatch calls. tune selects the layer
+// (exact wave replay, inverse-CDF sampler, or the production default).
+func laneLayerMetric(name string, short bool, tune func(*sim.LaneRunner)) Metric {
+	batch, err := sim.Compile(throughputConfig(short))
+	if err != nil {
+		fatal(err)
+	}
+	lr, err := batch.NewLaneRunner(sim.DefaultLaneWidth)
+	if err != nil {
+		fatal(err)
+	}
+	tune(lr)
+	w := lr.Width()
+	seeds := make([]uint64, w)
+	out := make([]sim.Result, w)
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		total := 0
-		for i := 0; i < b.N; i++ {
-			cfg.Seed = uint64(i)
-			r, err := sim.Run(cfg)
-			if err != nil {
-				b.Fatal(err)
+		for i := 0; i < b.N; i += w {
+			for j := range seeds {
+				seeds[j] = uint64(i + j)
 			}
-			total += r.Failures
+			lr.RunBatch(seeds, nil, out)
+			for j := range out {
+				total += out[j].Failures
+			}
 		}
 		if secs := b.Elapsed().Seconds(); secs > 0 {
 			b.ReportMetric(float64(total)/secs, "failures/sec")
 		}
 	})
-	return metric("engine_throughput", res)
+	return metric(name, res)
+}
+
+// benchEngineThroughput measures the production Monte-Carlo path: the
+// lane-batched SoA kernel with the closed-form fault-free fast-forward
+// and the ziggurat sampler — the per-run cost RunMany's workers pay.
+// Reports up to and including BENCH_PR6 measured sim.Run (a compile
+// plus one scalar run per call) under this name; the scalar layer
+// lives on as runner_throughput, and lane_exact / lane_fast_inverse
+// decompose the speedup per layer.
+func benchEngineThroughput(short bool) Metric {
+	return laneLayerMetric("engine_throughput", short, func(*sim.LaneRunner) {})
+}
+
+// benchLaneExact measures the exact-mode lane kernel: SoA walk, wave
+// replay and batched inverse-CDF sampling, bitwise identical to the
+// scalar Runner — the mode the antithetic/adaptive executor runs.
+func benchLaneExact(short bool) Metric {
+	return laneLayerMetric("lane_exact", short, func(lr *sim.LaneRunner) { lr.SetExact(true) })
+}
+
+// benchLaneFastInverse measures the closed-form fast-forward with the
+// inverse-CDF sampler still in place — isolating the replay layer from
+// the ziggurat layer.
+func benchLaneFastInverse(short bool) Metric {
+	return laneLayerMetric("lane_fast_inverse", short, func(lr *sim.LaneRunner) { lr.SetZiggurat(false) })
 }
 
 // benchRunnerThroughput measures the compiled-batch kernel (the
@@ -592,6 +641,13 @@ type gatedBench struct {
 
 var gatedBenches = []gatedBench{
 	{name: "engine_throughput", measure: benchEngineThroughput, required: true},
+	// The lane layers and the batch aggregation ride the same kernel;
+	// not required: baselines older than PR 8 do not carry the lane
+	// rows, and PR 6's engine_throughput measured a different
+	// definition (sim.Run per call).
+	{name: "lane_exact", measure: benchLaneExact},
+	{name: "lane_fast_inverse", measure: benchLaneFastInverse},
+	{name: "batch_runmany_2048", measure: benchBatchRunMany, relAllocs: true},
 	{name: "detailed_runner", measure: benchDetailedRunner, relAllocs: true},
 	// The job path allocates per submission (request decode, store
 	// writes), so its alloc gate is relative like the detailed one. Not
@@ -644,13 +700,15 @@ func gate(rep Report, baselinePath string, maxRegress float64) error {
 			continue
 		}
 		got := find(rep.Benchmarks, gb.name)
-		if got == nil {
-			return fmt.Errorf("bench: %s missing from measurement", gb.name)
-		}
 		if rep.Short != base.Short {
+			// Workload sizes (and size-suffixed names, like the batch
+			// aggregation row) only compare at the baseline's size.
 			fmt.Printf("gate: re-measuring %s at the baseline's workload size\n", gb.name)
 			m := gb.measure(base.Short)
 			got = &m
+		}
+		if got == nil {
+			return fmt.Errorf("bench: %s missing from measurement", gb.name)
 		}
 		if gb.relAllocs {
 			// Relative bound with a small absolute floor, so a tiny
@@ -696,7 +754,20 @@ func main() {
 	out := flag.String("out", "bench.json", "output JSON path")
 	baseline := flag.String("baseline", "", "committed report to gate engine_throughput against")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs -baseline")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark loop (PGO input)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	rep := Report{
 		Schema:      "repro-bench/v1",
@@ -709,6 +780,8 @@ func main() {
 	}
 	for _, run := range []func(bool) Metric{
 		benchEngineThroughput,
+		benchLaneExact,
+		benchLaneFastInverse,
 		benchRunnerThroughput,
 		benchBatchRunMany,
 		benchDetailedRun,

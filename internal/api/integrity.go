@@ -33,11 +33,17 @@ const frameLen = crc32.Size*2 + 1
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// AppendFrameLine appends the integrity frame and the line to dst,
+// reusing its capacity — the streaming path frames every point into
+// one scratch buffer instead of allocating per line.
+func AppendFrameLine(dst, line []byte) []byte {
+	dst = fmt.Appendf(dst, "%08x ", crc32.Checksum(line, castagnoli))
+	return append(dst, line...)
+}
+
 // FrameLine returns the integrity-framed copy of one result line.
 func FrameLine(line []byte) []byte {
-	out := make([]byte, 0, frameLen+len(line))
-	out = fmt.Appendf(out, "%08x ", crc32.Checksum(line, castagnoli))
-	return append(out, line...)
+	return AppendFrameLine(make([]byte, 0, frameLen+len(line)), line)
 }
 
 // UnframeLine verifies one framed line and returns its payload

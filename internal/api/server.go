@@ -190,6 +190,7 @@ func (s *Service) streamSweep(w http.ResponseWriter, r *http.Request, req SweepR
 	flusher, _ := w.(http.Flusher)
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
+	var frame []byte // reused integrity-framing scratch
 	wrote := false
 	stats, err := s.sweepRange(r.Context(), req, offset, limit, jobs.Interactive, nil, func(item SweepItem) error {
 		if err := r.Context().Err(); err != nil {
@@ -201,7 +202,8 @@ func (s *Service) streamSweep(w http.ResponseWriter, r *http.Request, req SweepR
 		}
 		line := buf.Bytes()
 		if framed {
-			line = FrameLine(line)
+			frame = AppendFrameLine(frame[:0], line)
+			line = frame
 		}
 		if _, err := w.Write(line); err != nil {
 			return err

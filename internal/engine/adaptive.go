@@ -198,9 +198,23 @@ func RunAdaptive(b Batch, base uint64, spec Precision, workers int) (AdaptiveRes
 			out.Controlled.Add(res.Waste, float64(res.Failures))
 		}
 	}
+	// Batches implementing AntitheticRunner (the fast backend's
+	// lane-batched kernel) execute each round through it: the index
+	// mapping, chunking and observe order are identical, so the rounds
+	// — and with them the stopper's every decision — replay bitwise.
+	antiRunner, batched := b.(AntitheticRunner)
 	for target := spec.MinRuns; ; target = min(2*target, spec.MaxRuns) {
-		part, err := sim.AggregateAntithetic(base, out.RunsUsed, target-out.RunsUsed,
-			workers, newRunner, observe)
+		var (
+			part sim.Aggregate
+			err  error
+		)
+		if batched {
+			part, err = antiRunner.RunAntitheticSeeded(base, out.RunsUsed,
+				target-out.RunsUsed, workers, observe)
+		} else {
+			part, err = sim.AggregateAntithetic(base, out.RunsUsed, target-out.RunsUsed,
+				workers, newRunner, observe)
+		}
 		if err != nil {
 			return AdaptiveResult{}, err
 		}

@@ -155,13 +155,37 @@ type Runner interface {
 	RunAntithetic(seed uint64, antithetic bool) (sim.Result, error)
 }
 
+// ManyRunner is the optional batched executor a Batch may implement:
+// a backend-owned RunMany that produces the exact Aggregate the
+// generic per-seed path would (bitwise, for any worker count) through
+// a faster engine. The fast backend implements it with the
+// lane-batched SoA kernel (sim.LaneRunner).
+type ManyRunner interface {
+	RunManySeeded(base uint64, runs, workers int) (sim.Aggregate, error)
+}
+
+// AntitheticRunner is ManyRunner's antithetic-schedule counterpart,
+// the optional fast path of the adaptive executor's rounds. The
+// contract matches sim.AggregateAntithetic: run j draws seed
+// base+j/2, reflected when odd, and observe sees every Result once in
+// run-index order.
+type AntitheticRunner interface {
+	RunAntitheticSeeded(base uint64, first, runs, workers int,
+		observe func(sim.Result)) (sim.Aggregate, error)
+}
+
 // RunMany executes runs seeds base+0 .. base+runs-1 of the batch
 // across the given worker budget, streaming the chunked deterministic
 // aggregation: the Aggregate is bitwise independent of the worker
 // count for every backend, which is what lets the sweep cache treat
-// backends uniformly. A per-run error (the detailed engine's fatality
+// backends uniformly. Batches implementing ManyRunner (the fast
+// backend's lane-batched kernel) execute through it — same Aggregate,
+// bit for bit. A per-run error (the detailed engine's fatality
 // cross-check) cancels the remaining dispatch.
 func RunMany(b Batch, base uint64, runs, workers int) (sim.Aggregate, error) {
+	if mr, ok := b.(ManyRunner); ok {
+		return mr.RunManySeeded(base, runs, workers)
+	}
 	return sim.AggregateSeeded(base, runs, workers, func(int) func(uint64) (sim.Result, error) {
 		r := b.NewRunner()
 		return r.Run

@@ -40,6 +40,22 @@ func (b *fastBatch) NewRunner() Runner {
 	return fastRunner{r: b.b.NewRunner()}
 }
 
+// RunManySeeded implements ManyRunner: batches on the merged
+// exponential path execute through the lane-batched SoA kernel
+// (renewal-law batches fall back to the scalar Runner inside sim),
+// producing the exact per-seed Results and Aggregate of the generic
+// path.
+func (b *fastBatch) RunManySeeded(base uint64, runs, workers int) (sim.Aggregate, error) {
+	return b.b.RunManySeeded(base, runs, workers)
+}
+
+// RunAntitheticSeeded implements AntitheticRunner with the same lane
+// kernel; antithetic pairs occupy adjacent lanes.
+func (b *fastBatch) RunAntitheticSeeded(base uint64, first, runs, workers int,
+	observe func(sim.Result)) (sim.Aggregate, error) {
+	return b.b.RunAntitheticSeeded(base, first, runs, workers, observe)
+}
+
 type fastRunner struct{ r *sim.Runner }
 
 func (f fastRunner) Run(seed uint64) (sim.Result, error) {

@@ -102,6 +102,11 @@ type Coordinator struct {
 	breakers    []*breaker
 	localPoints atomic.Int64 // grid points executed in-process, degraded
 
+	// readers pools the per-dispatch response readers: a sweep issues
+	// one dispatch per range attempt, and the 64 KiB read buffer is the
+	// dominant per-dispatch allocation.
+	readers sync.Pool
+
 	jmu    sync.Mutex
 	jitter *rng.Stream
 }
@@ -687,9 +692,26 @@ func (c *Coordinator) dispatch(ctx context.Context, s *sched, m *Merger, request
 		return true, fmt.Errorf("fabric: worker %s: status %d: %s", worker, resp.StatusCode, bytes.TrimSpace(body))
 	}
 
-	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	br, _ := c.readers.Get().(*bufio.Reader)
+	if br == nil {
+		br = bufio.NewReaderSize(nil, 64<<10)
+	}
+	br.Reset(resp.Body)
+	defer func() { br.Reset(nil); c.readers.Put(br) }()
+	var scratch []byte // spill for the rare line longer than the read buffer
 	for i := start; i < end; i++ {
-		framed, err := br.ReadBytes('\n')
+		// ReadSlice hands back a view into the reader's buffer — valid
+		// until the next read, which is long enough: the merger copies on
+		// Add. ReadBytes would allocate a fresh copy per line.
+		framed, err := br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			scratch = append(scratch[:0], framed...)
+			for err == bufio.ErrBufferFull {
+				framed, err = br.ReadSlice('\n')
+				scratch = append(scratch, framed...)
+			}
+			framed = scratch
+		}
 		if err != nil {
 			return true, fmt.Errorf("fabric: worker %s: stream ended %d points early: %w", worker, end-i, err)
 		}

@@ -33,6 +33,7 @@ type Merger struct {
 	start   int
 	end     int
 	buffer  map[int][]byte // accepted, not yet emitted (out-of-order arrivals)
+	free    [][]byte       // retired line buffers, reused by later accepts
 	emit    func(line []byte) error
 	hook    func(i int, line []byte) []byte // fault-injection intake hook
 	err     error                           // sticky first emit error
@@ -41,7 +42,10 @@ type Merger struct {
 
 // NewMerger returns a merger for the window [start, end) whose
 // in-order output is handed to emit. emit is called with the merger's
-// internal serialization — never concurrently.
+// internal serialization — never concurrently — and the line bytes it
+// receives are owned by the merger: they are recycled for later
+// deliveries as soon as emit returns, so a consumer that needs them
+// past its own return must copy.
 func NewMerger(start, end int, emit func(line []byte) error) *Merger {
 	return &Merger{next: start, start: start, end: end, buffer: make(map[int][]byte), emit: emit}
 }
@@ -85,7 +89,13 @@ func (m *Merger) Add(i int, line []byte) (fresh bool, err error) {
 	if _, ok := m.buffer[i]; ok {
 		return false, nil // already accepted, awaiting its turn
 	}
-	m.buffer[i] = append([]byte(nil), line...)
+	// Copy into a pooled buffer: steady-state merging recycles the
+	// buffers of already-emitted lines instead of allocating per point.
+	var buf []byte
+	if n := len(m.free); n > 0 {
+		buf, m.free = m.free[n-1][:0], m.free[:n-1]
+	}
+	m.buffer[i] = append(buf, line...)
 	for {
 		line, ok := m.buffer[m.next]
 		if !ok {
@@ -96,6 +106,7 @@ func (m *Merger) Add(i int, line []byte) (fresh bool, err error) {
 			return true, err
 		}
 		delete(m.buffer, m.next)
+		m.free = append(m.free, line)
 		m.next++
 		m.emitted++
 	}

@@ -1,0 +1,152 @@
+package rng
+
+import "math"
+
+// This file is the batched sampling layer behind the lane-batched
+// simulation kernel (internal/sim, "Lane kernel" in DESIGN.md). The
+// scalar hot path draws one exponential inter-arrival time per failure
+// with Stream.Exponential, which puts one math.Log on the critical
+// path of every event: the log's result feeds the event time, the
+// event time picks the advance target, and nothing else can start
+// until it lands. Batching breaks that chain in two:
+//
+//   - the stream work (PositiveFloat64 + whatever integer draws the
+//     caller interleaves, e.g. victim selection) is done for a whole
+//     buffer first, preserving the exact per-event stream consumption
+//     order of the scalar path;
+//   - the logs are then evaluated back to back over the buffered
+//     uniforms (ExpFromUniforms). The evaluations are mutually
+//     independent, so the CPU pipelines them at throughput instead of
+//     paying full latency per event.
+//
+// ExpFromUniforms performs bit-for-bit the operations of
+// Stream.Exponential on each uniform, so a batched consumer replays
+// the scalar path's variates exactly — the property the lane-kernel
+// equivalence tests pin down.
+//
+// The ziggurat sampler (ExpZiggurat) is the log-free alternative: it
+// accepts ~97.9% of draws with a compare against a precomputed layer
+// table and touches math.Exp/math.Log only in the wedge and tail. It
+// consumes the stream differently from the inverse-CDF path (one
+// uint64 per attempt plus rejection retries), so it changes the
+// failure sample (statistically, not in distribution) and weakens the
+// antithetic reflection from exact quantile mirroring to a layer-and-
+// position reflection — still strongly negatively correlated, but not
+// bitwise — which is why the antithetic executor stays on the
+// inverse-CDF path while the plain batched executor defaults to the
+// ziggurat.
+
+// PositiveFloat64 returns a uniform variate in (0, 1], the argument
+// shape a logarithm needs. It is the batched-sampling building block:
+// callers buffer the uniforms (interleaving any integer draws in
+// event order) and convert them with ExpFromUniforms afterwards,
+// keeping the stream consumption identical to calling Exponential
+// per event.
+func (s *Stream) PositiveFloat64() float64 { return s.positiveFloat64() }
+
+// ExpFromUniforms converts buffered positive uniforms into
+// exponential inter-arrival times: dst[i] = -log(us[i])/rate, the
+// exact float operations Stream.Exponential performs on the same
+// uniform. us and dst may alias (in-place conversion). The loop body
+// carries no cross-iteration dependency, so consecutive logs overlap
+// in the pipeline instead of serializing per event.
+func ExpFromUniforms(rate float64, us, dst []float64) {
+	if rate <= 0 {
+		panic("rng: ExpFromUniforms with non-positive rate")
+	}
+	if len(us) == 0 {
+		return
+	}
+	dst = dst[:len(us)]
+	for i, u := range us {
+		dst[i] = -math.Log(u) / rate
+	}
+}
+
+// Ziggurat tables for the Exp(1) density f(x) = e⁻ˣ, 256 layers
+// (Marsaglia & Tsang 2000). zigR is the base-strip boundary and zigV
+// the common layer area; the tables are derived at init from the two
+// constants so the construction is auditable rather than a wall of
+// literals. Layer 0 is the base strip (rectangle [0, zigR] plus the
+// analytic tail), layers 1..255 shrink towards the mode, zigX[256] = 0.
+const (
+	zigR = 7.69711747013104972
+	zigV = 0.0039496598225815571993
+)
+
+var (
+	zigX [257]float64 // layer right edges, decreasing
+	zigF [257]float64 // e^(-zigX[i])
+)
+
+func init() {
+	zigX[0] = zigV / math.Exp(-zigR) // virtual base-strip width: area/height
+	zigX[1] = zigR
+	for i := 2; i < 256; i++ {
+		// Equal areas: zigV = zigX[i-1]·(f(zigX[i]) − f(zigX[i-1])).
+		zigX[i] = -math.Log(zigV/zigX[i-1] + math.Exp(-zigX[i-1]))
+	}
+	zigX[256] = 0
+	for i := range zigX {
+		zigF[i] = math.Exp(-zigX[i])
+	}
+}
+
+// ExpZiggurat returns an Exponential(rate) variate via the ziggurat
+// method: one uint64 per attempt supplies both the layer index (low 8
+// bits) and the 53-bit position within it, a single compare accepts
+// the rectangular core (~97.9% of draws), and only the wedge and the
+// analytic tail evaluate a transcendental. A reflected stream mirrors
+// both the layer index and the within-layer position (the raw uint64
+// sequence is untouched), which keeps antithetic pairs strongly
+// negatively correlated but not exactly quantile-reflected —
+// rejection retries may consume differently across the pair.
+func (s *Stream) ExpZiggurat(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: ExpZiggurat with non-positive rate")
+	}
+	return s.expZig() / rate
+}
+
+func (s *Stream) expZig() float64 {
+	for {
+		bits := s.Uint64()
+		i := int(bits & 0xFF)
+		u := float64(bits>>11) / (1 << 53)
+		if s.reflected {
+			// Reflect both coordinates: layers have equal probability, so
+			// i → 255−i preserves the distribution while mapping large-x
+			// layers to small-x ones, and the within-layer position
+			// mirrors — together a globally decreasing image of the plain
+			// draw, which is what keeps antithetic pairs negatively
+			// correlated under the ziggurat.
+			i = 255 - i
+			u = maxUniform - u
+		}
+		x := u * zigX[i]
+		if x < zigX[i+1] {
+			return x // inside the layer's rectangular core
+		}
+		if i == 0 {
+			// Base strip beyond zigR: the tail of Exp(1) restarts
+			// memorylessly at zigR.
+			return zigR - math.Log(s.positiveFloat64())
+		}
+		// Wedge: accept x with probability proportional to the density
+		// overhang between the layer's edges.
+		if zigF[i]+(zigF[i+1]-zigF[i])*s.Float64() < math.Exp(-x) {
+			return x
+		}
+	}
+}
+
+// FillExpZiggurat fills dst with Exponential(rate) ziggurat variates,
+// the batched refill used by the lane kernel's ziggurat mode.
+func (s *Stream) FillExpZiggurat(rate float64, dst []float64) {
+	if rate <= 0 {
+		panic("rng: FillExpZiggurat with non-positive rate")
+	}
+	for i := range dst {
+		dst[i] = s.expZig() / rate
+	}
+}

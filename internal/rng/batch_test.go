@@ -1,0 +1,145 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExpFromUniformsMatchesExponential pins the batched conversion's
+// contract: buffering the positive uniforms and converting them with
+// ExpFromUniforms yields bit for bit the variates Exponential would
+// have drawn from the same stream states, for plain and reflected
+// streams alike.
+func TestExpFromUniformsMatchesExponential(t *testing.T) {
+	for _, reflected := range []bool{false, true} {
+		for _, rate := range []float64{1, 1.0 / 1800, 3.5} {
+			a, b := New(99), New(99)
+			a.SetReflected(reflected)
+			b.SetReflected(reflected)
+			const n = 257
+			us := make([]float64, n)
+			for i := range us {
+				us[i] = a.PositiveFloat64()
+			}
+			got := make([]float64, n)
+			ExpFromUniforms(rate, us, got)
+			for i := 0; i < n; i++ {
+				if want := b.Exponential(rate); got[i] != want {
+					t.Fatalf("reflected=%v rate=%v draw %d: batched %v != scalar %v",
+						reflected, rate, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestExpFromUniformsInPlace checks the documented aliasing: us and dst
+// may be the same slice.
+func TestExpFromUniformsInPlace(t *testing.T) {
+	a := New(7)
+	us := make([]float64, 64)
+	for i := range us {
+		us[i] = a.PositiveFloat64()
+	}
+	want := make([]float64, len(us))
+	ExpFromUniforms(2, us, want)
+	b := New(7)
+	for i := range us {
+		us[i] = b.PositiveFloat64()
+	}
+	ExpFromUniforms(2, us, us)
+	for i := range us {
+		if us[i] != want[i] {
+			t.Fatalf("in-place conversion diverges at %d: %v != %v", i, us[i], want[i])
+		}
+	}
+}
+
+// TestExpZigguratDeterministic: equal seeds replay the exact variate
+// sequence — the ziggurat's rejection retries are a pure function of
+// the stream.
+func TestExpZigguratDeterministic(t *testing.T) {
+	a, b := New(1234), New(1234)
+	for i := 0; i < 10000; i++ {
+		if x, y := a.ExpZiggurat(0.5), b.ExpZiggurat(0.5); x != y {
+			t.Fatalf("draw %d: %v != %v", i, x, y)
+		}
+	}
+}
+
+// TestExpZigguratMoments: the ziggurat samples the same Exp(rate)
+// distribution as the inverse CDF — mean and second moment must land
+// within 5σ of the analytic values (1/rate and 2/rate²).
+func TestExpZigguratMoments(t *testing.T) {
+	const (
+		n    = 2_000_000
+		rate = 1.0 / 450
+	)
+	s := New(42)
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := s.ExpZiggurat(rate)
+		if x < 0 {
+			t.Fatalf("draw %d: negative variate %v", i, x)
+		}
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	m2 := sum2 / n
+	// Var(X) = 1/rate², se(mean) = 1/(rate·√n).
+	seMean := 1 / (rate * math.Sqrt(n))
+	if d := math.Abs(mean - 1/rate); d > 5*seMean {
+		t.Fatalf("mean %v vs %v: |diff| %v > 5σ (%v)", mean, 1/rate, d, 5*seMean)
+	}
+	// Var(X²) = E[X⁴]−E[X²]² = 24/rate⁴ − 4/rate⁴ = 20/rate⁴.
+	seM2 := math.Sqrt(20) / (rate * rate * math.Sqrt(n))
+	if d := math.Abs(m2 - 2/(rate*rate)); d > 5*seM2 {
+		t.Fatalf("second moment %v vs %v: |diff| %v > 5σ (%v)", m2, 2/(rate*rate), d, 5*seM2)
+	}
+}
+
+// TestExpZigguratAntitheticCorrelation: a reflected stream mirrors the
+// within-layer position, so paired draws must be strongly negatively
+// correlated on the accept path — the property that keeps antithetic
+// pairing worthwhile even under the log-free sampler. The exact
+// quantile reflection of the inverse CDF is not preserved (rejection
+// retries may consume differently and desynchronize the streams), so
+// each pair is drawn from freshly aligned streams and the bound is a
+// correlation threshold, not bitwise equality.
+func TestExpZigguratAntitheticCorrelation(t *testing.T) {
+	const n = 100_000
+	var plain, refl Stream
+	refl.SetReflected(true)
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		plain.Reseed(uint64(i))
+		refl.Reseed(uint64(i))
+		x := plain.ExpZiggurat(1)
+		y := refl.ExpZiggurat(1)
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	if corr := cov / math.Sqrt(vx*vy); corr > -0.3 {
+		t.Fatalf("antithetic ziggurat correlation %v, want strongly negative (≤ -0.3)", corr)
+	}
+}
+
+// TestFillExpZigguratMatchesScalar: the batched refill is the scalar
+// ziggurat loop verbatim.
+func TestFillExpZigguratMatchesScalar(t *testing.T) {
+	a, b := New(5), New(5)
+	dst := make([]float64, 301)
+	a.FillExpZiggurat(2, dst)
+	for i, got := range dst {
+		if want := b.ExpZiggurat(2); got != want {
+			t.Fatalf("draw %d: batched %v != scalar %v", i, got, want)
+		}
+	}
+}

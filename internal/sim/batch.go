@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/failure"
 )
@@ -95,6 +97,22 @@ func compileConfig(cfg Config) (compiled, error) {
 type Batch struct {
 	cfg Config
 	c   compiled
+	// lanes pools default-width LaneRunners across aggregateLanes
+	// calls: the sweep engine reuses cached compiled batches over many
+	// small points, and a lane runner's SoA construction would
+	// otherwise dominate such a point's allocations.
+	lanes sync.Pool
+}
+
+// laneRunner returns a pooled DefaultLaneWidth runner (aggregateLanes
+// returns it via lanes.Put when the batch completes). Every mutable
+// bit of a LaneRunner is rewound per run and its mode flags are reset
+// by the caller, so reuse cannot leak state between batches.
+func (b *Batch) laneRunner() (*LaneRunner, error) {
+	if lr, ok := b.lanes.Get().(*LaneRunner); ok {
+		return lr, nil
+	}
+	return b.NewLaneRunner(DefaultLaneWidth)
 }
 
 // Compile validates cfg and precomputes the batch state shared by all

@@ -96,14 +96,143 @@ func RunManyWorkers(cfg Config, runs, workers int) (Aggregate, error) {
 // RunManySeeded executes runs simulations of the batch with seeds
 // base+0 .. base+runs-1 across the given worker budget, streaming
 // per-chunk partial aggregates instead of materializing per-run
-// Results. Each worker owns one reusable Runner (kept across chunks),
-// so the steady-state simulation loop allocates nothing, and the runs
-// of every chunk fan out across the whole worker budget.
+// Results. Batches on the merged exponential path execute through the
+// lane-batched kernel (LaneRunner) in production mode — closed-form
+// fast-forward plus ziggurat sampling, statistically equivalent to
+// the scalar Runner and fully deterministic per seed, with the same
+// chunked aggregation, so the Aggregate is bitwise identical for any
+// worker count; renewal-law batches run the scalar Runner. Each
+// worker owns one reusable runner (kept across chunks), so the
+// steady-state simulation loop allocates nothing.
 func (b *Batch) RunManySeeded(base uint64, runs, workers int) (Aggregate, error) {
+	if b.c.law == nil {
+		return b.aggregateLanes(runs, workers, false,
+			func(lo int, seeds []uint64, anti []bool) {
+				for i := range seeds {
+					seeds[i] = base + uint64(lo+i)
+				}
+			}, nil)
+	}
 	return AggregateSeeded(base, runs, workers, func(int) func(uint64) (Result, error) {
 		r := b.NewRunner()
 		return func(seed uint64) (Result, error) { return r.Run(seed), nil }
 	})
+}
+
+// RunAntitheticSeeded executes the global run indices [first,
+// first+runs) of the antithetically paired schedule (run j: seed
+// base+j/2, reflected when j is odd) with the batch's fastest
+// backend: lane-batched in exact mode on the merged exponential path
+// — pairs land on adjacent lanes and replay the scalar draw sequence
+// bitwise — and the scalar Runner otherwise. The semantics
+// (chunking, observe order, worker-count bitwise independence) are
+// exactly AggregateAntithetic's; the engine package's adaptive
+// executor routes through it.
+func (b *Batch) RunAntitheticSeeded(base uint64, first, runs, workers int,
+	observe func(Result)) (Aggregate, error) {
+	if b.c.law == nil {
+		return b.aggregateLanes(runs, workers, true,
+			func(lo int, seeds []uint64, anti []bool) {
+				for i := range seeds {
+					j := first + lo + i
+					seeds[i] = base + uint64(j/2)
+					anti[i] = j&1 == 1
+				}
+			}, observe)
+	}
+	return AggregateAntithetic(base, first, runs, workers,
+		func(int) func(uint64, bool) (Result, error) {
+			r := b.NewRunner()
+			return func(seed uint64, antithetic bool) (Result, error) {
+				return r.RunAntithetic(seed, antithetic), nil
+			}
+		}, observe)
+}
+
+// aggregateLanes is the lane-batched analogue of aggregateItems: items
+// [0, n) are dispatched in the same fixed chunks of aggChunkSize, each
+// chunk splits into whole lane groups of DefaultLaneWidth (the width
+// divides the chunk size, so group boundaries — and with them the
+// merge order — are identical to the scalar path's), workers claim
+// groups and run them through per-worker LaneRunners, and the buffered
+// Results fold in item order exactly as before. A lane Result is a
+// pure function of its seed (exact mode: bitwise the scalar Runner's;
+// production mode: statistically equivalent), so the Aggregate is
+// bitwise identical for any worker count either way.
+func (b *Batch) aggregateLanes(n, workers int, antithetic bool,
+	fill func(lo int, seeds []uint64, anti []bool), observe func(Result)) (Aggregate, error) {
+	if n <= 0 {
+		return Aggregate{}, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, (n+DefaultLaneWidth-1)/DefaultLaneWidth)
+	if workers < 1 {
+		workers = 1
+	}
+	type laneWorker struct {
+		lr    *LaneRunner
+		seeds []uint64
+		anti  []bool
+	}
+	ws := make([]*laneWorker, workers)
+	defer func() {
+		for _, w := range ws {
+			if w != nil {
+				b.lanes.Put(w.lr)
+			}
+		}
+	}()
+	for w := range ws {
+		lr, err := b.laneRunner()
+		if err != nil {
+			return Aggregate{}, err
+		}
+		// The antithetic schedule runs in exact mode: reflection must
+		// mirror the scalar draw sequence exactly for the pairing (and
+		// the adaptive executor's oracle tests) to hold. SetExact also
+		// restores the production defaults on a pooled runner last used
+		// antithetically.
+		lr.SetExact(antithetic)
+		ws[w] = &laneWorker{lr: lr, seeds: make([]uint64, DefaultLaneWidth)}
+		if antithetic {
+			ws[w].anti = make([]bool, DefaultLaneWidth)
+		}
+	}
+	buf := make([]Result, min(aggChunkSize, n))
+	var total Aggregate
+	for lo := 0; lo < n; lo += aggChunkSize {
+		hi := min(lo+aggChunkSize, n)
+		span := buf[:hi-lo]
+		groups := (len(span) + DefaultLaneWidth - 1) / DefaultLaneWidth
+		err := runChunks(groups, workers,
+			func(w int) *laneWorker { return ws[w] },
+			func(w *laneWorker, g int) error {
+				gLo := g * DefaultLaneWidth
+				gHi := min(gLo+DefaultLaneWidth, len(span))
+				seeds := w.seeds[:gHi-gLo]
+				var anti []bool
+				if antithetic {
+					anti = w.anti[:gHi-gLo]
+				}
+				fill(lo+gLo, seeds, anti)
+				w.lr.RunBatch(seeds, anti, span[gLo:gHi])
+				return nil
+			})
+		if err != nil {
+			return Aggregate{}, err
+		}
+		var part Aggregate
+		for j := range span {
+			part.Add(span[j])
+			if observe != nil {
+				observe(span[j])
+			}
+		}
+		total.Merge(part)
+	}
+	return total, nil
 }
 
 // AggregateSeeded is the backend-agnostic batch executor behind

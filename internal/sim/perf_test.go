@@ -107,9 +107,15 @@ func TestAggregateMergeMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Hand-built partials over the same fixed chunk boundaries, merged
-	// in order.
-	r := b.NewRunner()
+	// Hand-built partials over the same fixed chunk boundaries and lane
+	// groups (the production lane kernel, like RunManySeeded uses),
+	// merged in order.
+	lr, err := b.NewLaneRunner(DefaultLaneWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]uint64, DefaultLaneWidth)
+	out := make([]Result, DefaultLaneWidth)
 	var got Aggregate
 	for lo := 0; lo < runs; lo += aggChunkSize {
 		hi := lo + aggChunkSize
@@ -117,8 +123,18 @@ func TestAggregateMergeMatchesSequential(t *testing.T) {
 			hi = runs
 		}
 		var part Aggregate
-		for i := lo; i < hi; i++ {
-			part.Add(r.Run(cfg.Seed + uint64(i)))
+		for gLo := lo; gLo < hi; gLo += DefaultLaneWidth {
+			gHi := gLo + DefaultLaneWidth
+			if gHi > hi {
+				gHi = hi
+			}
+			for i := gLo; i < gHi; i++ {
+				seeds[i-gLo] = cfg.Seed + uint64(i)
+			}
+			lr.RunBatch(seeds[:gHi-gLo], nil, out[:gHi-gLo])
+			for i := 0; i < gHi-gLo; i++ {
+				part.Add(out[i])
+			}
 		}
 		got.Merge(part)
 	}
