@@ -22,7 +22,12 @@
 //	      [-checkpoint-every 16]
 //	      [-coordinator] [-workers http://h1:8080,http://h2:8080]
 //	      [-worker-of coordinator-name] [-lease 15s]
+//	      [-traces traces/]
 //	      [-chaos "seed=42;comms:drop=0.1"]
+//
+// -traces registers every *.json failure trace in the directory (see
+// cmd/trace for importing real failure logs); sweeps replay one with
+// "scenario": {"trace": "<basename>", "backend": "detailed"}.
 //
 // -chaos arms the injectable fault plane (development and chaos
 // drills only): a seeded, reproducible plan of drop / delay / corrupt
@@ -40,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -47,6 +53,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/chaos"
 	"repro/internal/fabric"
+	"repro/internal/failure"
 	"repro/internal/jobs"
 )
 
@@ -60,6 +67,7 @@ func main() {
 	maxJobs := flag.Int("max-concurrent-jobs", 2, "jobs executing simultaneously")
 	maxQueued := flag.Int("max-queued-jobs", 0, "pending-job queue bound; new submissions over it get 503 + Retry-After (0 = unbounded)")
 	ckptEvery := flag.Int("checkpoint-every", 16, "completed points per durable job checkpoint")
+	tracesDir := flag.String("traces", "", "directory of failure-trace JSON files to register for scenario.trace replay")
 	chaosPlan := flag.String("chaos", "", `fault-injection plan, e.g. "seed=42;comms:drop=0.1;store:corrupt=0.01" (dev only)`)
 	coordinator := flag.Bool("coordinator", false, "run as fabric coordinator: shard sweeps across -workers")
 	workerURLs := flag.String("workers", "", "comma-separated worker base URLs for -coordinator mode")
@@ -88,6 +96,16 @@ func main() {
 		MaxGridPoints: *maxGrid,
 		MaxRuns:       *maxRuns,
 	})
+	if *tracesDir != "" {
+		// Traces register under their file basename; sweeps replay them
+		// by that name and key results by content digest, so every node
+		// of a fabric must load the same files (ids disagree loudly
+		// otherwise — a mismatched digest changes the point keys).
+		if err := loadTraces(svc, *tracesDir); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	}
 
 	// The fault plane: off (nil injector, zero cost) unless -chaos arms
 	// a plan. Every injected fault is logged with the plan seed so a
@@ -196,6 +214,43 @@ func main() {
 		mgr.Close()
 	}
 	log.Printf("serve: shut down")
+}
+
+// loadTraces registers every *.json file in dir as a failure trace
+// named after its basename (sans extension). A file that does not
+// parse or validate fails startup: a half-loaded registry would let
+// sweeps silently miss the trace they name.
+func loadTraces(svc *api.Service, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		tr, err := failure.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", path, err)
+		}
+		name := strings.TrimSuffix(e.Name(), ".json")
+		id, err := svc.RegisterTrace(name, tr)
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", path, err)
+		}
+		log.Printf("serve: trace %s (%d nodes, %d events, coverage %.0fs)",
+			id, tr.Nodes, len(tr.Events), tr.Coverage())
+		loaded++
+	}
+	log.Printf("serve: %d traces registered from %s", loaded, dir)
+	return nil
 }
 
 // splitURLs parses the -workers flag, tolerating blanks and spaces.

@@ -14,17 +14,24 @@
 //	         [-law exponential|weibull|lognormal] [-shape 0.7]
 //	         [-g 200] [-rg 200] [-k 0]
 //	         [-record trace.json | -replay trace.json]
+//	         [-domain-size 4] [-burst-rate 2e-4] [-placement block|stripe]
+//	         [-groups 3,1]
 //	         [-substrate]
 //
 // With -target-rel-err, each protocol runs under the adaptive-
 // precision executor (-runs is the first round, -max-runs the cap)
 // and the table reports the budget each row actually consumed.
+//
+// The correlation flags enable spatially correlated failure domains
+// and heterogeneous per-group MTBFs on the fast and detailed backends;
+// -record composes the domain bursts into the recorded trace.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -53,6 +60,10 @@ func main() {
 	k := flag.Int("k", 0, "multilevel: inner periods per global checkpoint (0 = optimize)")
 	record := flag.String("record", "", "record a failure trace to this file and exit")
 	replay := flag.String("replay", "", "replay a failure trace (single DoubleNBL run)")
+	domainSize := flag.Int("domain-size", 0, "correlated failures: nodes per failure domain (0 = i.i.d.)")
+	burstRate := flag.Float64("burst-rate", 0, "correlated failures: platform-wide domain-burst rate (failures/s)")
+	placement := flag.String("placement", "block", "correlated failures: domain placement, block or stripe")
+	groups := flag.String("groups", "", "heterogeneous MTBFs: comma-separated relative per-group weights, e.g. 3,1")
 	substrate := flag.Bool("substrate", false, "print the detailed engine's substrate observations instead of the table")
 	flag.Parse()
 
@@ -62,10 +73,21 @@ func main() {
 	}
 	p := sc.Params.WithMTBF(*mtbf)
 	spec := scenario.Spec{Law: *lawName, Shape: *shape}
+	corr, err := parseCorrelation(*domainSize, *burstRate, *placement, *groups)
+	if err != nil {
+		fail(err)
+	}
 
 	switch {
 	case *record != "":
-		src := failure.NewMerged(p.N, p.M, rng.New(*seed))
+		stream := rng.New(*seed)
+		var src failure.Source = failure.NewMerged(p.N, p.M, stream)
+		if corr != nil && corr.Domains != nil {
+			if err := corr.Domains.Validate(p.N); err != nil {
+				fail(err)
+			}
+			src = failure.NewDomains(p.N, *corr.Domains, src, stream)
+		}
 		tr := failure.Collect(src, p.N, p.M, "exponential", *tbase*2)
 		f, err := os.Create(*record)
 		if err != nil {
@@ -89,17 +111,20 @@ func main() {
 			fail(err)
 		}
 		q := p.WithNodes(tr.Nodes)
+		// NewReplayTrace bounds the run by the trace's coverage: outliving
+		// the log is a loud ErrTraceExhausted, never a silently fault-free
+		// tail.
 		res, err := sim.Run(sim.Config{
 			Protocol: core.DoubleNBL,
 			Params:   q,
 			Phi:      *phiFrac * q.R,
 			Tbase:    *tbase,
-			Source:   failure.NewReplay(tr.Events),
+			Source:   failure.NewReplayTrace(tr),
 		})
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("replayed %d failures: %+v\n", len(tr.Events), res)
+		fmt.Printf("replayed %d failures (coverage %.0fs): %+v\n", len(tr.Events), tr.Coverage(), res)
 		return
 
 	case *substrate:
@@ -111,12 +136,13 @@ func main() {
 		fmt.Printf("detailed substrate run: %d ranks, M = %.0fs\n", q.N, q.M)
 		for _, pr := range core.Protocols {
 			res, err := sim.RunDetailed(sim.DetailedConfig{
-				Protocol: pr,
-				Params:   q,
-				Phi:      *phiFrac * q.R,
-				Tbase:    *tbase,
-				Seed:     *seed,
-				Law:      law,
+				Protocol:    pr,
+				Params:      q,
+				Phi:         *phiFrac * q.R,
+				Tbase:       *tbase,
+				Seed:        *seed,
+				Law:         law,
+				Correlation: corr,
 			})
 			if err != nil {
 				fail(err)
@@ -146,11 +172,12 @@ func main() {
 	adaptiveTotal := 0
 	for _, pr := range core.Protocols {
 		req := engine.Request{
-			Protocol: pr,
-			Params:   p,
-			Phi:      *phiFrac * p.R,
-			Tbase:    *tbase,
-			Law:      law,
+			Protocol:    pr,
+			Params:      p,
+			Phi:         *phiFrac * p.R,
+			Tbase:       *tbase,
+			Law:         law,
+			Correlation: corr,
 		}
 		if eng.Name() == "multilevel" {
 			req.Global = &engine.Global{G: *g, Rg: *rg, K: *k}
@@ -210,6 +237,39 @@ func main() {
 			"one fixed knob at equal precision would cost %d\n",
 			adaptiveTotal, strings.Join(perRow, ", "), maxUsed*len(rows))
 	}
+}
+
+// parseCorrelation builds the correlation settings from the command
+// flags; nil when every flag keeps its i.i.d. default.
+func parseCorrelation(domainSize int, burstRate float64, placement, groups string) (*failure.Correlation, error) {
+	var c failure.Correlation
+	if domainSize > 0 || burstRate != 0 {
+		if domainSize < 1 {
+			return nil, fmt.Errorf("simulate: -burst-rate needs -domain-size >= 1")
+		}
+		var stripe bool
+		switch placement {
+		case "", "block":
+		case "stripe":
+			stripe = true
+		default:
+			return nil, fmt.Errorf("simulate: unknown -placement %q (want block or stripe)", placement)
+		}
+		c.Domains = &failure.DomainSpec{Size: domainSize, Rate: burstRate, Stripe: stripe}
+	}
+	if groups != "" {
+		for _, field := range strings.Split(groups, ",") {
+			w, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return nil, fmt.Errorf("simulate: bad -groups weight %q: %v", field, err)
+			}
+			c.Groups = append(c.Groups, w)
+		}
+	}
+	if c.IID() {
+		return nil, nil
+	}
+	return &c, nil
 }
 
 // shrinkForDetailed caps the platform at 600 ranks, divisible by both

@@ -1,0 +1,197 @@
+// Command trace imports real failure logs into the repository's trace
+// format and inspects existing traces. A LANL-style CSV log — one row
+// per failure with a timestamp column and a node column — becomes the
+// JSON document failure.ReadTrace accepts, ready for cmd/serve -traces
+// or simulate -replay.
+//
+// Usage:
+//
+//	trace -nodes 96 -mtbf 3600 [-horizon 2e6] [-time-col 0] [-node-col 1]
+//	      [-time-scale 1] [-node-base 0] [-law exponential]
+//	      [-o cluster.json] failures.csv
+//	trace -info cluster.json
+//	trace -validate cluster.json
+//
+// Conversion sorts events by time, maps node ids through -node-base
+// (LANL logs number nodes from 1), and records the log's observation
+// window as the trace horizon — the replay engine refuses to simulate
+// past it, so a run outliving the log fails loudly instead of coasting
+// fault-free. -horizon 0 uses the last event's time, the most
+// conservative window the log supports.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/failure"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 0, "platform size the log was recorded on (required for conversion)")
+	mtbf := flag.Float64("mtbf", 0, "platform MTBF in seconds the log exhibits (required for conversion)")
+	horizon := flag.Float64("horizon", 0, "observation window in seconds (0 = last event time)")
+	timeCol := flag.Int("time-col", 0, "CSV column of the failure time")
+	nodeCol := flag.Int("node-col", 1, "CSV column of the failed node id")
+	timeScale := flag.Float64("time-scale", 1, "multiplier turning the time column into seconds (e.g. 3600 for hours)")
+	nodeBase := flag.Int("node-base", 0, "offset subtracted from node ids (1 for logs numbering nodes from 1)")
+	law := flag.String("law", "", "failure-law annotation recorded in the trace (informational)")
+	out := flag.String("o", "", "output file (default stdout)")
+	info := flag.String("info", "", "print a summary of this trace file and exit")
+	validate := flag.String("validate", "", "validate this trace file and exit")
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		tr := readTraceFile(*info)
+		burstiness := describeBursts(tr)
+		fmt.Printf("%s: %d nodes, %d events, platform MTBF %.0fs, coverage %.0fs%s\n",
+			*info, tr.Nodes, len(tr.Events), tr.PlatformMTBF, tr.Coverage(), burstiness)
+		if tr.Law != "" {
+			fmt.Printf("law: %s\n", tr.Law)
+		}
+		return
+
+	case *validate != "":
+		tr := readTraceFile(*validate)
+		if err := tr.Validate(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: valid (%d events)\n", *validate, len(tr.Events))
+		return
+	}
+
+	if *nodes < 1 || *mtbf <= 0 {
+		fail(fmt.Errorf("conversion needs -nodes >= 1 and -mtbf > 0"))
+	}
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := readCSV(in, *timeCol, *nodeCol, *timeScale, *nodeBase, *nodes)
+	if err != nil {
+		fail(err)
+	}
+	tr := &failure.Trace{
+		Nodes:        *nodes,
+		PlatformMTBF: *mtbf,
+		Law:          *law,
+		Horizon:      *horizon,
+		Events:       events,
+	}
+	if err := tr.Validate(); err != nil {
+		fail(err)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d events (coverage %.0fs) to %s\n", len(events), tr.Coverage(), *out)
+	}
+}
+
+// readCSV parses one failure event per row, skipping a header row (a
+// first row whose time column is not numeric) and blank lines.
+func readCSV(r io.Reader, timeCol, nodeCol int, timeScale float64, nodeBase, nodes int) ([]failure.Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	var events []failure.Event
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		row++
+		if len(rec) == 1 && strings.TrimSpace(rec[0]) == "" {
+			continue
+		}
+		if timeCol >= len(rec) || nodeCol >= len(rec) {
+			return nil, fmt.Errorf("row %d has %d columns, need time-col %d and node-col %d",
+				row, len(rec), timeCol, nodeCol)
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(rec[timeCol]), 64)
+		if err != nil {
+			if row == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("row %d: bad time %q", row, rec[timeCol])
+		}
+		node, err := strconv.Atoi(strings.TrimSpace(rec[nodeCol]))
+		if err != nil {
+			return nil, fmt.Errorf("row %d: bad node id %q", row, rec[nodeCol])
+		}
+		node -= nodeBase
+		if node < 0 || node >= nodes {
+			return nil, fmt.Errorf("row %d: node %d outside [0, %d) after -node-base", row, node, nodes)
+		}
+		events = append(events, failure.Event{Time: t * timeScale, Node: node})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	return events, nil
+}
+
+// describeBursts summarizes simultaneous multi-node failures — the
+// spatial-correlation signature the domain-burst model reproduces.
+func describeBursts(tr *failure.Trace) string {
+	bursts, largest := 0, 0
+	for i := 0; i < len(tr.Events); {
+		j := i
+		for j < len(tr.Events) && tr.Events[j].Time == tr.Events[i].Time {
+			j++
+		}
+		if size := j - i; size > 1 {
+			bursts++
+			if size > largest {
+				largest = size
+			}
+		}
+		i = j
+	}
+	if bursts == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d simultaneous bursts (largest %d nodes)", bursts, largest)
+}
+
+func readTraceFile(path string) *failure.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := failure.ReadTrace(f)
+	if err != nil {
+		fail(err)
+	}
+	return tr
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "trace:", err)
+	os.Exit(1)
+}

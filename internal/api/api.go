@@ -14,13 +14,19 @@
 package api
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/failure"
 	"repro/internal/jobs"
 	"repro/internal/optimize"
 	"repro/internal/scenario"
@@ -66,6 +72,20 @@ type Service struct {
 	// tests and the /healthz endpoint use it to prove cache hits skip
 	// the simulator.
 	simPoints atomic.Uint64
+	// traces holds the server-registered failure traces a sweep's
+	// scenario.trace field may name. Registration is content-addressed:
+	// each trace carries an id of the form name@digest (a sha256 prefix
+	// of its canonical JSON), and the id — never the bare name — enters
+	// the point keys, so re-registering a different log under an old
+	// name can never alias a cached result.
+	tracesMu sync.RWMutex
+	traces   map[string]registeredTrace
+}
+
+// registeredTrace is one named failure trace plus its content id.
+type registeredTrace struct {
+	tr *failure.Trace
+	id string
 }
 
 // NewService returns a Service with the given options.
@@ -99,6 +119,56 @@ func (s *Service) AttachJobs(mgr *jobs.Manager) { s.jobs = mgr }
 
 // Jobs returns the attached job manager (nil when jobs are disabled).
 func (s *Service) Jobs() *jobs.Manager { return s.jobs }
+
+// RegisterTrace validates tr and registers it under name for replay
+// through the sweep's scenario.trace axis. The returned id is
+// name@digest, where digest is a sha256 prefix of the trace's
+// canonical JSON encoding; it keys every sweep point that replays the
+// trace, so results stay content-addressed even if the name is later
+// rebound. Registering an existing name replaces it.
+func (s *Service) RegisterTrace(name string, tr *failure.Trace) (string, error) {
+	if name == "" {
+		return "", errors.New("api: trace name must be non-empty")
+	}
+	if err := tr.Validate(); err != nil {
+		return "", fmt.Errorf("api: trace %q: %w", name, err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		return "", fmt.Errorf("api: trace %q: %w", name, err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	id := name + "@" + hex.EncodeToString(sum[:6])
+	s.tracesMu.Lock()
+	defer s.tracesMu.Unlock()
+	if s.traces == nil {
+		s.traces = make(map[string]registeredTrace)
+	}
+	s.traces[name] = registeredTrace{tr: tr, id: id}
+	return id, nil
+}
+
+// LookupTrace returns the trace registered under name and its content
+// id, or ok=false when no such trace exists.
+func (s *Service) LookupTrace(name string) (*failure.Trace, string, bool) {
+	s.tracesMu.RLock()
+	defer s.tracesMu.RUnlock()
+	rt, ok := s.traces[name]
+	return rt.tr, rt.id, ok
+}
+
+// TraceIDs lists the registered traces as their content ids
+// (name@digest), sorted by name, for diagnostics endpoints.
+func (s *Service) TraceIDs() []string {
+	s.tracesMu.RLock()
+	defer s.tracesMu.RUnlock()
+	ids := make([]string, 0, len(s.traces))
+	for _, rt := range s.traces {
+		ids = append(ids, rt.id)
+	}
+	sort.Strings(ids)
+	return ids
+}
 
 // Cache returns the sweep-point cache (for stats reporting).
 func (s *Service) Cache() *Cache { return s.cache }

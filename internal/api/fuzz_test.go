@@ -52,6 +52,19 @@ func FuzzSpecDecode(f *testing.F) {
 		`{"name": "Base", "targetRelErr": 1e-3}`,
 		`{"maxRuns": -1}`,
 		`{"targetRelErr": "0.05"}`,
+		// PR 9 correlation/trace vocabulary: valid shapes plus the value
+		// errors ResolveCorrelation must reject without panicking.
+		`{"domains": {"size": 8, "burstRate": 1e-5}}`,
+		`{"domains": {"size": 4, "burstRate": 0.0002, "placement": "stripe"}, "n": 96}`,
+		`{"domains": {"size": 0, "burstRate": 1}}`,
+		`{"domains": {"size": 8, "burstRate": -1}}`,
+		`{"domains": {"size": 8, "burstRate": 1e-5, "placement": "ring"}}`,
+		`{"groups": [2, 1]}`,
+		`{"groups": [1, -1]}`,
+		`{"groups": []}`,
+		`{"trace": "cronos"}`,
+		`{"trace": "cronos", "backend": "detailed", "n": 96}`,
+		`{"domains": {"burstRate": "fast"}}`,
 	} {
 		f.Add([]byte(seed))
 	}
@@ -76,6 +89,16 @@ func FuzzSpecDecode(f *testing.F) {
 		law2, lerr2 := spec.ResolveLaw(p)
 		if (lerr == nil) != (lerr2 == nil) || !reflect.DeepEqual(law, law2) {
 			t.Fatalf("ResolveLaw is nondeterministic: (%v, %v) vs (%v, %v)", law, lerr, law2, lerr2)
+		}
+		corr, cerr := spec.ResolveCorrelation(p)
+		corr2, cerr2 := spec.ResolveCorrelation(p)
+		if (cerr == nil) != (cerr2 == nil) || !reflect.DeepEqual(corr, corr2) {
+			t.Fatalf("ResolveCorrelation is nondeterministic: (%v, %v) vs (%v, %v)", corr, cerr, corr2, cerr2)
+		}
+		if cerr == nil && corr != nil && corr.IID() {
+			// A non-nil resolution must carry at least one active axis;
+			// IID()==true would silently bypass the correlated engine.
+			t.Fatalf("ResolveCorrelation returned a non-nil i.i.d. correlation for %+v", spec)
 		}
 		if _, berr := engine.ByName(spec.Backend); berr != nil {
 			return // unknown backend is a request error

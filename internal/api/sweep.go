@@ -161,6 +161,27 @@ func (s *Service) expand(req *SweepRequest) ([]sweepPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The correlation settings are MTBF-independent (relative weights,
+	// absolute burst rate), so one resolution serves the whole grid;
+	// layout feasibility against N stays per point in the backends.
+	corr, err := req.Scenario.ResolveCorrelation(base)
+	if err != nil {
+		return nil, err
+	}
+	var trace *failure.Trace
+	var traceID string
+	if name := req.Scenario.Trace; name != "" {
+		tr, id, ok := s.LookupTrace(name)
+		if !ok {
+			return nil, fmt.Errorf("api: unknown trace %q (server has %d registered)", name, len(s.TraceIDs()))
+		}
+		if tr.Nodes != base.N {
+			// N is not a grid axis, so a platform-size mismatch fails the
+			// whole request up front instead of degrading every point.
+			return nil, fmt.Errorf("api: trace %q recorded for %d nodes, scenario has %d", name, tr.Nodes, base.N)
+		}
+		trace, traceID = tr, id
+	}
 	backendNames := req.Backends
 	if len(backendNames) == 0 {
 		backendNames = []string{req.Scenario.Backend}
@@ -187,6 +208,15 @@ func (s *Service) expand(req *SweepRequest) ([]sweepPoint, error) {
 				return nil, fmt.Errorf("api: detailed substrate knobs must be >= 0 (spares %d, imageBytes %d)",
 					req.Scenario.Spares, req.Scenario.ImageBytes)
 			}
+		}
+		// The correlation and trace axes are scenario-wide, so a backend
+		// axis that cannot run them fails the request up front — same
+		// policy as a bad global level.
+		if trace != nil && engines[i].Name() != "detailed" {
+			return nil, fmt.Errorf("api: trace replay requires the detailed backend (grid includes %q)", engines[i].Name())
+		}
+		if corr != nil && engines[i].Name() == "multilevel" {
+			return nil, errors.New("api: correlated failures (domains/groups) are not supported by the multilevel backend")
 		}
 	}
 	// Validate the law shape once up front; the per-point law is
@@ -309,12 +339,16 @@ func (s *Service) expand(req *SweepRequest) ([]sweepPoint, error) {
 					// backend that reads them, so a fast point's key never
 					// varies with, say, an irrelevant imageBytes override.
 					switch eng.Name() {
+					case "fast":
+						preq.Correlation = corr
 					case "detailed":
 						// Normalized before keying: a spelled-out default
 						// and an omitted field are the same physical point
 						// (same key, same derived seed, same cache entry).
 						preq.Spares, preq.ImageBytes = engine.NormalizeSubstrate(
 							p, req.Scenario.Spares, req.Scenario.ImageBytes)
+						preq.Correlation = corr
+						preq.Trace, preq.TraceID = trace, traceID
 					case "multilevel":
 						g := req.Scenario.Global
 						preq.Global = &engine.Global{G: g.G, Rg: g.Rg, K: g.K}
@@ -402,6 +436,30 @@ func batchKey(backend string, req engine.Request) string {
 			strconv.FormatFloat(req.Global.G, 'x', -1, 64),
 			strconv.FormatFloat(req.Global.Rg, 'x', -1, 64),
 			req.Global.K)
+	}
+	if c := req.Correlation; c != nil {
+		if d := c.Domains; d != nil {
+			fmt.Fprintf(&b, "|dom=%d:%s", d.Size, strconv.FormatFloat(d.Rate, 'x', -1, 64))
+			if d.Stripe {
+				b.WriteString(":stripe")
+			}
+		}
+		if len(c.Groups) > 0 {
+			b.WriteString("|groups=")
+			for i, w := range c.Groups {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.FormatFloat(w, 'x', -1, 64))
+			}
+		}
+	}
+	if req.TraceID != "" {
+		// The content id (name@digest), not the trace bytes: re-binding a
+		// name to a different log changes the id, so it can never alias a
+		// cached point.
+		b.WriteString("|trace=")
+		b.WriteString(req.TraceID)
 	}
 	return b.String()
 }

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/scenario"
+)
+
+// TestStatisticalValidationCorrelationDegenerate is the degenerate-
+// correlation oracle: a burst model with rate 0 and uniform per-group
+// MTBF weights describe exactly the i.i.d. platform, so the correlated
+// code path (scalar engine, wrapped or heterogeneous sources) must
+// agree with the plain i.i.d. backend within 3σ on mean waste. This
+// pins the superposition and the group-law normalization against the
+// independent model they must degenerate to. (The name keeps it inside
+// the CI validation shard's -run 'TestStatisticalValidation' filter.)
+func TestStatisticalValidationCorrelationDegenerate(t *testing.T) {
+	const runs = 48
+	degenerate := []struct {
+		name string
+		corr *failure.Correlation
+	}{
+		{"rate0-domains", &failure.Correlation{Domains: &failure.DomainSpec{Size: 32, Rate: 0}}},
+		{"uniform-groups", &failure.Correlation{Groups: []float64{1, 1, 1, 1}}},
+		{"both", &failure.Correlation{
+			Domains: &failure.DomainSpec{Size: 32, Rate: 0, Stripe: true},
+			Groups:  []float64{1, 1},
+		}},
+	}
+	for _, eng := range []Engine{Fast{}, Detailed{}} {
+		t.Run(eng.Name(), func(t *testing.T) {
+			for _, p := range validationPoints[:3] {
+				plainReq := validationRequest(eng, p.pr, p.mtbf, p.phiFrac)
+				plain := mustCompile(t, eng, plainReq)
+				plainAgg, err := RunMany(plain, 42, runs, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, d := range degenerate {
+					req := validationRequest(eng, p.pr, p.mtbf, p.phiFrac)
+					req.Correlation = d.corr
+					b := mustCompile(t, eng, req)
+					agg, err := RunMany(b, 43, runs, 4)
+					if err != nil {
+						t.Fatalf("%s %s M=%v: %v", d.name, p.pr, p.mtbf, err)
+					}
+					if agg.Completed.Rate() != 1 {
+						t.Fatalf("%s %s M=%v: only %v of runs completed", d.name, p.pr, p.mtbf, agg.Completed.Rate())
+					}
+					diff := math.Abs(agg.Waste.Mean() - plainAgg.Waste.Mean())
+					bound := 3 * math.Hypot(agg.Waste.StdErr(), plainAgg.Waste.StdErr())
+					if diff > bound {
+						t.Errorf("%s %s M=%v phi=%v: degenerate waste %v vs i.i.d. %v (|Δ| %v > 3σ %v)",
+							d.name, p.pr, p.mtbf, p.phiFrac, agg.Waste.Mean(), plainAgg.Waste.Mean(), diff, bound)
+					}
+					// And against the analytic model directly, like the
+					// main suite.
+					if mdiff, mbound := math.Abs(agg.Waste.Mean()-b.Model().Waste), 3*agg.Waste.StdErr(); mdiff > mbound {
+						t.Errorf("%s %s M=%v phi=%v: degenerate waste %v vs model %v (|Δ| %v > 3σ %v)",
+							d.name, p.pr, p.mtbf, p.phiFrac, agg.Waste.Mean(), b.Model().Waste, mdiff, mbound)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorrelatedPlacementSensitivity pins the tentpole claim: with a
+// domain burst model enabled, buddy-protocol waste and survival are
+// measurably sensitive to domain-vs-buddy placement. Block domains
+// align with the contiguous buddy groups, so one burst fells whole
+// groups at once — fatal almost surely once a snapshot set has
+// committed. Striped domains spread each burst across distinct buddy
+// groups: every victim's buddy survives to restore it, and the
+// application survives burst after burst. Same seeds, same rates; only
+// the placement differs.
+func TestCorrelatedPlacementSensitivity(t *testing.T) {
+	const runs = 64
+	base := Request{
+		Protocol: core.DoubleNBL,
+		Params:   scenario.Base().Params.WithNodes(96).WithMTBF(3600),
+		Phi:      2,
+		Tbase:    2e4,
+	}
+	fatalRate := func(stripe bool) float64 {
+		req := base
+		req.Correlation = &failure.Correlation{
+			Domains: &failure.DomainSpec{Size: 4, Rate: 1.0 / 5000, Stripe: stripe},
+		}
+		b := mustCompile(t, Detailed{}, req)
+		agg, err := RunMany(b, 42, runs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg.Fatal.Rate()
+	}
+	block := fatalRate(false)
+	stripe := fatalRate(true)
+	t.Logf("fatal rate: block=%v stripe=%v", block, stripe)
+	if block < 0.5 {
+		t.Errorf("block placement fatal rate %v; bursts aligned with buddy groups should usually kill the run", block)
+	}
+	if stripe > block/2 {
+		t.Errorf("stripe placement fatal rate %v not clearly below block %v; placement should matter", stripe, block)
+	}
+}
+
+// TestBackendCorrelationGating checks which backends accept which new
+// axes: trace replay is detailed-only, correlation is fast/detailed,
+// and layout mismatches are infeasible (not request errors).
+func TestBackendCorrelationGating(t *testing.T) {
+	params := scenario.Base().Params.WithNodes(96).WithMTBF(3600)
+	base := Request{Protocol: core.DoubleNBL, Params: params, Phi: 2, Tbase: 2e4}
+
+	corr := base
+	corr.Correlation = &failure.Correlation{Domains: &failure.DomainSpec{Size: 4, Rate: 1e-4}}
+	if _, err := (Fast{}).Resolve(corr); err != nil {
+		t.Fatalf("fast should accept correlation: %v", err)
+	}
+	if _, err := (Detailed{}).Resolve(corr); err != nil {
+		t.Fatalf("detailed should accept correlation: %v", err)
+	}
+	ml := corr
+	ml.Global = &Global{G: 100, Rg: 60}
+	if _, err := (Multilevel{}).Resolve(ml); err == nil {
+		t.Fatal("multilevel should reject correlation")
+	}
+
+	tr := base
+	tr.Trace = &failure.Trace{Nodes: 96, PlatformMTBF: 3600, Horizon: 1e9}
+	if _, err := (Detailed{}).Resolve(tr); err != nil {
+		t.Fatalf("detailed should accept a matching trace: %v", err)
+	}
+	if _, err := (Fast{}).Resolve(tr); err == nil {
+		t.Fatal("fast should reject trace replay")
+	}
+	mltr := tr
+	mltr.Global = &Global{G: 100, Rg: 60}
+	if _, err := (Multilevel{}).Resolve(mltr); err == nil {
+		t.Fatal("multilevel should reject trace replay")
+	}
+
+	mismatch := tr
+	mismatch.Trace = &failure.Trace{Nodes: 48, PlatformMTBF: 3600, Horizon: 1e9}
+	if _, err := (Detailed{}).Resolve(mismatch); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("node-count mismatch should be infeasible, got %v", err)
+	}
+
+	badLayout := base
+	badLayout.Correlation = &failure.Correlation{Domains: &failure.DomainSpec{Size: 5, Rate: 1e-4}}
+	if _, err := (Fast{}).Resolve(badLayout); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("non-dividing domain size should be infeasible, got %v", err)
+	}
+	badLayout.Correlation = &failure.Correlation{Groups: []float64{1, 2, 3, 4, 5}}
+	if _, err := (Detailed{}).Resolve(badLayout); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("non-dividing group count should be infeasible, got %v", err)
+	}
+
+	badValue := base
+	badValue.Correlation = &failure.Correlation{Domains: &failure.DomainSpec{Size: 4, Rate: math.NaN()}}
+	if _, err := (Fast{}).Resolve(badValue); err == nil || errors.Is(err, ErrInfeasible) {
+		t.Fatalf("NaN rate should be a request error, got %v", err)
+	}
+	badValue.Correlation = &failure.Correlation{Groups: []float64{1, -1}}
+	if _, err := (Fast{}).Resolve(badValue); err == nil || errors.Is(err, ErrInfeasible) {
+		t.Fatalf("negative weight should be a request error, got %v", err)
+	}
+}

@@ -34,6 +34,20 @@ func (Detailed) Resolve(req Request) (Request, error) {
 	if g := req.Protocol.GroupSize(); req.Params.N%g != 0 {
 		return req, infeasible(fmt.Errorf("sim: %d ranks not divisible by group size %d", req.Params.N, g))
 	}
+	if err := resolveCorrelation(req); err != nil {
+		return req, err
+	}
+	if tr := req.Trace; tr != nil {
+		if err := tr.Validate(); err != nil {
+			return req, err
+		}
+		if tr.Nodes != req.Params.N {
+			// A grid sweeping N degrades per point: the trace only fits
+			// the platform size it was recorded on.
+			return req, infeasible(fmt.Errorf("engine: trace recorded for %d nodes, platform has %d",
+				tr.Nodes, req.Params.N))
+		}
+	}
 	req.Spares, req.ImageBytes = NormalizeSubstrate(req.Params, req.Spares, req.ImageBytes)
 	return req, nil
 }
@@ -51,15 +65,17 @@ func NormalizeSubstrate(p core.Params, spares int, imageBytes int64) (int, int64
 // Compile precomputes the shared batch state via sim.CompileDetailed.
 func (Detailed) Compile(req Request) (Batch, error) {
 	b, err := sim.CompileDetailed(sim.DetailedConfig{
-		Protocol:   req.Protocol,
-		Params:     req.Params,
-		Phi:        req.Phi,
-		Period:     req.Period,
-		Tbase:      req.Tbase,
-		Spares:     req.Spares,
-		ImageBytes: req.ImageBytes,
-		Law:        req.Law,
-		MaxSimTime: req.MaxSimTime,
+		Protocol:    req.Protocol,
+		Params:      req.Params,
+		Phi:         req.Phi,
+		Period:      req.Period,
+		Tbase:       req.Tbase,
+		Spares:      req.Spares,
+		ImageBytes:  req.ImageBytes,
+		Law:         req.Law,
+		Correlation: req.Correlation,
+		Trace:       req.Trace,
+		MaxSimTime:  req.MaxSimTime,
 	})
 	if err != nil {
 		return nil, err

@@ -68,6 +68,17 @@ type Request struct {
 	// Law optionally replaces the Exponential failure law (nil selects
 	// the merged-superposition fast path).
 	Law failure.Law
+	// Correlation optionally leaves the i.i.d. world: correlated
+	// failure domains and/or heterogeneous per-group MTBFs. Supported
+	// by the fast and detailed backends; rejected by multilevel.
+	Correlation *failure.Correlation
+	// Trace, when set, replays a recorded failure log instead of
+	// generating failures (detailed backend only). The run errors with
+	// failure.ErrTraceExhausted past the trace's coverage.
+	Trace *failure.Trace
+	// TraceID is the content identifier of Trace (name@digest from the
+	// API's trace registry); caches key on it instead of the trace body.
+	TraceID string
 	// ImageBytes is the detailed backend's checkpoint image size
 	// (0 → 512 MB).
 	ImageBytes int64
@@ -92,14 +103,35 @@ type Global struct {
 // seed is always per run).
 func (r Request) simConfig() sim.Config {
 	return sim.Config{
-		Protocol:   r.Protocol,
-		Params:     r.Params,
-		Phi:        r.Phi,
-		Period:     r.Period,
-		Tbase:      r.Tbase,
-		Law:        r.Law,
-		MaxSimTime: r.MaxSimTime,
+		Protocol:    r.Protocol,
+		Params:      r.Params,
+		Phi:         r.Phi,
+		Period:      r.Period,
+		Tbase:       r.Tbase,
+		Law:         r.Law,
+		Correlation: r.Correlation,
+		MaxSimTime:  r.MaxSimTime,
 	}
+}
+
+// resolveCorrelation gates the correlation axes during Resolve: layout
+// mismatches (a domain size or group count that does not divide the
+// platform) are infeasible points — a grid sweeping N degrades per
+// point instead of aborting — while any other invalid value (negative
+// or non-finite rate, non-positive weight) is a request error.
+func resolveCorrelation(req Request) error {
+	c := req.Correlation
+	if c.IID() {
+		return nil
+	}
+	n := req.Params.N
+	if d := c.Domains; d != nil && d.Size >= 1 && (d.Size > n || n%d.Size != 0) {
+		return infeasible(fmt.Errorf("engine: domain size %d does not divide %d nodes", d.Size, n))
+	}
+	if g := len(c.Groups); g > 0 && n%g != 0 {
+		return infeasible(fmt.Errorf("engine: %d MTBF groups do not divide %d nodes", g, n))
+	}
+	return c.Validate(n)
 }
 
 // Model is a backend's analytic prediction at a resolved request: the

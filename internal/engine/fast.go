@@ -1,6 +1,10 @@
 package engine
 
-import "repro/internal/sim"
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
 
 // Fast is the default backend: the zero-allocation coordinated-
 // timeline kernel of sim.Compile/Runner. It simulates the global
@@ -11,8 +15,23 @@ type Fast struct{}
 // Name returns "fast".
 func (Fast) Name() string { return "fast" }
 
-// Resolve fills the optimal period and gates feasibility.
-func (Fast) Resolve(req Request) (Request, error) { return resolvePeriod(req) }
+// Resolve fills the optimal period and gates feasibility. Correlation
+// runs on this backend (the scalar engine; the lane kernel is for
+// i.i.d. batches only); trace replay needs the detailed backend's
+// substrates.
+func (Fast) Resolve(req Request) (Request, error) {
+	if req.Trace != nil || req.TraceID != "" {
+		return req, errors.New("engine: trace replay requires the detailed backend")
+	}
+	req, err := resolvePeriod(req)
+	if err != nil {
+		return req, err
+	}
+	if err := resolveCorrelation(req); err != nil {
+		return req, err
+	}
+	return req, nil
+}
 
 // Compile precomputes the shared batch state via sim.Compile.
 func (Fast) Compile(req Request) (Batch, error) {

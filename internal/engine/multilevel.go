@@ -37,6 +37,12 @@ func (Multilevel) Name() string { return "multilevel" }
 // variants). No feasible plan — the MTBF is too small for any (P, k) —
 // is reported infeasible.
 func (Multilevel) Resolve(req Request) (Request, error) {
+	if !req.Correlation.IID() {
+		return req, fmt.Errorf("engine: correlation is not supported by the multilevel backend (use fast or detailed)")
+	}
+	if req.Trace != nil || req.TraceID != "" {
+		return req, fmt.Errorf("engine: trace replay requires the detailed backend")
+	}
 	mc, err := req.multilevelConfig()
 	if err != nil {
 		return req, err

@@ -1,0 +1,252 @@
+package failure
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// domainStreamIndex is the ReseedSplit child index reserved for the
+// domain burst process. Per-node renewal streams split from the same
+// parent at indices 0..n-1; keeping the burst stream far outside any
+// plausible node count guarantees the two can never collide (a
+// collision would make the burst inter-arrivals bitwise identical to
+// one node's renewals).
+const domainStreamIndex = 1 << 32
+
+// DomainSpec configures spatially correlated failure domains: the
+// platform is partitioned into n/Size domains (racks, switches, PSU
+// groups), and a domain-level Poisson process of platform-wide rate
+// Rate fells every member of one uniformly chosen domain at once.
+type DomainSpec struct {
+	// Size is the number of nodes per domain; it must divide the
+	// platform size.
+	Size int `json:"size"`
+	// Rate is the platform-wide burst rate in failures per second
+	// (bursts hit a uniformly random domain). Zero disables bursts,
+	// degenerating to the background i.i.d. process exactly.
+	Rate float64 `json:"rate"`
+	// Stripe interleaves domain membership across the node index space
+	// (domain d = {d, d+K, d+2K, ...} for K = n/Size domains) instead
+	// of the default contiguous blocks (domain d = [d·Size, (d+1)·Size)).
+	// Blocks align with the cluster's contiguous buddy groups, so a
+	// burst takes out a whole buddy group (fatal); stripes spread each
+	// domain across groups, so buddies survive to restore. The gap
+	// between the two is the placement-sensitivity axis.
+	Stripe bool `json:"stripe,omitempty"`
+}
+
+// Validate checks the spec against a platform of n nodes.
+func (d *DomainSpec) Validate(n int) error {
+	if d.Size < 1 || d.Size > n {
+		return fmt.Errorf("failure: domain size %d outside [1, %d]", d.Size, n)
+	}
+	if n%d.Size != 0 {
+		return fmt.Errorf("failure: domain size %d does not divide %d nodes", d.Size, n)
+	}
+	if !finite(d.Rate) || d.Rate < 0 {
+		return fmt.Errorf("failure: domain burst rate %v is not finite and non-negative", d.Rate)
+	}
+	return nil
+}
+
+// Correlation bundles the ways a scenario leaves the i.i.d. world:
+// correlated failure domains and heterogeneous per-group MTBFs. A nil
+// *Correlation (or one with both fields unset) means the classic
+// independent-renewals model. It is carried by pointer inside sim
+// configs so those configs stay comparable (they key memo maps).
+type Correlation struct {
+	Domains *DomainSpec `json:"domains,omitempty"`
+	// Groups gives relative per-group individual-MTBF weights; the
+	// platform is split into len(Groups) contiguous equal blocks and
+	// the weights are normalized so the platform failure rate 1/M is
+	// preserved (see GroupLaws).
+	Groups []float64 `json:"groups,omitempty"`
+}
+
+// Validate checks the correlation settings against n nodes.
+func (c *Correlation) Validate(n int) error {
+	if c == nil {
+		return nil
+	}
+	if c.Domains != nil {
+		if err := c.Domains.Validate(n); err != nil {
+			return err
+		}
+	}
+	if len(c.Groups) > 0 {
+		if n%len(c.Groups) != 0 {
+			return fmt.Errorf("failure: %d MTBF groups do not divide %d nodes", len(c.Groups), n)
+		}
+		for i, w := range c.Groups {
+			if !finite(w) || w <= 0 {
+				return fmt.Errorf("failure: MTBF group %d weight %v is not finite and positive", i, w)
+			}
+		}
+	}
+	return nil
+}
+
+// IID reports whether the correlation settings are absent or empty, in
+// which case every backend may keep its independent-renewals fast path.
+func (c *Correlation) IID() bool {
+	return c == nil || (c.Domains == nil && len(c.Groups) == 0)
+}
+
+// GroupLaws builds the per-node law slice for heterogeneous per-group
+// MTBFs: the n nodes are split into len(weights) contiguous equal
+// blocks, node MTBFs are proportional to their group's weight, and the
+// common scale is chosen so the platform failure rate Σᵢ 1/Mindᵢ stays
+// exactly 1/platformMTBF — the same aggregate intensity as the uniform
+// model, redistributed. base carries the law family (shape/sigma); a
+// nil base means Exponential.
+func GroupLaws(n int, platformMTBF float64, weights []float64, base Law) ([]Law, error) {
+	g := len(weights)
+	if g < 1 || n%g != 0 {
+		return nil, fmt.Errorf("failure: %d MTBF groups do not divide %d nodes", g, n)
+	}
+	invSum := 0.0
+	for i, w := range weights {
+		if !finite(w) || w <= 0 {
+			return nil, fmt.Errorf("failure: MTBF group %d weight %v is not finite and positive", i, w)
+		}
+		invSum += 1 / w
+	}
+	// With Mindᵢ = c·w_g and n/g nodes per group, Σ 1/Mind = 1/M gives
+	// c = M·(n/g)·Σ(1/w).
+	c := platformMTBF * float64(n/g) * invSum
+	per := n / g
+	laws := make([]Law, n)
+	for i := range laws {
+		law, err := scaleLaw(base, c*weights[i/per])
+		if err != nil {
+			return nil, err
+		}
+		laws[i] = law
+	}
+	return laws, nil
+}
+
+// scaleLaw returns a copy of base with its mean set to mtbf, keeping
+// the family's shape parameters.
+func scaleLaw(base Law, mtbf float64) (Law, error) {
+	switch l := base.(type) {
+	case nil:
+		return Exponential{MTBF: mtbf}, nil
+	case Exponential:
+		return Exponential{MTBF: mtbf}, nil
+	case Weibull:
+		return Weibull{Shape: l.Shape, MTBF: mtbf}, nil
+	case LogNormal:
+		return LogNormal{MTBF: mtbf, Sigma: l.Sigma}, nil
+	default:
+		return nil, fmt.Errorf("failure: cannot rescale law %s for MTBF groups", base.Name())
+	}
+}
+
+// Domains superposes a domain-level burst process on a background
+// failure source: bursts arrive as a Poisson process of rate
+// spec.Rate, each felling every member of a uniformly chosen domain at
+// the same instant, merged in time order with the background's
+// independent per-node failures. With Rate 0 it is a bitwise
+// pass-through of the background sequence (the degenerate-correlation
+// oracle relies on this).
+type Domains struct {
+	size    int
+	num     int
+	stripe  bool
+	rate    float64
+	bg      Source
+	stream  rng.Stream
+	next    float64 // absolute time of the next burst (+Inf when disabled)
+	pending []Event // members of the current burst not yet emitted
+	look    Event   // buffered background event
+	have    bool
+	done    bool
+}
+
+// NewDomains wraps bg with the burst process of spec for an n-node
+// platform. The burst stream is split from parent without advancing
+// it, so the background's own draws are unperturbed. spec must have
+// been validated against n.
+func NewDomains(n int, spec DomainSpec, bg Source, parent *rng.Stream) *Domains {
+	d := &Domains{
+		size:    spec.Size,
+		num:     n / spec.Size,
+		stripe:  spec.Stripe,
+		rate:    spec.Rate,
+		bg:      bg,
+		pending: make([]Event, 0, spec.Size),
+	}
+	d.Reseed(parent)
+	return d
+}
+
+// Reseed rewinds the burst process for a fresh run: the burst stream
+// is re-derived from parent (without advancing it) and the first burst
+// rescheduled. The caller reseeds bg itself beforehand.
+func (d *Domains) Reseed(parent *rng.Stream) {
+	d.stream.ReseedSplit(parent, domainStreamIndex)
+	d.pending = d.pending[:0]
+	d.have = false
+	d.done = false
+	d.next = infOr(d.rate, &d.stream, 0)
+}
+
+// infOr returns now + an exponential draw at rate, or +Inf for a
+// non-positive rate (no division by zero, no stream consumption).
+func infOr(rate float64, s *rng.Stream, now float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return now + s.Exponential(rate)
+}
+
+// Next returns the earlier of the next background failure and the next
+// burst. A burst emits all members of its domain sequentially at the
+// identical burst time, in ascending node order.
+func (d *Domains) Next() (Event, bool) {
+	if len(d.pending) > 0 {
+		ev := d.pending[0]
+		d.pending = d.pending[1:]
+		return ev, true
+	}
+	if !d.have && !d.done {
+		if ev, ok := d.bg.Next(); ok {
+			d.look, d.have = ev, true
+		} else {
+			d.done = true
+		}
+	}
+	if d.have && d.look.Time <= d.next {
+		d.have = false
+		return d.look, true
+	}
+	if !math.IsInf(d.next, 1) {
+		t := d.next
+		dom := d.stream.Intn(d.num)
+		d.next = infOr(d.rate, &d.stream, t)
+		d.pending = d.pending[:0]
+		for k := 0; k < d.size; k++ {
+			node := dom*d.size + k
+			if d.stripe {
+				node = dom + k*d.num
+			}
+			d.pending = append(d.pending, Event{Time: t, Node: node})
+		}
+		ev := d.pending[0]
+		d.pending = d.pending[1:]
+		return ev, true
+	}
+	return Event{}, false
+}
+
+// CoverageHorizon forwards the background's coverage when it is
+// bounded (a replayed trace under bursts stays bounded by the trace).
+func (d *Domains) CoverageHorizon() float64 {
+	if b, ok := d.bg.(Bounded); ok {
+		return b.CoverageHorizon()
+	}
+	return math.Inf(1)
+}

@@ -10,6 +10,7 @@
 package failure
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -234,14 +235,45 @@ func (r *Renewal) Next() (Event, bool) {
 	return Event{Time: ev.Time, Node: node}, true
 }
 
-// Replay replays a recorded trace.
-type Replay struct {
-	trace []Event
-	pos   int
+// ErrTraceExhausted reports that a simulation needed failures beyond
+// the coverage of its replayed trace. Running on regardless would
+// silently simulate a fault-free tail and bias waste low, so
+// trace-backed runs fail loudly with this error instead.
+var ErrTraceExhausted = errors.New("failure: trace exhausted before simulation horizon")
+
+// Bounded is a Source whose silence is only meaningful up to a
+// coverage horizon: past it, "no more events" means "unknown", not
+// "fault-free". The simulator checks this before treating exhaustion
+// as an infinite failure-free suffix.
+type Bounded interface {
+	Source
+	// CoverageHorizon returns the absolute time up to which the
+	// source's event log is complete.
+	CoverageHorizon() float64
 }
 
-// NewReplay returns a source that replays the given events in order.
-func NewReplay(trace []Event) *Replay { return &Replay{trace: trace} }
+// Replay replays a recorded trace.
+type Replay struct {
+	trace    []Event
+	pos      int
+	coverage float64
+}
+
+// NewReplay returns a source that replays the given raw events in
+// order. With no trace metadata the coverage is unbounded (legacy
+// semantics): exhaustion means fault-free forever. Use NewReplayTrace
+// for recorded traces with a known observation window.
+func NewReplay(trace []Event) *Replay {
+	return &Replay{trace: trace, coverage: math.Inf(1)}
+}
+
+// NewReplayTrace returns a source replaying a recorded trace, bounded
+// by the trace's coverage: silence past Trace.Coverage is unknown, and
+// a simulation needing events beyond it must fail with
+// ErrTraceExhausted rather than run fault-free.
+func NewReplayTrace(tr *Trace) *Replay {
+	return &Replay{trace: tr.Events, coverage: tr.Coverage()}
+}
 
 // Next returns the next recorded failure; ok is false past the end.
 func (r *Replay) Next() (Event, bool) {
@@ -252,6 +284,14 @@ func (r *Replay) Next() (Event, bool) {
 	r.pos++
 	return ev, true
 }
+
+// CoverageHorizon returns the time up to which the replayed log is
+// complete (+Inf for raw event-slice replays).
+func (r *Replay) CoverageHorizon() float64 { return r.coverage }
+
+// Rewind restarts the replay from the first event, so one Replay can
+// serve every run of a Monte-Carlo batch.
+func (r *Replay) Rewind() { r.pos = 0 }
 
 // Recorder wraps a source and keeps every event it produced, so that a
 // detailed simulation can be re-run on the exact same failure sample.

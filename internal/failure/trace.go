@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
 // Trace is a serializable failure log with its platform metadata, the
-// unit exchanged by `cmd/simulate -record` and `-replay`.
+// unit exchanged by `cmd/simulate -record` / `-replay`, imported from
+// real failure archives by `cmd/trace`, and replayed as a first-class
+// scenario backend through the trace registry of `cmd/serve -traces`.
 type Trace struct {
 	// Nodes is the platform size the trace was generated for.
 	Nodes int `json:"nodes"`
@@ -16,18 +19,43 @@ type Trace struct {
 	PlatformMTBF float64 `json:"platform_mtbf"`
 	// Law names the generating law (informational).
 	Law string `json:"law"`
+	// Horizon is the absolute time the log is complete up to: the
+	// recorder (or the archive's observation window) saw every failure
+	// in [0, Horizon], so silence past the last event and up to Horizon
+	// means "no failures", while anything beyond Horizon is unknown. A
+	// zero Horizon marks a legacy trace recorded before the field
+	// existed; such traces cover only [0, last event].
+	Horizon float64 `json:"horizon,omitempty"`
 	// Events is the time-ordered failure log.
 	Events []Event `json:"events"`
 }
 
+// finite reports whether f is neither NaN nor infinite.
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
 // Validate checks the structural invariants a simulator relies on:
-// non-decreasing times, node indices within range.
+// non-decreasing finite times, node indices within range, finite
+// non-negative metadata, and a horizon covering every event.
+//
+// Rejecting non-finite times explicitly matters: a NaN event time
+// satisfies neither `t < prev` nor `t >= prev`, so a pure ordering
+// check silently admits it — and every comparison downstream (the
+// simulator's advance-to-failure loop included) then misbehaves.
 func (tr *Trace) Validate() error {
 	if tr.Nodes < 1 {
 		return fmt.Errorf("failure: trace has %d nodes", tr.Nodes)
 	}
+	if !finite(tr.PlatformMTBF) || tr.PlatformMTBF < 0 {
+		return fmt.Errorf("failure: trace platform MTBF %v is not finite and non-negative", tr.PlatformMTBF)
+	}
+	if !finite(tr.Horizon) || tr.Horizon < 0 {
+		return fmt.Errorf("failure: trace horizon %v is not finite and non-negative", tr.Horizon)
+	}
 	prev := 0.0
 	for i, ev := range tr.Events {
+		if !finite(ev.Time) || ev.Time < 0 {
+			return fmt.Errorf("failure: trace event %d at non-finite or negative time %v", i, ev.Time)
+		}
 		if ev.Time < prev {
 			return fmt.Errorf("failure: trace event %d at %v is before %v", i, ev.Time, prev)
 		}
@@ -36,7 +64,23 @@ func (tr *Trace) Validate() error {
 		}
 		prev = ev.Time
 	}
+	if tr.Horizon > 0 && tr.Horizon < prev {
+		return fmt.Errorf("failure: trace horizon %v is before its last event at %v", tr.Horizon, prev)
+	}
 	return nil
+}
+
+// Coverage returns the absolute time the trace's silence is meaningful
+// up to: the recorded Horizon, or — for legacy traces without one —
+// the last event time (the only coverage such a log can vouch for).
+func (tr *Trace) Coverage() float64 {
+	if tr.Horizon > 0 {
+		return tr.Horizon
+	}
+	if n := len(tr.Events); n > 0 {
+		return tr.Events[n-1].Time
+	}
+	return 0
 }
 
 // Sorted returns whether the events are in non-decreasing time order.
@@ -53,11 +97,19 @@ func (tr *Trace) Write(w io.Writer) error {
 	return enc.Encode(tr)
 }
 
-// ReadTrace decodes a JSON trace and validates it.
+// ReadTrace decodes a JSON trace and validates it. The document must
+// be exactly one JSON value: json.Decoder.Decode stops at the end of
+// the first value, so without an explicit EOF check a truncated upload
+// glued to garbage — or two concatenated traces — would silently pass
+// with the garbage ignored.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	var tr Trace
-	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
 		return nil, fmt.Errorf("failure: decoding trace: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("failure: trailing data after trace document")
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -66,9 +118,10 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 }
 
 // Collect draws events from src until the horizon and returns them as
-// a trace. It is the recording path of cmd/simulate.
+// a trace, with the horizon recorded so replays know how far the log's
+// silence is meaningful. It is the recording path of cmd/simulate.
 func Collect(src Source, nodes int, platformMTBF float64, law string, horizon float64) *Trace {
-	tr := &Trace{Nodes: nodes, PlatformMTBF: platformMTBF, Law: law}
+	tr := &Trace{Nodes: nodes, PlatformMTBF: platformMTBF, Law: law, Horizon: horizon}
 	for {
 		ev, ok := src.Next()
 		if !ok || ev.Time > horizon {

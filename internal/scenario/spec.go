@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/failure"
@@ -58,6 +59,73 @@ type Spec struct {
 	// Global describes the multilevel engine's global checkpoint level;
 	// required when Backend is "multilevel".
 	Global *GlobalSpec `json:"global,omitempty"`
+
+	// Domains configures spatially correlated failure domains (a burst
+	// model felling one rack/switch/PSU group at a time); supported by
+	// the fast and detailed backends. Nil keeps the i.i.d. model.
+	Domains *DomainsSpec `json:"domains,omitempty"`
+	// Groups gives relative per-group individual-MTBF weights
+	// (heterogeneous hardware generations): the platform splits into
+	// len(Groups) contiguous equal blocks, node MTBFs proportional to
+	// their group's weight, normalized so the platform rate 1/M is
+	// preserved. Empty keeps the uniform model.
+	Groups []float64 `json:"groups,omitempty"`
+	// Trace names a server-registered failure trace to replay instead
+	// of generating failures (detailed backend only). Runs outliving
+	// the trace's coverage fail loudly.
+	Trace string `json:"trace,omitempty"`
+}
+
+// DomainsSpec is the JSON description of correlated failure domains.
+type DomainsSpec struct {
+	// Size is the number of nodes per domain; it must divide N.
+	Size int `json:"size"`
+	// BurstRate is the platform-wide domain-burst rate in failures per
+	// second; each burst fells every member of a uniformly chosen
+	// domain at once. 0 degenerates to the i.i.d. model exactly.
+	BurstRate float64 `json:"burstRate"`
+	// Placement maps domains onto node ranks: "block" (default) makes
+	// domains contiguous — aligned with buddy groups, so one burst can
+	// fell a whole group — and "stripe" interleaves them so buddies
+	// land in distinct domains.
+	Placement string `json:"placement,omitempty"`
+}
+
+// ResolveCorrelation returns the correlation settings the spec selects
+// for the given (resolved) platform, or nil when the spec keeps the
+// i.i.d. model. Values are validated here (a bad rate or weight is a
+// request error); layout feasibility against N is the backend's call,
+// so grids sweeping N degrade per point. The settings are
+// MTBF-independent — relative weights, absolute burst rate — so sweep
+// engines may resolve them once per grid.
+func (s Spec) ResolveCorrelation(p core.Params) (*failure.Correlation, error) {
+	if s.Domains == nil && len(s.Groups) == 0 {
+		return nil, nil
+	}
+	c := &failure.Correlation{Groups: s.Groups}
+	if d := s.Domains; d != nil {
+		var stripe bool
+		switch d.Placement {
+		case "", "block":
+		case "stripe":
+			stripe = true
+		default:
+			return nil, fmt.Errorf("scenario: unknown domain placement %q (want block or stripe)", d.Placement)
+		}
+		if d.Size < 1 {
+			return nil, fmt.Errorf("scenario: domain size must be at least 1, got %d", d.Size)
+		}
+		if math.IsNaN(d.BurstRate) || math.IsInf(d.BurstRate, 0) || d.BurstRate < 0 {
+			return nil, fmt.Errorf("scenario: domain burst rate %v must be finite and non-negative", d.BurstRate)
+		}
+		c.Domains = &failure.DomainSpec{Size: d.Size, Rate: d.BurstRate, Stripe: stripe}
+	}
+	for i, w := range s.Groups {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+			return nil, fmt.Errorf("scenario: MTBF group %d weight %v must be finite and positive", i, w)
+		}
+	}
+	return c, nil
 }
 
 // GlobalSpec is the multilevel backend's global (stable-storage)

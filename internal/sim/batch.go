@@ -34,7 +34,19 @@ type compiled struct {
 	// observed failure (λ·risk for pairs, 2(λ·risk)² for triples).
 	impFatal float64
 	law      failure.Law
+	// corr carries the correlation settings (failure domains and/or
+	// MTBF groups); nil or empty means the classic i.i.d. model.
+	corr *failure.Correlation
+	// nodeLaws is the per-node law slice prebuilt from corr.Groups
+	// (nil without groups); it forces the renewal source.
+	nodeLaws []failure.Law
 }
+
+// iid reports whether the batch keeps the i.i.d. exponential platform
+// process — the precondition of the lane kernel's closed-form
+// fast-forward and batched sampling. Any law override or correlation
+// setting routes the batch through the scalar engine.
+func (c *compiled) iid() bool { return c.law == nil && c.corr.IID() }
 
 // compileConfig validates cfg and computes the batch precomputation.
 func compileConfig(cfg Config) (compiled, error) {
@@ -78,6 +90,19 @@ func compileConfig(cfg Config) (compiled, error) {
 		tbase:   cfg.Tbase,
 		horizon: horizon,
 		law:     cfg.Law,
+	}
+	if !cfg.Correlation.IID() {
+		if err := cfg.Correlation.Validate(p.N); err != nil {
+			return compiled{}, err
+		}
+		c.corr = cfg.Correlation
+		if len(cfg.Correlation.Groups) > 0 {
+			laws, err := failure.GroupLaws(p.N, p.M, cfg.Correlation.Groups, cfg.Law)
+			if err != nil {
+				return compiled{}, err
+			}
+			c.nodeLaws = laws
+		}
 	}
 	c.periodWork = c.scheduleWork(period)
 	lr := p.Lambda() * c.risk

@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/rng"
+)
+
+func corrParams(n int) core.Params {
+	return core.Params{D: 1, Delta: 2, R: 4, Alpha: 10, N: n, M: 100}
+}
+
+// TestRunTraceExhaustedErrors pins the loud-failure contract: a
+// trace-backed run that outlives its trace's coverage returns
+// failure.ErrTraceExhausted instead of silently coasting fault-free
+// (which would bias waste low).
+func TestRunTraceExhaustedErrors(t *testing.T) {
+	p := corrParams(8)
+	// A trace whose coverage ends long before the application can
+	// finish: one early failure, horizon 50, Tbase 10000.
+	tr := &failure.Trace{
+		Nodes:        8,
+		PlatformMTBF: 100,
+		Law:          "exponential",
+		Horizon:      50,
+		Events:       []failure.Event{{Time: 10, Node: 3}},
+	}
+	_, err := Run(Config{
+		Protocol: core.DoubleNBL,
+		Params:   p,
+		Phi:      2,
+		Tbase:    10000,
+		Source:   failure.NewReplayTrace(tr),
+	})
+	if !errors.Is(err, failure.ErrTraceExhausted) {
+		t.Fatalf("expected ErrTraceExhausted, got %v", err)
+	}
+
+	// The same trace with coverage past the run's needs succeeds.
+	long := &failure.Trace{
+		Nodes:        8,
+		PlatformMTBF: 100,
+		Law:          "exponential",
+		Horizon:      1e9,
+		Events:       []failure.Event{{Time: 10, Node: 3}},
+	}
+	res, err := Run(Config{
+		Protocol: core.DoubleNBL,
+		Params:   p,
+		Phi:      2,
+		Tbase:    10000,
+		Source:   failure.NewReplayTrace(long),
+	})
+	if err != nil {
+		t.Fatalf("covered replay failed: %v", err)
+	}
+	if !res.Completed || res.Failures != 1 {
+		t.Fatalf("covered replay: completed=%v failures=%d", res.Completed, res.Failures)
+	}
+
+	// Legacy raw-slice replay keeps its unbounded-coverage semantics.
+	res, err = Run(Config{
+		Protocol: core.DoubleNBL,
+		Params:   p,
+		Phi:      2,
+		Tbase:    10000,
+		Source:   failure.NewReplay(tr.Events),
+	})
+	if err != nil {
+		t.Fatalf("raw replay failed: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("raw replay should complete fault-free past the log")
+	}
+}
+
+// TestRunDetailedTraceExhaustedErrors is the same contract through the
+// detailed substrate simulator (the backend traces actually run on).
+func TestRunDetailedTraceExhaustedErrors(t *testing.T) {
+	p := corrParams(8)
+	tr := &failure.Trace{
+		Nodes:        8,
+		PlatformMTBF: 100,
+		Law:          "exponential",
+		Horizon:      50,
+		Events:       []failure.Event{{Time: 10, Node: 3}},
+	}
+	cfg := DetailedConfig{
+		Protocol: core.DoubleNBL,
+		Params:   p,
+		Phi:      2,
+		Tbase:    10000,
+		Trace:    tr,
+	}
+	if _, err := RunDetailed(cfg); !errors.Is(err, failure.ErrTraceExhausted) {
+		t.Fatalf("expected ErrTraceExhausted, got %v", err)
+	}
+	cfg.Trace = &failure.Trace{
+		Nodes:        8,
+		PlatformMTBF: 100,
+		Law:          "exponential",
+		Horizon:      1e9,
+		Events:       []failure.Event{{Time: 10, Node: 3}},
+	}
+	res, err := RunDetailed(cfg)
+	if err != nil {
+		t.Fatalf("covered replay failed: %v", err)
+	}
+	if !res.Completed || res.Failures != 1 {
+		t.Fatalf("covered replay: completed=%v failures=%d", res.Completed, res.Failures)
+	}
+}
+
+// TestCompileDetailedRejectsBadTrace checks compile-time trace gating:
+// node-count mismatch and invalid traces fail before any run.
+func TestCompileDetailedRejectsBadTrace(t *testing.T) {
+	base := DetailedConfig{
+		Protocol: core.DoubleNBL,
+		Params:   corrParams(8),
+		Phi:      2,
+		Tbase:    100,
+	}
+	mismatched := base
+	mismatched.Trace = &failure.Trace{Nodes: 16, Horizon: 1e9}
+	if _, err := CompileDetailed(mismatched); err == nil {
+		t.Fatal("node-count mismatch should fail to compile")
+	}
+	invalid := base
+	invalid.Trace = &failure.Trace{Nodes: 8, Events: []failure.Event{{Time: -1, Node: 0}}}
+	if _, err := CompileDetailed(invalid); err == nil {
+		t.Fatal("invalid trace should fail to compile")
+	}
+}
+
+// TestDetailedTraceReplayDeterministic pins replay determinism across
+// runners and repeated runs of one runner: the trace is the failure
+// sample, so every run is bitwise the same result.
+func TestDetailedTraceReplayDeterministic(t *testing.T) {
+	// Record a trace from a generated run so it contains a realistic
+	// failure mix, with a horizon comfortably past the app's needs.
+	gen := failure.NewMerged(8, 400, rng.New(99))
+	tr := failure.Collect(gen, 8, 400, "exponential", 1e7)
+	cfg := DetailedConfig{
+		Protocol: core.DoubleNBL,
+		Params:   corrParams(8),
+		Phi:      2,
+		Tbase:    5000,
+		Trace:    tr,
+	}
+	b, err := CompileDetailed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := b.NewRunner()
+	first, err := r1.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Failures == 0 {
+		t.Fatal("trace replay saw no failures; trace too sparse for the test")
+	}
+	again, err := r1.Run(2) // different seed: the trace decides, not the seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("same runner diverged across runs:\n%+v\n%+v", first, again)
+	}
+	fresh, err := b.NewRunner().Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != fresh {
+		t.Fatalf("fresh runner diverged:\n%+v\n%+v", first, fresh)
+	}
+}
+
+// TestBatchCorrelatedDeterministic pins seed determinism of the burst
+// model through the batch path, and that correlated batches skip the
+// lane kernel.
+func TestBatchCorrelatedDeterministic(t *testing.T) {
+	cfg := Config{
+		Protocol: core.DoubleNBL,
+		Params:   corrParams(16),
+		Phi:      2,
+		Tbase:    5000,
+		Correlation: &failure.Correlation{
+			Domains: &failure.DomainSpec{Size: 4, Rate: 1.0 / 500},
+		},
+	}
+	b, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.NewLaneRunner(DefaultLaneWidth); err == nil {
+		t.Fatal("correlated batch must not get a lane runner")
+	}
+	r := b.NewRunner()
+	a1 := r.Run(7)
+	a2 := b.NewRunner().Run(7)
+	if a1 != a2 {
+		t.Fatalf("seed 7 diverged across runners:\n%+v\n%+v", a1, a2)
+	}
+	if r.Run(8) == a1 {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+	// The aggregate path must agree across worker counts (scalar
+	// fallback keeps the worker-count-bitwise contract).
+	agg1, err := b.RunManySeeded(100, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg4, err := b.RunManySeeded(100, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg1 != agg4 {
+		t.Fatalf("worker counts diverged:\n%+v\n%+v", agg1, agg4)
+	}
+}
+
+// TestBatchGroupsDeterministic does the same for the per-group MTBF
+// axis, which routes through the heterogeneous renewal source.
+func TestBatchGroupsDeterministic(t *testing.T) {
+	cfg := Config{
+		Protocol: core.DoubleNBL,
+		Params:   corrParams(16),
+		Phi:      2,
+		Tbase:    5000,
+		Correlation: &failure.Correlation{
+			Groups: []float64{4, 2, 1, 1},
+		},
+	}
+	b, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.NewLaneRunner(DefaultLaneWidth); err == nil {
+		t.Fatal("grouped batch must not get a lane runner")
+	}
+	r := b.NewRunner()
+	a1 := r.Run(7)
+	a2 := b.NewRunner().Run(7)
+	if a1 != a2 {
+		t.Fatalf("seed 7 diverged across runners:\n%+v\n%+v", a1, a2)
+	}
+	agg1, err := b.RunManySeeded(100, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg3, err := b.RunManySeeded(100, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg1 != agg3 {
+		t.Fatalf("worker counts diverged:\n%+v\n%+v", agg1, agg3)
+	}
+}
+
+// TestCompileRejectsBadCorrelation checks compile-time validation of
+// the correlation axes.
+func TestCompileRejectsBadCorrelation(t *testing.T) {
+	base := Config{
+		Protocol: core.DoubleNBL,
+		Params:   corrParams(16),
+		Phi:      2,
+		Tbase:    100,
+	}
+	bad := base
+	bad.Correlation = &failure.Correlation{Domains: &failure.DomainSpec{Size: 5, Rate: 1}}
+	if _, err := Compile(bad); err == nil {
+		t.Fatal("non-dividing domain size should fail to compile")
+	}
+	bad = base
+	bad.Correlation = &failure.Correlation{Groups: []float64{1, 2, 3}}
+	if _, err := Compile(bad); err == nil {
+		t.Fatal("non-dividing group count should fail to compile")
+	}
+}

@@ -33,6 +33,15 @@ type DetailedConfig struct {
 	ImageBytes int64
 	// Law optionally overrides the Exponential failure law.
 	Law failure.Law
+	// Correlation optionally sets correlated failure domains and/or
+	// per-group MTBFs (carried by pointer so the config stays
+	// comparable — it keys the one-shot memo map).
+	Correlation *failure.Correlation
+	// Trace, when set, replays the recorded failure log instead of
+	// generating failures; the run errors with failure.ErrTraceExhausted
+	// if it outlives the trace's coverage. Seed and Law are then unused
+	// for failure sampling.
+	Trace *failure.Trace
 	// MaxSimTime bounds the run (0 → 1000×Tbase).
 	MaxSimTime float64
 }
@@ -128,8 +137,11 @@ func RunDetailed(cfg DetailedConfig) (DetailedResult, error) {
 	// spellings of one physical configuration share one memo entry
 	// (the promise DetailedConfig.Normalize documents).
 	cfg = cfg.Normalize()
-	if cfg.Law != nil && !reflect.TypeOf(cfg.Law).Comparable() {
-		// A non-comparable custom law cannot key the memo map; fall back
+	if (cfg.Law != nil && !reflect.TypeOf(cfg.Law).Comparable()) ||
+		cfg.Correlation != nil || cfg.Trace != nil {
+		// A non-comparable custom law cannot key the memo map, and the
+		// correlation/trace pointers would key by identity (every fresh
+		// pointer a new entry, unbounded growth for no hits); fall back
 		// to the historical compile-per-call path.
 		b, err := CompileDetailed(cfg)
 		if err != nil {
@@ -203,13 +215,14 @@ type DetailedBatch struct {
 // by all seeds. cfg.Seed is ignored (seeds are per run).
 func CompileDetailed(cfg DetailedConfig) (*DetailedBatch, error) {
 	fast := Config{
-		Protocol:   cfg.Protocol,
-		Params:     cfg.Params,
-		Phi:        cfg.Phi,
-		Period:     cfg.Period,
-		Tbase:      cfg.Tbase,
-		Law:        cfg.Law,
-		MaxSimTime: cfg.MaxSimTime,
+		Protocol:    cfg.Protocol,
+		Params:      cfg.Params,
+		Phi:         cfg.Phi,
+		Period:      cfg.Period,
+		Tbase:       cfg.Tbase,
+		Law:         cfg.Law,
+		Correlation: cfg.Correlation,
+		MaxSimTime:  cfg.MaxSimTime,
 	}
 	if err := fast.Validate(); err != nil {
 		return nil, err
@@ -217,6 +230,15 @@ func CompileDetailed(cfg DetailedConfig) (*DetailedBatch, error) {
 	if cfg.Params.N%cfg.Protocol.GroupSize() != 0 {
 		return nil, fmt.Errorf("sim: %d ranks not divisible by group size %d",
 			cfg.Params.N, cfg.Protocol.GroupSize())
+	}
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Trace.Nodes != cfg.Params.N {
+			return nil, fmt.Errorf("sim: trace recorded for %d nodes, platform has %d",
+				cfg.Trace.Nodes, cfg.Params.N)
+		}
 	}
 	if cfg.Spares < 0 || cfg.ImageBytes < 0 {
 		return nil, fmt.Errorf("sim: negative substrate shape (spares %d, imageBytes %d)",
@@ -268,7 +290,13 @@ func (b *DetailedBatch) Config() DetailedConfig {
 // per worker.
 func (b *DetailedBatch) NewRunner() *DetailedRunner {
 	eng := &engine{compiled: b.c, comp: make([]riskEntry, 0, 16)}
-	eng.initSource(nil)
+	var src failure.Source
+	if b.cfg.Trace != nil {
+		// Each runner owns its replay cursor; the trace itself is shared
+		// read-only across runners.
+		src = failure.NewReplayTrace(b.cfg.Trace)
+	}
+	eng.initSource(src)
 	cl, err := cluster.New(b.cfg.Params.N, b.cfg.Spares, b.cfg.Protocol.GroupSize())
 	if err != nil {
 		// The shape was validated at compile time.
@@ -445,6 +473,14 @@ func (d *detailedEngine) run() (DetailedResult, error) {
 		if ok && ev.Time < horizon {
 			target = ev.Time
 		}
+		if !ok {
+			// An exhausted trace vouches for silence only up to its
+			// coverage; the run may finish inside it but must not coast
+			// fault-free past it.
+			if cov := e.sourceCoverage(); cov < target {
+				target = cov
+			}
+		}
 		done := e.advanceUntil(target)
 		d.processRestores(e.t)
 		if done {
@@ -453,7 +489,16 @@ func (d *detailedEngine) run() (DetailedResult, error) {
 			d.finish()
 			return d.res, nil
 		}
-		if !ok || ev.Time >= horizon {
+		if !ok {
+			if cov := e.sourceCoverage(); cov < horizon {
+				return DetailedResult{}, fmt.Errorf("sim: %w: log covers [0, %v], simulation still running at t=%v",
+					failure.ErrTraceExhausted, cov, e.t)
+			}
+			d.res.Result = e.res
+			d.finish()
+			return d.res, nil
+		}
+		if ev.Time >= horizon {
 			d.res.Result = e.res
 			d.finish()
 			return d.res, nil

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/failure"
@@ -61,12 +62,19 @@ type engine struct {
 
 	// Failure source: exactly one of merged / renewal / src is active.
 	// merged is the concrete exponential fast path (no interface
-	// dispatch, no per-run stream allocation); renewal covers Config.Law;
-	// src covers externally supplied sources (trace replay).
+	// dispatch, no per-run stream allocation); renewal covers Config.Law
+	// and the per-node laws of MTBF groups; src covers externally
+	// supplied sources (trace replay).
 	merged  *failure.Merged
 	renewal *failure.Renewal
 	src     failure.Source
-	stream  rng.Stream // owned stream backing merged / renewal
+	// domains, when the config sets a burst model, wraps the active
+	// source above and takes over nextFailure.
+	domains *failure.Domains
+	// replay is src's concrete type when it is a rewindable trace
+	// replay, so reset can rewind it for batch reuse.
+	replay *failure.Replay
+	stream rng.Stream // owned stream backing merged / renewal / domains
 	// antithetic selects the reflected-uniform failure sample for the
 	// next reset: the run consumes the identical raw RNG state (same
 	// victims, same draw counts) but every inter-arrival time is drawn
@@ -100,6 +108,10 @@ type engine struct {
 	// fault-free period fast-forward, so every commit is observed.
 	onCommit func(t float64)
 
+	// err records a run-level failure condition (trace exhausted before
+	// the simulation could conclude); reset clears it.
+	err error
+
 	res Result
 }
 
@@ -117,16 +129,32 @@ func newEngine(cfg Config) (*engine, error) {
 }
 
 // initSource installs the failure source: an external Source when
-// given, the per-node renewal process when a Law is set, and the
-// merged exponential process otherwise.
+// given, the per-node renewal process when a Law (or per-group MTBF
+// weights) is set, and the merged exponential process otherwise. A
+// configured burst model wraps whichever background is active.
 func (e *engine) initSource(src failure.Source) {
+	var bg failure.Source
 	switch {
 	case src != nil:
 		e.src = src
+		if r, ok := src.(*failure.Replay); ok {
+			e.replay = r
+		}
+		bg = src
+	case e.nodeLaws != nil:
+		e.renewal = failure.NewRenewal(e.nodeLaws, &e.stream)
+		bg = e.renewal
 	case e.law != nil:
 		e.renewal = failure.NewRenewalUniform(e.p.N, e.law, &e.stream)
+		bg = e.renewal
 	default:
 		e.merged = failure.NewMerged(e.p.N, e.p.M, &e.stream)
+		bg = e.merged
+	}
+	if e.corr != nil && e.corr.Domains != nil {
+		// The burst stream splits from e.stream without advancing it, so
+		// the background's draws are exactly what they would be unwrapped.
+		e.domains = failure.NewDomains(e.p.N, *e.corr.Domains, bg, &e.stream)
 	}
 }
 
@@ -148,6 +176,7 @@ func (e *engine) reset(seed uint64) {
 	e.riskUntil = 0
 	e.everCommitted = false
 	e.res = Result{Period: e.period}
+	e.err = nil
 	// The reflection mode is applied before reseeding: Reseed preserves
 	// it (and renewal child streams inherit it through ReseedSplit), so
 	// the whole failure sample of the run is plain or antithetic as one.
@@ -158,6 +187,20 @@ func (e *engine) reset(seed uint64) {
 	case e.renewal != nil:
 		e.stream.Reseed(seed)
 		e.renewal.Reseed(&e.stream)
+	default:
+		if e.replay != nil {
+			e.replay.Rewind()
+		}
+		if e.domains != nil {
+			// No generative background owns the stream; seed it so the
+			// burst process still derives deterministically from the seed.
+			e.stream.Reseed(seed)
+		}
+	}
+	if e.domains != nil {
+		// After the background: the burst stream re-derives from the
+		// freshly seeded parent state (without advancing it).
+		e.domains.Reseed(&e.stream)
 	}
 }
 
@@ -175,6 +218,9 @@ func (e *engine) runSeed(seed uint64, antithetic bool) Result {
 // The merged exponential path is a concrete call the compiler can
 // devirtualize and inline.
 func (e *engine) nextFailure() (failure.Event, bool) {
+	if e.domains != nil {
+		return e.domains.Next()
+	}
 	if e.merged != nil {
 		return e.merged.Next()
 	}
@@ -182,6 +228,26 @@ func (e *engine) nextFailure() (failure.Event, bool) {
 		return e.renewal.Next()
 	}
 	return e.src.Next()
+}
+
+// sourceCoverage returns the absolute time up to which the active
+// source's silence is meaningful. Generative sources never exhaust, so
+// the question only arises for bounded sources (trace replays, wrapped
+// or not); everything else covers forever.
+func (e *engine) sourceCoverage() float64 {
+	var s failure.Source
+	switch {
+	case e.domains != nil:
+		s = e.domains
+	case e.src != nil:
+		s = e.src
+	default:
+		return math.Inf(1)
+	}
+	if b, ok := s.(failure.Bounded); ok {
+		return b.CoverageHorizon()
+	}
+	return math.Inf(1)
 }
 
 // scheduleWork returns the work accomplished by the schedule between
@@ -541,12 +607,27 @@ func (e *engine) run() Result {
 		if ok && ev.Time < e.horizon {
 			target = ev.Time
 		}
+		if !ok {
+			// An exhausted bounded source vouches for silence only up to
+			// its coverage; the run may finish inside it but must not
+			// coast fault-free past it.
+			if cov := e.sourceCoverage(); cov < target {
+				target = cov
+			}
+		}
 		if e.advanceUntil(target) {
 			e.res.Completed = true
 			break
 		}
-		if !ok || ev.Time >= e.horizon {
-			break // horizon reached (saturated) or trace exhausted
+		if !ok {
+			if cov := e.sourceCoverage(); cov < e.horizon {
+				e.err = fmt.Errorf("%w: log covers [0, %v], simulation still running at t=%v",
+					failure.ErrTraceExhausted, cov, e.t)
+			}
+			break // horizon reached, trace exhausted, or coverage ended
+		}
+		if ev.Time >= e.horizon {
+			break // horizon reached (saturated)
 		}
 		if e.applyFailure(ev.Node) {
 			break // fatal

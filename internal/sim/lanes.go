@@ -126,10 +126,12 @@ type LaneRunner struct {
 
 // NewLaneRunner returns a lane-batched runner of the given width.
 // Batches with a renewal failure law have no lane path (each lane
-// would need N per-node streams); callers fall back to NewRunner.
+// would need N per-node streams), and correlated batches none either
+// (the closed-form fast-forward assumes independent failures); callers
+// fall back to NewRunner.
 func (b *Batch) NewLaneRunner(width int) (*LaneRunner, error) {
-	if b.c.law != nil {
-		return nil, fmt.Errorf("sim: lane runner requires the merged exponential failure path (Law must be nil)")
+	if !b.c.iid() {
+		return nil, fmt.Errorf("sim: lane runner requires the i.i.d. merged exponential failure path (no Law, no Correlation)")
 	}
 	if width < 1 || width > 1<<16 {
 		return nil, fmt.Errorf("sim: lane width %d must be in [1, 65536]", width)

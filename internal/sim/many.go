@@ -105,7 +105,7 @@ func RunManyWorkers(cfg Config, runs, workers int) (Aggregate, error) {
 // worker owns one reusable runner (kept across chunks), so the
 // steady-state simulation loop allocates nothing.
 func (b *Batch) RunManySeeded(base uint64, runs, workers int) (Aggregate, error) {
-	if b.c.law == nil {
+	if b.c.iid() {
 		return b.aggregateLanes(runs, workers, false,
 			func(lo int, seeds []uint64, anti []bool) {
 				for i := range seeds {
@@ -130,7 +130,7 @@ func (b *Batch) RunManySeeded(base uint64, runs, workers int) (Aggregate, error)
 // executor routes through it.
 func (b *Batch) RunAntitheticSeeded(base uint64, first, runs, workers int,
 	observe func(Result)) (Aggregate, error) {
-	if b.c.law == nil {
+	if b.c.iid() {
 		return b.aggregateLanes(runs, workers, true,
 			func(lo int, seeds []uint64, anti []bool) {
 				for i := range seeds {

@@ -50,6 +50,11 @@ type Config struct {
 	// process. Setting Law forces the per-node renewal source even for
 	// exponential laws.
 	Law failure.Law
+	// Correlation optionally leaves the i.i.d. world: correlated
+	// failure domains (burst model) and/or heterogeneous per-group
+	// MTBFs, superposed on the background process selected by
+	// Law/Source. Nil keeps the classic independent model.
+	Correlation *failure.Correlation
 	// MaxSimTime aborts runs that exceed this horizon (defence against
 	// saturated configurations where the application cannot finish).
 	// 0 means 1000×Tbase.
@@ -116,11 +121,15 @@ func (c *Config) Validate() error {
 
 // Run simulates one execution. Batch callers should Compile once and
 // reuse a Runner instead: Run pays the per-batch precomputation and
-// the engine allocation on every call.
+// the engine allocation on every call. A trace-backed run whose
+// failure log ends before the application completes returns an error
+// wrapping failure.ErrTraceExhausted (running on would silently
+// simulate a fault-free tail).
 func Run(cfg Config) (Result, error) {
 	eng, err := newEngine(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return eng.run(), nil
+	res := eng.run()
+	return res, eng.err
 }
