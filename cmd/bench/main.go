@@ -2,10 +2,11 @@
 // Monte-Carlo kernel, the streaming batch aggregation, the detailed
 // substrate engine (memoized one-shot vs compiled batch), the API
 // sweep engine, the durable job path, the adaptive-precision executor
-// with its equal-CI fixed-budget comparison, and the distributed
-// fabric's coordination overhead — and writes a machine-readable JSON
-// report, so every PR extends a comparable perf trajectory
-// (BENCH_PR8.json is this PR's committed snapshot). The lane-batched
+// with its equal-CI fixed-budget comparison, the distributed fabric's
+// coordination overhead, and the replication plane's quorum tax on the
+// durable job path — and writes a machine-readable JSON report, so
+// every PR extends a comparable perf trajectory (BENCH_PR10.json is
+// this PR's committed snapshot). The lane-batched
 // kernel is reported per layer — runner_throughput (scalar oracle),
 // lane_exact (SoA + wave replay, bitwise-scalar), lane_fast_inverse
 // (closed-form replay, inverse-CDF sampler) and engine_throughput
@@ -15,7 +16,7 @@
 // Usage:
 //
 //	go run ./cmd/bench [-short] [-out bench.json] \
-//	    [-baseline BENCH_PR8.json] [-max-regress 0.25] \
+//	    [-baseline BENCH_PR10.json] [-max-regress 0.25] \
 //	    [-cpuprofile cpu.pprof]
 //
 // With -baseline, the measured headline ns/op rows are compared
@@ -31,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -396,6 +398,128 @@ func benchJobOverhead(short bool) Metric {
 	return metric("job_overhead", res)
 }
 
+// benchReplicationOverhead measures the replication tax on the durable
+// job path: the benchJobOverhead workload executed by a manager whose
+// checkpoints must reach a write quorum of two in-process HTTP replicas
+// (a 3-node fleet's worth), versus the same manager unreplicated. NsOp
+// is the replicated job; Extra carries the unreplicated ns/op and the
+// overhead ratio — the framing, CRC check, HTTP round trips and quorum
+// wait per checkpoint, which is the cost every HA deployment pays.
+func benchReplicationOverhead(short bool) Metric {
+	newMgr := func(svc *api.Service, dir string, repl jobs.ReplicationSink) *jobs.Manager {
+		mgr, err := jobs.NewManager(jobs.Config{
+			Dir:             dir,
+			MaxConcurrent:   2,
+			CheckpointEvery: 4,
+			Exec:            svc.JobExecutor(),
+			Normalize:       svc.NormalizeJobRequest,
+			Replicate:       repl,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return mgr
+	}
+	jobLoop := func(mgr *jobs.Manager, seed *int) func(b *testing.B) {
+		tbase, runs := 20000, 8
+		if short {
+			tbase, runs = 10000, 2
+		}
+		const points = 4 // 2 φ points × 2 MTBFs
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				*seed++ // fresh seed: a new job id and a cache-cold grid
+				body := fmt.Sprintf(`{"protocols": ["DoubleNBL"], "phiFracs": [0.25, 0.75],
+					"mtbfs": [1800, 3600], "tbase": %d, "runs": %d, "seed": %d}`, tbase, runs, *seed)
+				meta, created, err := mgr.Submit([]byte(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !created {
+					b.Fatalf("job %s deduped; the seed should be fresh", meta.ID)
+				}
+				final, err := mgr.Wait(context.Background(), meta.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if final.State != jobs.Done || final.Completed != points {
+					b.Fatalf("job finished as %+v", final)
+				}
+			}
+		}
+	}
+	tmp := func() string {
+		dir, err := os.MkdirTemp("", "bench-repl-*")
+		if err != nil {
+			fatal(err)
+		}
+		return dir
+	}
+	dirs := []string{tmp(), tmp(), tmp()}
+	defer func() {
+		for _, d := range dirs {
+			os.RemoveAll(d)
+		}
+	}()
+
+	// Two replica peers, each a real store behind a real HTTP server.
+	peers := make([]string, 2)
+	servers := make([]*httptest.Server, 2)
+	for i := range peers {
+		store, err := jobs.NewStore(dirs[i])
+		if err != nil {
+			fatal(err)
+		}
+		rp, err := fabric.NewReplica(fabric.ReplicaConfig{Store: store})
+		if err != nil {
+			fatal(err)
+		}
+		mux := http.NewServeMux()
+		rp.Routes(mux)
+		servers[i] = httptest.NewServer(mux)
+		peers[i] = servers[i].URL
+	}
+	defer func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}()
+	leaderStore, err := jobs.NewStore(dirs[2])
+	if err != nil {
+		fatal(err)
+	}
+	repl, err := fabric.NewReplicator(fabric.ReplicatorConfig{
+		Self:  "http://bench-leader",
+		Peers: peers,
+		Store: leaderStore,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	seed := 1 << 24
+	svc := api.NewService(api.Options{})
+	mgr := newMgr(svc, dirs[2], repl)
+	res := testing.Benchmark(jobLoop(mgr, &seed))
+	mgr.Close()
+
+	plainDir := tmp()
+	defer os.RemoveAll(plainDir)
+	plain := newMgr(svc, plainDir, nil)
+	plainRes := testing.Benchmark(jobLoop(plain, &seed))
+	plain.Close()
+
+	m := metric("replication_overhead", res)
+	if m.Extra == nil {
+		m.Extra = make(map[string]float64)
+	}
+	plainNs := float64(plainRes.T.Nanoseconds()) / float64(plainRes.N)
+	m.Extra["unreplicated_ns_op"] = plainNs
+	m.Extra["overhead_ratio"] = m.NsOp / plainNs
+	return m
+}
+
 // adaptiveBenchGrid compiles the representative 3-backend grid of the
 // adaptive-vs-fixed comparison: fast points spanning the variance
 // spectrum (hostile, moderate and healthy MTBFs on one platform), a
@@ -661,6 +785,10 @@ var gatedBenches = []gatedBench{
 	// buffers), so its alloc gate is relative. Not required: baselines
 	// older than PR 6 do not carry it.
 	{name: "fabric_overhead", measure: benchFabricOverhead, relAllocs: true},
+	// The replicated job path allocates per checkpoint (frames, HTTP
+	// requests, quorum fan-out), so its alloc gate is relative. Not
+	// required: baselines older than PR 10 do not carry it.
+	{name: "replication_overhead", measure: benchReplicationOverhead, relAllocs: true},
 }
 
 // gate compares the measured headline benchmarks against a committed
@@ -790,6 +918,7 @@ func main() {
 		benchJobOverhead,
 		benchAdaptive,
 		benchFabricOverhead,
+		benchReplicationOverhead,
 	} {
 		m := run(*short)
 		fmt.Printf("%-22s %14.0f ns/op %8d allocs/op", m.Name, m.NsOp, m.AllocsOp)

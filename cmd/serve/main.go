@@ -22,8 +22,21 @@
 //	      [-checkpoint-every 16]
 //	      [-coordinator] [-workers http://h1:8080,http://h2:8080]
 //	      [-worker-of coordinator-name] [-lease 15s]
+//	      [-peers http://h1:8080,http://h2:8080,http://h3:8080]
+//	      [-self http://h1:8080] [-standby] [-replicas 0]
+//	      [-heartbeat 1s] [-lease-ttl 4s]
 //	      [-traces traces/]
 //	      [-chaos "seed=42;comms:drop=0.1"]
+//
+// -peers turns the node into one member of an HA fleet: every durable
+// job mutation is replicated over /v1/replica/* and only acked on a
+// write quorum (-replicas peer acks; default a cluster majority), so
+// any peer can resume any job with no shared disk. Exactly one node
+// starts without -standby and leads at term 1; when its lease
+// (-lease-ttl, renewed every -heartbeat) expires, the standbys promote
+// in -peers order, adopt the replicated jobs, and resume byte-
+// identically. A deposed leader is fenced by its stale term and halts
+// instead of split-brain appending. See DESIGN.md, "Failure model".
 //
 // -traces registers every *.json failure trace in the directory (see
 // cmd/trace for importing real failure logs); sweeps replay one with
@@ -73,6 +86,12 @@ func main() {
 	workerURLs := flag.String("workers", "", "comma-separated worker base URLs for -coordinator mode")
 	workerOf := flag.String("worker-of", "", "run as a fabric worker for the named coordinator (disables the local job store)")
 	lease := flag.Duration("lease", 15*time.Second, "coordinator per-dispatch heartbeat budget before re-dispatch")
+	peers := flag.String("peers", "", "comma-separated fleet node URLs (including this node) enabling HA job replication")
+	selfURL := flag.String("self", "", "this node's URL as it appears in -peers")
+	standby := flag.Bool("standby", false, "join the HA fleet as a standby (exactly one node omits this)")
+	replicas := flag.Int("replicas", 0, "peer acks a replicated write needs before the leader acks it (0 = cluster majority)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "HA leader lease-renewal period")
+	leaseTTL := flag.Duration("lease-ttl", 4*time.Second, "HA leader lease TTL before standbys promote")
 	flag.Parse()
 
 	if *coordinator && *workerOf != "" {
@@ -82,6 +101,20 @@ func main() {
 	if *coordinator && *workerURLs == "" {
 		fmt.Fprintln(os.Stderr, "serve: -coordinator needs -workers URL,URL,...")
 		os.Exit(1)
+	}
+	if *peers != "" {
+		if *selfURL == "" {
+			fmt.Fprintln(os.Stderr, "serve: -peers needs -self URL")
+			os.Exit(1)
+		}
+		if *workerOf != "" {
+			fmt.Fprintln(os.Stderr, "serve: -peers and -worker-of are mutually exclusive")
+			os.Exit(1)
+		}
+		if *jobsDir == "" {
+			fmt.Fprintln(os.Stderr, "serve: -peers needs a -jobs-dir (replication is of the durable job store)")
+			os.Exit(1)
+		}
 	}
 	if *workerOf != "" {
 		// A worker evaluates ranges on behalf of its coordinator; jobs
@@ -127,6 +160,14 @@ func main() {
 		}
 	}
 
+	// Seeds for the operationally random (never byte-visible) sources:
+	// an armed chaos plan pins them to its seed so drills replay; the
+	// zero default lets each component draw from the clock (and log it).
+	var chaosSeed uint64
+	if injector != nil {
+		chaosSeed = injector.Plan().Seed
+	}
+
 	var coord *fabric.Coordinator
 	if *coordinator {
 		var client *http.Client
@@ -135,10 +176,12 @@ func main() {
 		}
 		var err error
 		coord, err = fabric.New(fabric.Config{
-			Service: svc,
-			Workers: splitURLs(*workerURLs),
-			Client:  client,
-			Lease:   *lease,
+			Service:    svc,
+			Workers:    splitURLs(*workerURLs),
+			Client:     client,
+			Lease:      *lease,
+			JitterSeed: chaosSeed,
+			Logf:       log.Printf,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
@@ -146,8 +189,12 @@ func main() {
 		}
 	}
 
-	var mgr *jobs.Manager
-	if *jobsDir != "" {
+	// newManager builds the execution plane over the job store: the
+	// coordinator executor when sharding across a fleet, the local
+	// sweep engine otherwise. In HA mode it runs once per leadership
+	// term (repl carries the term's replication sink); in single-node
+	// mode once at startup with no sink.
+	newManager := func(repl jobs.ReplicationSink) (*jobs.Manager, error) {
 		exec := svc.JobExecutor()
 		if coord != nil {
 			// Coordinator jobs execute across the fleet; checkpoints
@@ -155,8 +202,7 @@ func main() {
 			// resumes a distributed job from its last durable point.
 			exec = coord.Executor()
 		}
-		var err error
-		mgr, err = jobs.NewManager(jobs.Config{
+		mgr, err := jobs.NewManager(jobs.Config{
 			Dir:               *jobsDir,
 			MaxConcurrent:     *maxJobs,
 			MaxQueued:         *maxQueued,
@@ -164,12 +210,12 @@ func main() {
 			Exec:              exec,
 			Normalize:         svc.NormalizeJobRequest,
 			ResultsAppendHook: injector.AppendHook(),
+			Replicate:         repl,
+			JanitorSeed:       int64(chaosSeed),
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "serve:", err)
-			os.Exit(1)
+			return nil, err
 		}
-		svc.AttachJobs(mgr)
 		metas := mgr.List()
 		resumed := 0
 		for _, meta := range metas {
@@ -178,12 +224,80 @@ func main() {
 			}
 		}
 		log.Printf("serve: job store %s (%d jobs, %d to run)", *jobsDir, len(metas), resumed)
+		return mgr, nil
+	}
+
+	var mgr *jobs.Manager
+	var ha *fabric.HA
+	switch {
+	case *peers != "":
+		store, err := jobs.NewStore(*jobsDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		replClient := http.DefaultClient
+		if injector != nil {
+			replClient = &http.Client{Transport: &chaos.Transport{
+				Injector:        injector,
+				Site:            chaos.SiteReplica,
+				CorruptRequests: true,
+			}}
+		}
+		ha, err = fabric.NewHA(fabric.HAConfig{
+			Self:           *selfURL,
+			Peers:          splitURLs(*peers),
+			Store:          store,
+			Client:         replClient,
+			HeartbeatEvery: *heartbeat,
+			LeaseTTL:       *leaseTTL,
+			Quorum:         *replicas,
+			Leader:         !*standby,
+			Logf:           log.Printf,
+			OnPromote: func(term uint64, repl *fabric.Replicator) (func(), error) {
+				m, err := newManager(repl)
+				if err != nil {
+					return nil, err
+				}
+				svc.AttachJobs(m)
+				log.Printf("serve: leading at term %d; job manager attached", term)
+				return func() {
+					svc.DetachJobs()
+					m.Close()
+					log.Printf("serve: fenced at term %d; job manager detached", term)
+				}, nil
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		if err := ha.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		role := "standby"
+		if !*standby {
+			role = "leader"
+		}
+		log.Printf("serve: HA %s %s in fleet %s (heartbeat %s, lease-ttl %s)",
+			role, *selfURL, *peers, *heartbeat, *leaseTTL)
+	case *jobsDir != "":
+		var err error
+		if mgr, err = newManager(nil); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		svc.AttachJobs(mgr)
 	}
 
 	handler := api.NewServer(svc)
 	if coord != nil {
 		handler = coord.Handler(handler)
 		log.Printf("serve: coordinator over %d workers (lease %s)", len(splitURLs(*workerURLs)), *lease)
+	}
+	if ha != nil {
+		handler = ha.Handler(handler)
 	}
 	if *workerOf != "" {
 		log.Printf("serve: fabric worker for %s", *workerOf)
@@ -207,6 +321,12 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
+	}
+	if ha != nil {
+		ha.Close()
+		if m := svc.Jobs(); m != nil {
+			mgr = m // this node was leading: flush its manager too
+		}
 	}
 	if mgr != nil {
 		// Flush running jobs' progress; they stay "running" on disk and

@@ -65,9 +65,12 @@ type Service struct {
 	// claiming the whole machine, and interactive waiters are admitted
 	// before queued job points.
 	pool *jobs.Pool
-	// jobs is the optional durable job manager behind /v1/jobs; nil
-	// until AttachJobs.
-	jobs *jobs.Manager
+	// jobs holds the optional durable job manager behind /v1/jobs (nil
+	// until AttachJobs). It is an atomic pointer because HA promotion
+	// attaches a manager to a long-running standby's service — and a
+	// fenced leader detaches its closing one — while request handlers
+	// race the swap.
+	jobs atomic.Pointer[jobs.Manager]
 	// simPoints counts sweep points actually simulated (cache misses);
 	// tests and the /healthz endpoint use it to prove cache hits skip
 	// the simulator.
@@ -111,14 +114,22 @@ func NewService(opt Options) *Service {
 	}
 }
 
-// AttachJobs wires the durable job manager into the service; NewServer
-// then mounts the /v1/jobs endpoints. The manager must have been built
-// with this service's JobExecutor and NormalizeJobRequest, so both the
-// synchronous and the job path run through one execution engine.
-func (s *Service) AttachJobs(mgr *jobs.Manager) { s.jobs = mgr }
+// AttachJobs wires the durable job manager into the service's /v1/jobs
+// endpoints (mounted by NewServer; they answer 503 until a manager is
+// attached). The manager must have been built with this service's
+// JobExecutor and NormalizeJobRequest, so both the synchronous and the
+// job path run through one execution engine. Safe to call on a live
+// server — a promoted standby attaches its manager mid-flight.
+func (s *Service) AttachJobs(mgr *jobs.Manager) { s.jobs.Store(mgr) }
 
-// Jobs returns the attached job manager (nil when jobs are disabled).
-func (s *Service) Jobs() *jobs.Manager { return s.jobs }
+// DetachJobs unwires the job manager: a fenced ex-leader detaches its
+// closing manager so /v1/jobs requests answer 503 (retryable against
+// the new leader) instead of racing a shutdown.
+func (s *Service) DetachJobs() { s.jobs.Store(nil) }
+
+// Jobs returns the attached job manager (nil when jobs are disabled or
+// the node is an unpromoted standby).
+func (s *Service) Jobs() *jobs.Manager { return s.jobs.Load() }
 
 // RegisterTrace validates tr and registers it under name for replay
 // through the sweep's scenario.trace axis. The returned id is

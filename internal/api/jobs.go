@@ -111,13 +111,32 @@ func writeJobError(w http.ResponseWriter, err error) {
 	writeError(w, status, err)
 }
 
+// jobsManager returns the attached manager, answering 503 with a
+// Retry-After (the shape of queue shedding: the request is fine, the
+// node cannot take it right now) when none is attached — jobs are
+// disabled, or this is a standby whose promotion has not handed it a
+// manager yet. Callers return immediately on nil.
+func (s *Service) jobsManager(w http.ResponseWriter) *jobs.Manager {
+	mgr := s.Jobs()
+	if mgr == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("api: no job manager attached (standby, or jobs disabled)"))
+	}
+	return mgr
+}
+
 func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	mgr := s.jobsManager(w)
+	if mgr == nil {
+		return
+	}
 	body := new(bytes.Buffer)
 	if _, err := body.ReadFrom(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
 		return
 	}
-	meta, created, err := s.jobs.Submit(body.Bytes())
+	meta, created, err := mgr.Submit(body.Bytes())
 	if err != nil {
 		writeJobError(w, err)
 		return
@@ -129,7 +148,11 @@ func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleJobList(w http.ResponseWriter, r *http.Request) {
-	metas := s.jobs.List()
+	mgr := s.jobsManager(w)
+	if mgr == nil {
+		return
+	}
+	metas := mgr.List()
 	if metas == nil {
 		metas = []jobs.Meta{} // "jobs": [] rather than null
 	}
@@ -137,7 +160,11 @@ func (s *Service) handleJobList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleJobStatus(w http.ResponseWriter, r *http.Request) {
-	meta, err := s.jobs.Get(r.PathValue("id"))
+	mgr := s.jobsManager(w)
+	if mgr == nil {
+		return
+	}
+	meta, err := mgr.Get(r.PathValue("id"))
 	if err != nil {
 		writeJobError(w, err)
 		return
@@ -149,18 +176,22 @@ func (s *Service) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 // from the store instead. Either way the job's last status is the
 // response.
 func (s *Service) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	mgr := s.jobsManager(w)
+	if mgr == nil {
+		return
+	}
 	id := r.PathValue("id")
-	meta, err := s.jobs.Get(id)
+	meta, err := mgr.Get(id)
 	if err != nil {
 		writeJobError(w, err)
 		return
 	}
 	if meta.State.Terminal() {
-		if meta, err = s.jobs.Delete(id); err != nil {
+		if meta, err = mgr.Delete(id); err != nil {
 			writeJobError(w, err)
 			return
 		}
-	} else if meta, err = s.jobs.Cancel(id); err != nil {
+	} else if meta, err = mgr.Cancel(id); err != nil {
 		writeJobError(w, err)
 		return
 	}
@@ -173,6 +204,10 @@ func (s *Service) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 // with an {"error": ...} record, so a truncated result set is always
 // distinguishable from a complete one.
 func (s *Service) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	mgr := s.jobsManager(w)
+	if mgr == nil {
+		return
+	}
 	id := r.PathValue("id")
 	offset := 0
 	if q := r.URL.Query().Get("offset"); q != "" {
@@ -183,7 +218,7 @@ func (s *Service) handleJobResults(w http.ResponseWriter, r *http.Request) {
 		}
 		offset = n
 	}
-	if _, err := s.jobs.Get(id); err != nil {
+	if _, err := mgr.Get(id); err != nil {
 		writeJobError(w, err)
 		return
 	}
@@ -197,7 +232,7 @@ func (s *Service) handleJobResults(w http.ResponseWriter, r *http.Request) {
 	if flusher != nil {
 		flusher.Flush()
 	}
-	meta, err := s.jobs.StreamResults(r.Context(), id, offset, func(line []byte) error {
+	meta, err := mgr.StreamResults(r.Context(), id, offset, func(line []byte) error {
 		if err := r.Context().Err(); err != nil {
 			return err
 		}

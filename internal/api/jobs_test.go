@@ -452,14 +452,28 @@ func TestJobSubmitValidation(t *testing.T) {
 	}
 }
 
-// TestJobsDisabled: without an attached manager the job routes simply
-// do not exist.
+// TestJobsDisabled: without an attached manager the job routes exist
+// but shed every request with a retryable 503 — the same surface an HA
+// standby serves until promotion attaches a manager mid-flight.
 func TestJobsDisabled(t *testing.T) {
 	_, ts := newTestServer(t)
 	resp := post(t, ts.URL+"/v1/jobs", sweepBody, nil)
 	readBody(t, resp)
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("jobs route without a manager: status %d, want 404", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("jobs route without a manager: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("manager-less 503 carries no Retry-After")
+	}
+	for _, path := range []string{"/v1/jobs", "/v1/jobs/job-00", "/v1/jobs/job-00/results"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readBody(t, resp)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s without a manager: status %d, want 503", path, resp.StatusCode)
+		}
 	}
 }
 

@@ -30,8 +30,9 @@ const NDJSONContentType = "application/x-ndjson"
 // NewServer mounts the service's endpoints plus /healthz on a new
 // mux. The point endpoints take a POST with a JSON body and return
 // JSON; errors are {"error": "..."} with a 4xx/5xx status. The
-// /v1/jobs lifecycle endpoints are mounted when a job manager is
-// attached (AttachJobs).
+// /v1/jobs lifecycle endpoints are always mounted but answer 503
+// until a job manager is attached (AttachJobs) — an HA standby mounts
+// its routes long before promotion hands it a manager.
 func NewServer(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/waste", handlePoint(s.Waste))
@@ -40,13 +41,11 @@ func NewServer(s *Service) http.Handler {
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
-	if s.jobs != nil {
-		mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-		mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
-		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
-	}
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	return mux
 }
 
@@ -281,8 +280,8 @@ type ReadyStatus struct {
 // queue is saturated (new submissions are being shed with 503s).
 func (s *Service) ReadyStatus() ReadyStatus {
 	st := ReadyStatus{Ready: true}
-	if s.jobs != nil {
-		js := s.jobs.Stats()
+	if mgr := s.Jobs(); mgr != nil {
+		js := mgr.Stats()
 		st.Jobs = &js
 		st.Degraded = js.Saturated
 	}

@@ -66,6 +66,8 @@ const (
 	SiteStore = "store"
 	// SiteMerge is the fabric merger's line intake.
 	SiteMerge = "merge"
+	// SiteReplica is the leader→replica checkpoint replication channel.
+	SiteReplica = "replica"
 )
 
 // Rule arms one fault class at one site.

@@ -19,13 +19,22 @@ type injectedError struct{ d *Decision }
 func (e *injectedError) Error() string { return fmt.Sprintf("chaos: injected %s", e.d) }
 func (e *injectedError) Unwrap() error { return ErrInjected }
 
-// Transport wraps an http.RoundTripper with comms fault injection at
-// SiteComms: Drop and Partition fail the request outright, Delay
-// stalls it, Hang blocks until the request context dies, and Corrupt
-// flips one byte of the response body stream. A nil Injector is fully
-// transparent.
+// Transport wraps an http.RoundTripper with comms fault injection:
+// Drop and Partition fail the request outright, Delay stalls it, Hang
+// blocks until the request context dies, and Corrupt flips one byte of
+// the response body stream — or, with CorruptRequests, of the request
+// body before it leaves, which is how the replication channel's
+// silent-corruption case reaches the replica-side frame checksums. A
+// nil Injector is fully transparent.
 type Transport struct {
 	Injector *Injector
+	// Site is the injection site the transport rolls against (default
+	// SiteComms; the replication client uses SiteReplica).
+	Site string
+	// CorruptRequests redirects Corrupt decisions at the REQUEST body:
+	// the bytes are damaged in flight toward the server, so the
+	// receiver's integrity checks — not the sender's — must catch them.
+	CorruptRequests bool
 	// Next performs the real round trips (default
 	// http.DefaultTransport).
 	Next http.RoundTripper
@@ -39,7 +48,11 @@ func (t *Transport) next() http.RoundTripper {
 }
 
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
-	d := t.Injector.Decide(SiteComms, req.URL.Host)
+	site := t.Site
+	if site == "" {
+		site = SiteComms
+	}
+	d := t.Injector.Decide(site, req.URL.Host)
 	if d == nil {
 		return t.next().RoundTrip(req)
 	}
@@ -60,6 +73,13 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}
 		return t.next().RoundTrip(req)
 	case Corrupt:
+		if t.CorruptRequests {
+			if req.Body != nil {
+				req = req.Clone(req.Context())
+				req.Body = &corruptBody{rc: req.Body, offset: int64(d.Offset), xor: d.XOR}
+			}
+			return t.next().RoundTrip(req)
+		}
 		resp, err := t.next().RoundTrip(req)
 		if err != nil || resp.Body == nil {
 			return resp, err

@@ -71,6 +71,16 @@ type Config struct {
 	// falling back to the coordinator's own Service. Mostly for tests
 	// that pin the fail-loudly path.
 	DisableLocalFallback bool
+	// JitterSeed seeds the backoff jitter stream. Zero draws a seed
+	// from the clock — two coordinators sharing a recovering fleet must
+	// not re-dispatch in lockstep — but either way the seed in use is
+	// reported through Logf, so a scheduling race replays by passing
+	// the logged value back in (the chaos matrix derives it from
+	// CHAOS_SEED). Nothing byte-visible depends on it.
+	JitterSeed uint64
+	// Logf receives the coordinator's operational log lines (the jitter
+	// seed, degraded-execution transitions). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // DefaultTransport returns the transport the coordinator dials workers
@@ -158,11 +168,20 @@ func New(cfg Config) (*Coordinator, error) {
 	for range cfg.Workers {
 		c.breakers = append(c.breakers, newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown))
 	}
-	// Backoff jitter is the one place the coordinator wants real
-	// entropy: two coordinators sharing a recovering fleet must not
-	// re-dispatch in lockstep. Nothing byte-visible depends on it.
-	c.jitter = rng.New(uint64(time.Now().UnixNano()))
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = uint64(time.Now().UnixNano())
+	}
+	c.cfg.JitterSeed = cfg.JitterSeed
+	c.jitter = rng.New(cfg.JitterSeed)
+	c.logf("fabric: coordinator backoff jitter seed %d", cfg.JitterSeed)
 	return c, nil
+}
+
+// logf routes a log line to Config.Logf, if any.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
 }
 
 // Ring returns the coordinator's consistent-hash ring.

@@ -1,0 +1,470 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/jobs"
+)
+
+// timeoutContext bounds one replication round trip.
+func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// ErrFenced is returned by every Replicator operation once a replica
+// has rejected this leader's term: a newer leader exists, and the only
+// safe move is to halt writes immediately — quorum on the other peers
+// does not matter.
+var ErrFenced = errors.New("fabric: leader fenced by a newer term")
+
+// ErrNoQuorum reports a mutation that could not reach a write quorum
+// of replicas.
+var ErrNoQuorum = errors.New("fabric: replication quorum not reached")
+
+// ReplicatorConfig configures a Replicator.
+type ReplicatorConfig struct {
+	// Self is this leader's advertised URL, stamped on every write.
+	Self string
+	// Peers are the replica base URLs (excluding self).
+	Peers []string
+	// Store is the local job store, read for gap backfills.
+	Store *jobs.Store
+	// Client issues the replication requests (default http.DefaultClient).
+	Client *http.Client
+	// Quorum is how many peer acks a mutation needs. The default,
+	// (len(Peers)+1)/2, is a cluster majority counting the leader's own
+	// durable copy: 1 of 2 peers in a 3-node fleet.
+	Quorum int
+	// Attempts bounds the per-peer tries per mutation (default 4).
+	// Protocol-level healing — gap backfill, job re-create — does not
+	// consume attempts; only transport faults and transient rejections
+	// do.
+	Attempts int
+	// Backoff is the base delay between per-peer retries (default
+	// 25ms, doubling per attempt).
+	Backoff time.Duration
+	// Timeout bounds each replication round trip (default 10s).
+	Timeout time.Duration
+	// OnFenced, when non-nil, is called exactly once when a replica
+	// fences this leader, with the winning term.
+	OnFenced func(term uint64)
+	// Logf receives operational log lines. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// peerState is the replicator's health view of one replica.
+type peerState struct {
+	acked   map[string]int // job id -> lines acked by this peer
+	lastErr string
+	ok      bool
+}
+
+// Replicator is the sending side of the replication plane: a
+// jobs.ReplicationSink that fans each durable mutation out to the
+// peer replicas and acks once a write quorum holds it. It is safe for
+// concurrent use.
+type Replicator struct {
+	cfg  ReplicatorConfig
+	term atomic.Uint64
+
+	fenced     atomic.Bool
+	fencedTerm atomic.Uint64
+	fenceOnce  sync.Once
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+}
+
+// NewReplicator validates the config and returns a replicator.
+func NewReplicator(cfg ReplicatorConfig) (*Replicator, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("fabric: replicator needs a jobs.Store")
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("fabric: replicator needs at least one peer")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Quorum <= 0 {
+		cfg.Quorum = (len(cfg.Peers) + 1) / 2
+	}
+	if cfg.Quorum > len(cfg.Peers) {
+		return nil, fmt.Errorf("fabric: quorum %d exceeds the %d peers", cfg.Quorum, len(cfg.Peers))
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 4
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 25 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	r := &Replicator{cfg: cfg, peers: make(map[string]*peerState)}
+	for _, p := range cfg.Peers {
+		// A peer is healthy until a replication round says otherwise —
+		// a fresh leader with nothing to replicate is not degraded.
+		r.peers[p] = &peerState{acked: make(map[string]int), ok: true}
+	}
+	r.term.Store(1)
+	return r, nil
+}
+
+// SetTerm installs the term this leader writes under (promotion).
+func (r *Replicator) SetTerm(term uint64) { r.term.Store(term) }
+
+// Term returns the term this leader writes under.
+func (r *Replicator) Term() uint64 { return r.term.Load() }
+
+// Fenced reports whether a replica has rejected this leader's term,
+// and the winning term.
+func (r *Replicator) Fenced() (bool, uint64) {
+	return r.fenced.Load(), r.fencedTerm.Load()
+}
+
+func (r *Replicator) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// fence latches the fenced state and fires OnFenced once.
+func (r *Replicator) fence(term uint64) {
+	r.fencedTerm.Store(term)
+	r.fenced.Store(true)
+	r.fenceOnce.Do(func() {
+		r.logf("fabric: leader (term %d) fenced by term %d; halting writes", r.term.Load(), term)
+		if r.cfg.OnFenced != nil {
+			r.cfg.OnFenced(term)
+		}
+	})
+}
+
+// errPeerStale is a replica's 412: this leader lost to a newer term.
+type errPeerStale struct{ term uint64 }
+
+func (e *errPeerStale) Error() string {
+	return fmt.Sprintf("fabric: replica fenced this write (term %d)", e.term)
+}
+
+// quorum runs one mutation against every peer concurrently and
+// resolves the quorum: nil once cfg.Quorum peers acked, ErrFenced the
+// moment any peer reports a newer term (regardless of other acks),
+// ErrNoQuorum otherwise. op runs once per peer with per-peer retries
+// already applied by the caller-provided closure.
+func (r *Replicator) quorum(opName, jobID string, lines int, op func(peer string) error) error {
+	if r.fenced.Load() {
+		return fmt.Errorf("%w (term %d)", ErrFenced, r.fencedTerm.Load())
+	}
+	type result struct {
+		peer string
+		err  error
+	}
+	results := make(chan result, len(r.cfg.Peers))
+	for _, peer := range r.cfg.Peers {
+		go func(peer string) {
+			results <- result{peer, r.withRetries(func() error { return op(peer) })}
+		}(peer)
+	}
+	acks, errs := 0, make([]error, 0, len(r.cfg.Peers))
+	var fencedBy uint64
+	for range r.cfg.Peers {
+		res := <-results
+		st := r.peerState(res.peer)
+		r.mu.Lock()
+		if res.err == nil {
+			st.ok, st.lastErr = true, ""
+			if jobID != "" {
+				st.acked[jobID] = lines
+			}
+			acks++
+		} else {
+			st.ok, st.lastErr = false, res.err.Error()
+			var stale *errPeerStale
+			if errors.As(res.err, &stale) && stale.term > fencedBy {
+				fencedBy = stale.term
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", res.peer, res.err))
+		}
+		r.mu.Unlock()
+	}
+	if fencedBy > 0 {
+		r.fence(fencedBy)
+		return fmt.Errorf("%w (term %d)", ErrFenced, fencedBy)
+	}
+	if acks < r.cfg.Quorum {
+		return fmt.Errorf("%w: %s %s got %d/%d acks: %v", ErrNoQuorum, opName, jobID, acks, r.cfg.Quorum, errors.Join(errs...))
+	}
+	return nil
+}
+
+func (r *Replicator) peerState(peer string) *peerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.peers[peer]
+}
+
+// withRetries retries transient failures with doubling backoff. A
+// stale-term rejection is terminal — retrying a fenced write cannot
+// succeed and must not delay the halt.
+func (r *Replicator) withRetries(op func() error) error {
+	var err error
+	delay := r.cfg.Backoff
+	for attempt := 0; attempt < r.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+		var stale *errPeerStale
+		if errors.As(err, &stale) {
+			return err
+		}
+	}
+	return err
+}
+
+// do issues one stamped replication request and decodes the protocol's
+// error vocabulary into typed errors.
+func (r *Replicator) do(method, url string, body []byte, header http.Header) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range header {
+		req.Header[k] = v
+	}
+	req.Header.Set(HeaderReplicaTerm, strconv.FormatUint(r.term.Load(), 10))
+	req.Header.Set(HeaderReplicaLeader, r.cfg.Self)
+	ctx, cancel := timeoutContext(r.cfg.Timeout)
+	defer cancel()
+	resp, err := r.cfg.Client.Do(req.WithContext(ctx))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusPreconditionFailed {
+		var body struct {
+			Term uint64 `json:"term"`
+		}
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		return nil, &errPeerStale{term: body.Term}
+	}
+	return resp, nil
+}
+
+// JobCreated implements jobs.ReplicationSink: the job's canonical
+// request and initial meta must land on a quorum of peers before the
+// submission is acknowledged.
+func (r *Replicator) JobCreated(meta jobs.Meta, request []byte) error {
+	body, err := json.Marshal(replicaJobBody{Meta: meta, Request: request})
+	if err != nil {
+		return err
+	}
+	return r.quorum("create", meta.ID, 0, func(peer string) error {
+		return r.putJob(peer, meta.ID, body)
+	})
+}
+
+func (r *Replicator) putJob(peer, id string, body []byte) error {
+	resp, err := r.do(http.MethodPut, peer+"/v1/replica/jobs/"+id, body, nil)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fabric: replica PUT %s: %s", id, respError(resp))
+	}
+	return nil
+}
+
+// Checkpoint implements jobs.ReplicationSink: the result-line suffix
+// [from, from+k) plus the meta must land on a quorum of peers before
+// the flush acks. Per-peer protocol healing: a 409 gap backfills the
+// peer from its durable count (the leader's store holds every line it
+// has ever checkpointed), a 404 re-creates the job there first.
+func (r *Replicator) Checkpoint(id string, meta jobs.Meta, from int, lines []byte) error {
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	target := from + countNewlines(lines)
+	return r.quorum("checkpoint", id, target, func(peer string) error {
+		// Healing budget 2: a fresh peer may need BOTH a job re-create
+		// (404) and a gap backfill (409) before the checkpoint lands.
+		return r.checkpointPeer(peer, id, metaJSON, from, lines, 2)
+	})
+}
+
+func (r *Replicator) checkpointPeer(peer, id string, metaJSON []byte, from int, lines []byte, heal int) error {
+	header := http.Header{HeaderReplicaMeta: []string{string(metaJSON)}}
+	url := fmt.Sprintf("%s/v1/replica/jobs/%s/checkpoint?from=%d", peer, id, from)
+	resp, err := r.do(http.MethodPost, url, frameAll(lines), header)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		if heal <= 0 {
+			break
+		}
+		// The peer is behind (it missed earlier checkpoints): backfill
+		// the whole range from its durable count out of the local store,
+		// then retry once — a second gap means the peer is losing writes
+		// and the normal retry budget takes over.
+		var gap struct {
+			Lines int `json:"lines"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&gap); err != nil {
+			return fmt.Errorf("fabric: replica gap response undecodable: %w", err)
+		}
+		if gap.Lines > from {
+			return fmt.Errorf("fabric: replica %s claims %d lines beyond checkpoint %d", peer, gap.Lines, from)
+		}
+		backfill, err := r.cfg.Store.ReadResultLines(id, gap.Lines, from)
+		if err != nil {
+			return fmt.Errorf("fabric: reading backfill [%d,%d) for %s: %w", gap.Lines, from, id, err)
+		}
+		r.logf("fabric: backfilling replica %s job %s lines [%d,%d)", peer, id, gap.Lines, from)
+		return r.checkpointPeer(peer, id, metaJSON, gap.Lines, append(backfill, lines...), heal-1)
+	case http.StatusNotFound:
+		if heal <= 0 {
+			break
+		}
+		// The peer never saw this job (it joined late, or its disk is
+		// fresh): re-create it there, then retry the checkpoint with the
+		// remaining healing budget — the fresh job will still need a gap
+		// backfill when from > 0.
+		request, err := r.cfg.Store.Request(id)
+		if err != nil {
+			return fmt.Errorf("fabric: reading request for re-create of %s: %w", id, err)
+		}
+		var meta jobs.Meta
+		if err := json.Unmarshal(metaJSON, &meta); err != nil {
+			return err
+		}
+		body, err := json.Marshal(replicaJobBody{Meta: meta, Request: request})
+		if err != nil {
+			return err
+		}
+		r.logf("fabric: re-creating job %s on replica %s", id, peer)
+		if err := r.putJob(peer, id, body); err != nil {
+			return err
+		}
+		return r.checkpointPeer(peer, id, metaJSON, from, lines, heal-1)
+	}
+	return fmt.Errorf("fabric: replica checkpoint %s@%d: %s", id, from, respError(resp))
+}
+
+// JobRemoved implements jobs.ReplicationSink: a deletion needs the
+// same quorum as a creation. A peer that never had the job acks
+// trivially (DELETE is idempotent).
+func (r *Replicator) JobRemoved(id string) error {
+	return r.quorum("remove", id, 0, func(peer string) error {
+		resp, err := r.do(http.MethodDelete, peer+"/v1/replica/jobs/"+id, nil, nil)
+		if err != nil {
+			return err
+		}
+		defer drain(resp)
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+			return fmt.Errorf("fabric: replica DELETE %s: %s", id, respError(resp))
+		}
+		return nil
+	})
+}
+
+// ReplicaPeerStatus is one peer's replication health, for /readyz.
+type ReplicaPeerStatus struct {
+	URL string `json:"url"`
+	// Acked reports whether the peer acked its most recent mutation.
+	Acked bool `json:"acked"`
+	// LagLines is how far the peer's acked line count trails the
+	// leader's durable count, summed over jobs (0 = in sync as of the
+	// last quorum round).
+	LagLines int    `json:"lagLines"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Status reports per-peer replication health and whether a write
+// quorum is currently reachable.
+func (r *Replicator) Status() (peers []ReplicaPeerStatus, quorumOK bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// The leader's own acked view is max over peers per job — every
+	// acked line was durable locally first.
+	leader := make(map[string]int)
+	for _, p := range r.cfg.Peers {
+		for id, n := range r.peers[p].acked {
+			if n > leader[id] {
+				leader[id] = n
+			}
+		}
+	}
+	ok := 0
+	for _, p := range r.cfg.Peers {
+		st := r.peers[p]
+		lag := 0
+		for id, n := range leader {
+			if have := st.acked[id]; have < n {
+				lag += n - have
+			}
+		}
+		if st.ok {
+			ok++
+		}
+		peers = append(peers, ReplicaPeerStatus{URL: p, Acked: st.ok, LagLines: lag, Error: st.lastErr})
+	}
+	return peers, ok >= r.cfg.Quorum
+}
+
+// frameAll wraps each '\n'-terminated line in the CRC-32C integrity
+// frame the replica verifies on receipt.
+func frameAll(lines []byte) []byte {
+	out := make([]byte, 0, len(lines)+len(lines)/8)
+	for len(lines) > 0 {
+		i := bytes.IndexByte(lines, '\n')
+		if i < 0 {
+			i = len(lines) - 1 // defensive; sink contract says this cannot happen
+		}
+		out = api.AppendFrameLine(out, lines[:i+1])
+		lines = lines[i+1:]
+	}
+	return out
+}
+
+func countNewlines(b []byte) int { return bytes.Count(b, []byte{'\n'}) }
+
+// respError extracts the {"error": ...} body of a failed replication
+// response.
+func respError(resp *http.Response) string {
+	var body struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(io.LimitReader(resp.Body, 4<<10)).Decode(&body)
+	if body.Error == "" {
+		return resp.Status
+	}
+	return fmt.Sprintf("%s (%s)", resp.Status, body.Error)
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -69,6 +69,19 @@ type Config struct {
 	// media corruption the next recovery's integrity scan must catch.
 	// Fault injection only; production paths leave it nil.
 	ResultsAppendHook func(line []byte) []byte
+	// Replicate, when non-nil, receives every durable mutation — job
+	// creation, each checkpoint flush with its result-line suffix, job
+	// removal — and must not return nil until the mutation is durable
+	// on a write quorum of peers (see ReplicationSink). A checkpoint
+	// the sink rejects fails the job; the lines stay durable locally
+	// and the job resumes wherever the quorum survives. Nil (the
+	// single-node default) adds zero cost to the emit path.
+	Replicate ReplicationSink
+	// JanitorSeed seeds the janitor's rescan-jitter source, so lease
+	// takeover timing is replayable from a logged seed (the chaos
+	// matrix derives it from CHAOS_SEED). Zero derives a seed from the
+	// clock — still per-Manager, never the global math/rand state.
+	JanitorSeed int64
 	// now stamps Meta times; tests may override. Nil uses time.Now.
 	now func() time.Time
 }
@@ -103,6 +116,12 @@ type Manager struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// jrand jitters the janitor's probe interval. It is owned by the
+	// janitor goroutine (the one caller of probeInterval), seeded per
+	// Manager so concurrent managers never share RNG state and a test
+	// run replays from Config.JanitorSeed.
+	jrand *rand.Rand
+
 	mu     sync.Mutex
 	cond   *sync.Cond // signals runners that queue/closed changed
 	jobs   map[string]*job
@@ -130,11 +149,15 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	if cfg.JanitorSeed == 0 {
+		cfg.JanitorSeed = time.Now().UnixNano()
+	}
 	store, err := NewStore(cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
 	m := &Manager{cfg: cfg, store: store, jobs: make(map[string]*job)}
+	m.jrand = rand.New(rand.NewSource(cfg.JanitorSeed))
 	m.cond = sync.NewCond(&m.mu)
 	m.ctx, m.cancel = context.WithCancel(context.Background())
 
@@ -299,6 +322,20 @@ func (m *Manager) Submit(request []byte) (Meta, bool, error) {
 		m.notify(j) // waiters on the vanished job observe ErrNotFound
 		return Meta{}, false, err
 	}
+	if m.cfg.Replicate != nil {
+		// The submission is only acknowledged once a write quorum of
+		// peers holds the request: an acked job must survive this node's
+		// disk. On failure the local copy is withdrawn too, so "created"
+		// and "quorum-replicated" stay synonymous.
+		if rerr := m.cfg.Replicate.JobCreated(meta, canonical); rerr != nil {
+			m.store.Remove(id)
+			m.mu.Lock()
+			delete(m.jobs, id)
+			m.mu.Unlock()
+			m.notify(j)
+			return Meta{}, false, rerr
+		}
+	}
 
 	m.mu.Lock()
 	j.creating = false
@@ -388,6 +425,12 @@ func (m *Manager) Cancel(id string) (Meta, error) {
 		if err := m.store.WriteMeta(meta); err != nil {
 			return meta, err
 		}
+		if m.cfg.Replicate != nil {
+			// Best-effort: a lost terminal meta is safe — a peer that
+			// resumes this job re-executes zero remaining points and
+			// reaches the same terminal bytes (see ReplicationSink).
+			_ = m.cfg.Replicate.Checkpoint(id, meta, meta.Completed, nil)
+		}
 		m.mu.Lock()
 		if j, ok := m.jobs[id]; ok {
 			j.meta = meta
@@ -424,6 +467,16 @@ func (m *Manager) Delete(id string) (Meta, error) {
 		m.mu.Unlock()
 		return meta, fmt.Errorf("jobs: job %s is %s; cancel it before deleting", id, meta.State)
 	}
+	m.mu.Unlock()
+	if m.cfg.Replicate != nil {
+		// Removal needs the same quorum as creation, and it lands on the
+		// peers BEFORE the local delete: a rejected removal leaves the
+		// job whole everywhere instead of resurrectable from a replica.
+		if err := m.cfg.Replicate.JobRemoved(id); err != nil {
+			return meta, err
+		}
+	}
+	m.mu.Lock()
 	delete(m.jobs, id)
 	m.mu.Unlock()
 	return meta, m.store.Remove(id)
@@ -600,6 +653,12 @@ func (m *Manager) runJob(id string) {
 
 	completed := offset
 	unflushed := 0
+	// With a replication sink, the lines of the current checkpoint
+	// window are buffered so each flush can stream exactly the new
+	// durable suffix to the peers. The buffer is bounded by
+	// CheckpointEvery lines and unused (nil) in single-node mode.
+	var replBuf []byte
+	replFrom := offset
 	checkpoint := func() error {
 		if err := rf.Sync(); err != nil {
 			return err
@@ -611,6 +670,18 @@ func (m *Manager) runJob(id string) {
 		m.mu.Unlock()
 		if err := m.store.WriteMeta(meta); err != nil {
 			return err
+		}
+		if m.cfg.Replicate != nil {
+			// The flush acks — and execution proceeds — only once the
+			// suffix is on a write quorum. A rejected checkpoint (peers
+			// unreachable, or this leader fenced by a newer term) fails
+			// the job here: the lines stay durable locally, and the job
+			// resumes wherever the quorum survives.
+			if err := m.cfg.Replicate.Checkpoint(id, meta, replFrom, replBuf); err != nil {
+				return err
+			}
+			replFrom = completed
+			replBuf = replBuf[:0]
 		}
 		m.notifyJob(id)
 		return nil
@@ -627,6 +698,9 @@ func (m *Manager) runJob(id string) {
 		}
 		if err := rf.Append(line); err != nil {
 			return err
+		}
+		if m.cfg.Replicate != nil {
+			replBuf = append(replBuf, line...)
 		}
 		completed++
 		unflushed++
@@ -694,11 +768,13 @@ func (m *Manager) janitor() {
 // probeInterval jitters the janitor period uniformly over [p/2, 3p/2):
 // managers sharing a store directory are typically started together
 // (deploys, restarts), and identical fixed tickers would then hammer
-// the directory in lockstep forever. Nothing byte-visible depends on
-// the draw, so plain math/rand is fine here.
+// the directory in lockstep forever. The draws come from the manager's
+// own source (seeded by Config.JanitorSeed), so rescan and takeover
+// timing replays from a logged seed and test runs never share the
+// global math/rand state. Only the janitor goroutine calls this.
 func (m *Manager) probeInterval() time.Duration {
 	p := m.cfg.LeaseProbeEvery
-	return p/2 + time.Duration(rand.Int63n(int64(p)))
+	return p/2 + time.Duration(m.jrand.Int63n(int64(p)))
 }
 
 // probeRemote is one janitor pass over the remote-mirrored jobs.
@@ -779,6 +855,11 @@ func (m *Manager) finish(id string, state State, errMsg string) {
 		} else {
 			meta.Error = fmt.Sprintf("%s (terminal state not persisted: %v)", meta.Error, err)
 		}
+	} else if m.cfg.Replicate != nil {
+		// Best-effort: a lost terminal meta is safe — a peer that resumes
+		// this job re-executes zero remaining points and reaches the same
+		// terminal bytes (see ReplicationSink).
+		_ = m.cfg.Replicate.Checkpoint(id, meta, meta.Completed, nil)
 	}
 	m.mu.Lock()
 	if j, ok := m.jobs[id]; ok {

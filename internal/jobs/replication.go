@@ -1,0 +1,226 @@
+package jobs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReplicationSink receives every durable mutation of the job store so
+// a fleet of nodes can hold quorum-replicated copies of each job with
+// no shared filesystem. The Manager calls it synchronously at exactly
+// the points where the local disk state becomes durable:
+//
+//   - JobCreated after the job directory (request + initial meta) is
+//     fsynced: a submission is only acknowledged to the client once the
+//     sink accepts it, so an acked job survives the loss of this node.
+//   - Checkpoint after every results flush (results.ndjson + sidecar
+//     fsynced, meta.json renamed): `lines` carries the raw bytes of the
+//     result lines [from, from+n) appended since the previous
+//     checkpoint, and may be empty for a meta-only update (state
+//     transitions). The checkpoint does not count as acknowledged —
+//     and job execution does not proceed past it — until the sink
+//     returns nil, which is where a write quorum is enforced.
+//   - JobRemoved before the local directory is deleted: a deletion the
+//     sink rejects leaves the job in place everywhere.
+//
+// A nil sink (single-node mode) costs nothing: no buffering, no extra
+// allocation on the emit path. Terminal-state meta updates are
+// replicated best-effort (see Manager.finish): a lost terminal meta is
+// safe because a peer resuming the job re-executes zero remaining
+// points and reaches the same terminal state with the same bytes.
+type ReplicationSink interface {
+	JobCreated(meta Meta, request []byte) error
+	Checkpoint(id string, meta Meta, from int, lines []byte) error
+	JobRemoved(id string) error
+}
+
+// ReplicaGapError reports an ApplyReplicated whose `from` offset lies
+// beyond the replica's durable line count: the replica missed an
+// earlier checkpoint (it was down, or a create never reached it) and
+// needs the leader to backfill from Have before this write can land.
+type ReplicaGapError struct {
+	Have, Want int
+}
+
+func (e *ReplicaGapError) Error() string {
+	return fmt.Sprintf("jobs: replica has %d result lines, checkpoint starts at %d", e.Have, e.Want)
+}
+
+// ApplyReplicated lands replicated result lines [from, from+k) plus
+// the accompanying meta on this node's store, enforcing the replica
+// invariant: the results file is always a byte prefix of the job's
+// canonical line stream.
+//
+//   - A file shorter than `from` is a gap (*ReplicaGapError): the
+//     leader must backfill from the replica's count.
+//   - A file longer than `from` is rolled back to `from` lines first.
+//     Everything beyond a quorum-acknowledged checkpoint is unacked
+//     state — a dead leader's un-replicated suffix — and, because
+//     point content is deterministic, the bytes being truncated are
+//     identical to the bytes the current leader will re-deliver.
+//   - The job's execution lease must be free: a manager mid-shutdown
+//     (a just-fenced leader) may still hold it, in which case the
+//     caller retries (ErrLeaseHeld).
+//
+// Lines are fsynced (results before sidecar) before the meta lands, so
+// a crash mid-apply leaves the standard recoverable states OpenResults
+// already handles. Returns the new durable line count.
+func (s *Store) ApplyReplicated(id string, from int, lines []byte, meta Meta) (int, error) {
+	if len(lines) > 0 && lines[len(lines)-1] != '\n' {
+		return 0, errors.New("jobs: replicated lines must end in a newline")
+	}
+	release, err := acquireLease(s.LeasePath(id))
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+
+	rf, n, err := s.OpenResults(id)
+	if err != nil {
+		return 0, err
+	}
+	if n < from {
+		rf.Close()
+		return n, &ReplicaGapError{Have: n, Want: from}
+	}
+	if n > from {
+		rf.Close()
+		if err := s.TruncateResults(id, from); err != nil {
+			return 0, err
+		}
+		if rf, n, err = s.OpenResults(id); err != nil {
+			return 0, err
+		}
+		if n != from {
+			rf.Close()
+			return 0, fmt.Errorf("jobs: truncate to %d lines left %d", from, n)
+		}
+	}
+	count := n
+	for rest := lines; len(rest) > 0; {
+		i := bytes.IndexByte(rest, '\n')
+		if err := rf.Append(rest[:i+1]); err != nil {
+			rf.Close()
+			return 0, err
+		}
+		count++
+		rest = rest[i+1:]
+	}
+	if err := rf.Sync(); err != nil {
+		rf.Close()
+		return 0, err
+	}
+	if err := rf.Close(); err != nil {
+		return 0, storage(err)
+	}
+	if err := s.WriteMeta(meta); err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// TruncateResults truncates a job's results file to its first `keep`
+// lines — the quorum-acknowledged prefix a replica rolls back to when
+// a new leader's checkpoint starts behind the replica's local count.
+// Only the ndjson file is cut here; the checksum sidecar is reconciled
+// by the next OpenResults (its extra entries are dropped the same way
+// torn-tail recovery drops them).
+func (s *Store) TruncateResults(id string, keep int) error {
+	f, err := os.OpenFile(s.ResultsPath(id), os.O_RDWR, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		if keep == 0 {
+			return nil
+		}
+		return &ReplicaGapError{Have: 0, Want: keep}
+	}
+	if err != nil {
+		return storage(err)
+	}
+	defer f.Close()
+	off, lines, err := lineOffset(f, keep)
+	if err != nil {
+		return err
+	}
+	if lines < keep {
+		return &ReplicaGapError{Have: lines, Want: keep}
+	}
+	if err := f.Truncate(off); err != nil {
+		return storage(err)
+	}
+	return storage(f.Sync())
+}
+
+// ReadResultLines returns the raw bytes of result lines [from, to) of
+// a job's durable results file — the backfill payload a leader streams
+// to a lagging replica. Only complete lines are returned; a file with
+// fewer than `to` lines is an error (the caller asked for bytes the
+// leader claims are durable).
+func (s *Store) ReadResultLines(id string, from, to int) ([]byte, error) {
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("jobs: bad line range [%d, %d)", from, to)
+	}
+	f, err := os.Open(s.ResultsPath(id))
+	if err != nil {
+		return nil, storage(err)
+	}
+	defer f.Close()
+	start, lines, err := lineOffset(f, from)
+	if err != nil {
+		return nil, err
+	}
+	if lines < from {
+		return nil, fmt.Errorf("jobs: results file has %d lines, range starts at %d", lines, from)
+	}
+	end, lines, err := lineOffset(f, to)
+	if err != nil {
+		return nil, err
+	}
+	if lines < to {
+		return nil, fmt.Errorf("jobs: results file has %d lines, range ends at %d", lines, to)
+	}
+	buf := make([]byte, end-start)
+	if _, err := f.ReadAt(buf, start); err != nil {
+		return nil, storage(err)
+	}
+	return buf, nil
+}
+
+// lineOffset returns the byte offset just after line number n (0-based
+// exclusive: offset of the start of line n), plus the number of
+// complete lines found if the file holds fewer than n.
+func lineOffset(f *os.File, n int) (off int64, lines int, err error) {
+	if n == 0 {
+		return 0, 0, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, storage(err)
+	}
+	buf := make([]byte, 64<<10)
+	var pos int64
+	for {
+		k, rerr := f.Read(buf)
+		chunk := buf[:k]
+		for {
+			i := bytes.IndexByte(chunk, '\n')
+			if i < 0 {
+				break
+			}
+			pos += int64(i) + 1
+			lines++
+			chunk = chunk[i+1:]
+			if lines == n {
+				return pos, lines, nil
+			}
+		}
+		pos += int64(len(chunk))
+		if rerr == io.EOF {
+			return pos, lines, nil
+		}
+		if rerr != nil {
+			return 0, 0, storage(rerr)
+		}
+	}
+}
